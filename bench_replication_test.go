@@ -1,0 +1,118 @@
+package p2pmpi
+
+// BenchmarkAblationReplication measures the runtime overhead of the
+// fault-tolerance replication degree r ∈ {1,2,3} on an EP-like workload
+// (compute + one small allreduce) over a 12-host virtual world. The
+// reported metric is the job's virtual duration: the cost of running r
+// copies of every rank with leader-transmit/backup-log coordination.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/simnet"
+)
+
+func BenchmarkAblationReplication(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		r := r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			var virtual time.Duration
+			for i := 0; i < b.N; i++ {
+				virtual += replicatedJobVirtualTime(b, r)
+			}
+			b.ReportMetric(virtual.Seconds()/float64(b.N), "virtual-sec/job")
+		})
+	}
+}
+
+func replicatedJobVirtualTime(b *testing.B, r int) time.Duration {
+	b.Helper()
+	s := NewScheduler()
+	defer s.Shutdown()
+
+	hostSite := map[string]string{"frontal": "east"}
+	var names []string
+	for i := 0; i < 12; i++ {
+		h := fmt.Sprintf("h%02d", i)
+		names = append(names, h)
+		site := "east"
+		if i >= 6 {
+			site = "west"
+		}
+		hostSite[h] = site
+	}
+	net := simnet.New(s, &simnet.StaticTopology{HostSite: hostSite, DefLat: 2 * time.Millisecond},
+		simnet.Config{Seed: int64(r), NICBps: 1e9})
+
+	programs := map[string]Program{
+		"eplike": func(env *Env) error {
+			c, err := env.Comm()
+			if err != nil {
+				return err
+			}
+			env.Compute(2e9, 1e8) // ~1s of modelled computation
+			_, err = c.AllreduceF64([]float64{float64(env.Rank)}, OpSum)
+			return err
+		},
+	}
+	sn := NewSupernode(s, net.Node("frontal"), SupernodeConfig{Addr: "frontal:8800"})
+	mk := func(id string, p int) *MPD {
+		return NewMPD(s, net.Node(id), MPDConfig{
+			Self:          PeerInfo{ID: id, Site: hostSite[id], MPDAddr: id + ":9000", RSAddr: id + ":9001"},
+			SupernodeAddr: "frontal:8800",
+			P:             p,
+			Profile:       HostProfile{Cores: 2, CoreGFLOPS: 2, MemBWGBs: 5},
+			Programs:      programs,
+			PingInterval:  10 * time.Second,
+			Seed:          int64(len(id) * r),
+		})
+	}
+	front := mk("frontal", 0)
+	var peers []*MPD
+	for _, h := range names {
+		peers = append(peers, mk(h, 2))
+	}
+
+	var dur time.Duration
+	s.Go("bench", func() {
+		defer func() {
+			sn.Close()
+			front.Close()
+			for _, p := range peers {
+				p.Close()
+			}
+		}()
+		if err := sn.Start(); err != nil {
+			b.Errorf("sn: %v", err)
+			return
+		}
+		if err := front.Start(); err != nil {
+			b.Errorf("front: %v", err)
+			return
+		}
+		for _, p := range peers {
+			if err := p.Start(); err != nil {
+				b.Errorf("peer: %v", err)
+				return
+			}
+		}
+		s.Sleep(15 * time.Second) // discovery + latency round
+		start := s.Now()
+		res, err := front.Submit(JobSpec{
+			Program: "eplike", N: 4, R: r, Strategy: Spread,
+			Timeout: 5 * time.Minute,
+		})
+		if err != nil {
+			b.Errorf("submit r=%d: %v", r, err)
+			return
+		}
+		if res.Failures() != 0 {
+			b.Errorf("r=%d: %d failures", r, res.Failures())
+		}
+		dur = s.Now().Sub(start)
+	})
+	s.Wait()
+	return dur
+}

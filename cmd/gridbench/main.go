@@ -1,0 +1,128 @@
+// Command gridbench regenerates every table and figure of the paper's
+// evaluation on the modelled Grid'5000 testbed:
+//
+//	gridbench -exp table1            # Table 1, the resource inventory
+//	gridbench -exp fig2              # Figure 2, concentrate allocation
+//	gridbench -exp fig3              # Figure 3, spread allocation
+//	gridbench -exp fig4ep            # Figure 4 left, NAS EP times
+//	gridbench -exp fig4is            # Figure 4 right, NAS IS times
+//	gridbench -exp all               # everything
+//
+// The -seed flag changes the stochastic elements (latency jitter, key
+// generation); the published numbers in EXPERIMENTS.md use seed 42.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2pmpi/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	format := flag.String("format", "table", "output format: table|csv")
+	flag.Parse()
+	csv := *format == "csv"
+
+	opts := exp.DefaultOptions(*seed)
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs wall]\n\n", name, time.Since(start).Seconds())
+	}
+
+	all := *which == "all"
+	if all || *which == "table1" {
+		run("table1", func() error {
+			if csv {
+				fmt.Print(exp.Table1CSV())
+			} else {
+				fmt.Print(exp.RenderTable1())
+			}
+			return nil
+		})
+	}
+	if all || *which == "fig2" {
+		run("fig2", func() error {
+			pts, err := exp.Fig2(opts, nil)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.SitePointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderSitePoints("Figure 2: concentrate — allocated hosts/cores per site", pts))
+			}
+			return nil
+		})
+	}
+	if all || *which == "fig3" {
+		run("fig3", func() error {
+			pts, err := exp.Fig3(opts, nil)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.SitePointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderSitePoints("Figure 3: spread — allocated hosts/cores per site", pts))
+			}
+			return nil
+		})
+	}
+	if all || *which == "fig4ep" {
+		run("fig4ep", func() error {
+			pts, err := exp.Fig4EP(opts, nil)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.TimePointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderTimePoints("Figure 4 (left): EP CLASS B total time", pts))
+			}
+			return nil
+		})
+	}
+	if all || *which == "fig4is" {
+		run("fig4is", func() error {
+			pts, err := exp.Fig4IS(opts, nil)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.TimePointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderTimePoints("Figure 4 (right): IS CLASS B total time", pts))
+			}
+			return nil
+		})
+	}
+	if *which == "estimators" {
+		run("estimators", func() error {
+			pts, err := exp.EstimatorStudy(opts, nil, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Estimator study: booking-order quality after 4 probe rounds")
+			fmt.Printf("%-8s %12s\n", "kind", "kendall-tau")
+			for _, p := range pts {
+				fmt.Printf("%-8s %12.4f\n", p.Kind, p.Tau)
+			}
+			return nil
+		})
+		return
+	}
+	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
+		*which != "fig4ep" && *which != "fig4is" {
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: estimators)\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,149 @@
+// Command p2pmpirun submits an MPI job, mirroring the paper's CLI:
+//
+//	p2pmpirun -n 16 -r 1 -a concentrate hostname
+//
+// Two modes:
+//
+//   - real (default): spins up an ephemeral submitter MPD on TCP, books
+//     peers previously started with mpiboot through the given supernode,
+//     runs the program and prints every process's output;
+//   - -sim: deploys the modelled Grid'5000 testbed in virtual time and
+//     submits there (useful to explore allocations without a cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/exp"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/nas"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+func main() {
+	n := flag.Int("n", 1, "number of MPI processes")
+	r := flag.Int("r", 1, "replication degree")
+	alloc := flag.String("a", "concentrate", "allocation strategy: spread|concentrate|mixed")
+	sim := flag.Bool("sim", false, "run against the simulated Grid'5000 testbed")
+	seed := flag.Int64("seed", 42, "simulation seed (with -sim)")
+	snAddr := flag.String("supernode", "127.0.0.1:8800", "supernode address (real mode)")
+	mpdAddr := flag.String("mpd", "127.0.0.1:9050", "ephemeral submitter MPD address (real mode)")
+	rsAddr := flag.String("rs", "127.0.0.1:9051", "ephemeral submitter RS address (real mode)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "job timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: p2pmpirun -n N [-r R] [-a strategy] [-sim] prog [args...]")
+		os.Exit(2)
+	}
+	strategy, err := core.ParseStrategy(*alloc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pmpirun: %v\n", err)
+		os.Exit(2)
+	}
+	spec := mpd.JobSpec{
+		Program:  flag.Arg(0),
+		Args:     flag.Args()[1:],
+		N:        *n,
+		R:        *r,
+		Strategy: strategy,
+		Timeout:  *timeout,
+	}
+
+	var res *mpd.JobResult
+	if *sim {
+		res, err = runSim(spec, *seed)
+	} else {
+		res, err = runReal(spec, *snAddr, *mpdAddr, *rsAddr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pmpirun: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res)
+	if res.Failures() > 0 {
+		os.Exit(1)
+	}
+}
+
+func runSim(spec mpd.JobSpec, seed int64) (*mpd.JobResult, error) {
+	w := exp.NewWorld(exp.DefaultOptions(seed))
+	defer w.Close()
+	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated Grid'5000 (350 peers)...\n")
+	if err := w.Boot(); err != nil {
+		return nil, err
+	}
+	return w.Submit(spec)
+}
+
+func runReal(spec mpd.JobSpec, snAddr, mpdAddr, rsAddr string) (*mpd.JobResult, error) {
+	// An ephemeral MPD with P=0: it submits but does not compute.
+	submitter := mpd.New(vtime.Real{}, transport.TCP{}, mpd.Config{
+		Self: proto.PeerInfo{
+			ID: "p2pmpirun-submitter", Site: "local",
+			MPDAddr: mpdAddr, RSAddr: rsAddr,
+		},
+		SupernodeAddr: snAddr,
+		P:             0,
+		Programs:      submitterRegistry(),
+		PingInterval:  2 * time.Second,
+		Seed:          int64(os.Getpid()),
+	})
+	if err := submitter.Start(); err != nil {
+		return nil, err
+	}
+	defer submitter.Close()
+	// Let registration and a ping round settle so booking sees latencies.
+	time.Sleep(3 * time.Second)
+	return submitter.Submit(spec)
+}
+
+// submitterRegistry mirrors mpiboot's registry so Submit accepts the
+// same program names (the submitter itself never runs them with P=0).
+func submitterRegistry() map[string]mpd.Program {
+	progs := map[string]mpd.Program{"hostname": mpd.Hostname}
+	for _, cls := range []nas.EPClass{nas.EPClassS, nas.EPClassW, nas.EPClassA, nas.EPClassB} {
+		progs["ep-"+cls.Name] = nas.EPProgram(cls)
+	}
+	for _, cls := range []nas.ISClass{nas.ISClassS, nas.ISClassW, nas.ISClassA, nas.ISClassB} {
+		progs["is-"+cls.Name] = nas.ISProgram(cls)
+	}
+	return progs
+}
+
+func printResult(res *mpd.JobResult) {
+	fmt.Printf("job %s finished in %v (%d processes", res.JobID, res.Duration.Round(time.Millisecond), len(res.Results))
+	if res.Failures() > 0 {
+		fmt.Printf(", %d FAILED", res.Failures())
+	}
+	fmt.Println(")")
+
+	hosts := res.Assignment.HostsBySite()
+	procs := res.Assignment.ProcsBySite()
+	var sites []string
+	for s := range hosts {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		fmt.Printf("  site %-10s %3d hosts %4d processes\n", s, hosts[s], procs[s])
+	}
+	for _, sr := range res.Results {
+		status := "ok"
+		if !sr.OK {
+			status = "FAIL: " + sr.Err
+		}
+		out := string(sr.Output)
+		if len(out) > 64 {
+			out = out[:61] + "..."
+		}
+		fmt.Printf("  rank %3d.%d [%s] %s\n", sr.Rank, sr.Replica, status, out)
+	}
+}

@@ -1,0 +1,49 @@
+// Command supernode runs the P2P-MPI bootstrap daemon on real TCP: the
+// entry point every peer contacts to join the overlay (§3.2).
+//
+//	supernode -addr :8800 -ttl 90s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+func main() {
+	addr := flag.String("addr", ":8800", "listen address")
+	ttl := flag.Duration("ttl", 90*time.Second, "peer expiry without alive signals")
+	flag.Parse()
+
+	sn := overlay.NewSupernode(vtime.Real{}, transport.TCP{}, overlay.SupernodeConfig{
+		Addr: *addr,
+		TTL:  *ttl,
+	})
+	if err := sn.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "supernode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("supernode listening on %s (ttl %v)\n", sn.Addr(), *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Printf("supernode: %d peers listed\n", sn.PeerCount())
+		case <-sig:
+			fmt.Println("supernode: shutting down")
+			sn.Close()
+			return
+		}
+	}
+}

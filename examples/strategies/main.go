@@ -1,0 +1,55 @@
+// Strategies: deploy the modelled Grid'5000 testbed and compare where
+// the spread, concentrate and mixed strategies place a 250-process job —
+// the co-allocation experiment of the paper's §5.1 at one x-value.
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"p2pmpi"
+	"p2pmpi/internal/grid"
+)
+
+func main() {
+	fmt.Println("strategies: booting the simulated Grid'5000 (350 peers, 6 sites)...")
+	w := p2pmpi.NewSimulatedGrid(p2pmpi.DefaultWorldOptions(7))
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+
+	const n = 250
+	for _, strategy := range []p2pmpi.Strategy{p2pmpi.Concentrate, p2pmpi.Spread, p2pmpi.Mixed} {
+		res, err := w.Submit(p2pmpi.JobSpec{
+			Program:  "hostname",
+			N:        n,
+			R:        1,
+			Strategy: strategy,
+			Timeout:  5 * time.Minute,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", strategy, err)
+		}
+		fmt.Printf("\n%-12s n=%d -> %d hosts used\n", strategy, n, res.Assignment.UsedHosts())
+		hosts := res.Assignment.HostsBySite()
+		procs := res.Assignment.ProcsBySite()
+		for _, site := range grid.Sites {
+			if hosts[site] == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %3d hosts, %3d processes\n", site, hosts[site], procs[site])
+		}
+		// Show a few of the echoed host names.
+		var names []string
+		for _, r := range res.Results[:5] {
+			names = append(names, string(r.Output))
+		}
+		sort.Strings(names)
+		fmt.Printf("  first ranks ran on: %v ...\n", names)
+	}
+}

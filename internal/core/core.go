@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: the
+// co-allocation strategies of P2P-MPI (§4.3).
+//
+// Given the selected host list slist (the n×r lowest-latency reserved
+// hosts), an allocation strategy decides how many processes u_i each host
+// receives, subject to the capacity rule c_i = min(P_i, n), and MPI ranks
+// are then numbered so that no two replicas of one rank share a host.
+//
+// Two strategies come from the paper:
+//
+//   - spread: round-robin one process per host, maximising the memory
+//     available to each process while keeping locality as a secondary
+//     objective (the closest hosts still absorb the remainder first);
+//   - concentrate: fill each host to capacity before touching the next,
+//     maximising process locality at the risk of memory contention.
+//
+// A third strategy, mixed, implements the paper's "future work" idea:
+// hosts are filled to capacity (locality within a host) but sites are
+// visited round-robin (spreading across sites).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Strategy selects a process-placement policy.
+type Strategy int
+
+// The available allocation strategies.
+const (
+	// Spread maps one process per host in latency order, wrapping around
+	// while capacity remains (paper §4.3, first algorithm).
+	Spread Strategy = iota
+	// Concentrate fills each host up to its capacity in latency order
+	// (paper §4.3, second algorithm).
+	Concentrate
+	// Mixed is the extension strategy: round-robin across sites,
+	// concentrate within a host.
+	Mixed
+)
+
+// String returns the command-line name of the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Spread:
+		return "spread"
+	case Concentrate:
+		return "concentrate"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a -a command-line value to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "spread":
+		return Spread, nil
+	case "concentrate":
+		return Concentrate, nil
+	case "mixed":
+		return Mixed, nil
+	default:
+		return 0, fmt.Errorf("core: unknown allocation strategy %q", name)
+	}
+}
+
+// HostSlot is one reserved host, in the latency order of slist.
+type HostSlot struct {
+	// ID is the host identity (its peer ID).
+	ID string
+	// Site is the host's site, used only by the Mixed strategy and for
+	// reporting; the paper's strategies never look at it.
+	Site string
+	// P is the owner's limit on processes per MPI application.
+	P int
+	// Latency is the measured latency from the submitter (diagnostic).
+	Latency time.Duration
+	// Cores is the host's core count (diagnostic; P usually equals it).
+	Cores int
+}
+
+// Allocation errors returned by Feasible and Allocate.
+var (
+	// ErrTooFewHosts: |slist| < r, replicas could not avoid sharing hosts
+	// (feasibility condition (a), §4.2 step 6).
+	ErrTooFewHosts = errors.New("core: fewer selected hosts than the replication degree")
+	// ErrInsufficientCapacity: Σ c_i < n×r (feasibility condition (b)).
+	ErrInsufficientCapacity = errors.New("core: selected hosts cannot accommodate all processes")
+	// ErrBadRequest: n < 1 or r < 1.
+	ErrBadRequest = errors.New("core: invalid request")
+)
+
+// Capacity returns c_i = min(P, n): a host must never receive more than n
+// processes even if its owner allows more, since the (n+1)-th process of
+// an application on one host would necessarily duplicate a rank.
+func Capacity(p, n int) int {
+	if p < 0 {
+		p = 0
+	}
+	if p < n {
+		return p
+	}
+	return n
+}
+
+// Feasible checks the two feasibility conditions of §4.2 step 6:
+// (a) |slist| ≥ r and (b) Σ c_i ≥ n×r.
+func Feasible(slist []HostSlot, n, r int) error {
+	if n < 1 || r < 1 {
+		return ErrBadRequest
+	}
+	if len(slist) < r {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewHosts, len(slist), r)
+	}
+	total := 0
+	for _, h := range slist {
+		total += Capacity(h.P, n)
+	}
+	if total < n*r {
+		return fmt.Errorf("%w: capacity %d < %d processes", ErrInsufficientCapacity, total, n*r)
+	}
+	return nil
+}
+
+// Placement is one mapped process: MPI rank plus replica number.
+type Placement struct {
+	Rank    int
+	Replica int
+}
+
+// Assignment is the result of an allocation: how many processes each host
+// of slist received and which (rank, replica) pairs they are.
+type Assignment struct {
+	// Hosts is the slist the allocation was computed over.
+	Hosts []HostSlot
+	// U[i] is the number of processes mapped to Hosts[i]; hosts with
+	// U[i] == 0 have their reservation cancelled (paper §4.3).
+	U []int
+	// Procs[i] lists the placements on Hosts[i], in rank-assignment
+	// order.
+	Procs [][]Placement
+	// N and R echo the request.
+	N, R int
+	// Strategy echoes the policy used.
+	Strategy Strategy
+}
+
+// Allocate distributes n×r processes over slist with the given strategy
+// and numbers their ranks. The slist order is significant: it must be the
+// ascending-latency order produced by the reservation step.
+func Allocate(slist []HostSlot, n, r int, strategy Strategy) (*Assignment, error) {
+	if err := Feasible(slist, n, r); err != nil {
+		return nil, err
+	}
+	caps := make([]int, len(slist))
+	for i, h := range slist {
+		caps[i] = Capacity(h.P, n)
+	}
+
+	var u []int
+	switch strategy {
+	case Spread:
+		u = spread(caps, n*r)
+	case Concentrate:
+		u = concentrate(caps, n*r)
+	case Mixed:
+		u = mixed(slist, caps, n*r)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+
+	a := &Assignment{
+		Hosts:    append([]HostSlot(nil), slist...),
+		U:        u,
+		Procs:    assignRanks(u, n),
+		N:        n,
+		R:        r,
+		Strategy: strategy,
+	}
+	return a, nil
+}
+
+// spread is the paper's first algorithm: visit hosts in slist order
+// repeatedly, placing one process per visit while the host has remaining
+// capacity, until d = n×r processes are placed.
+func spread(caps []int, total int) []int {
+	u := make([]int, len(caps))
+	d := 0
+	for d < total {
+		progress := false
+		for i := 0; i < len(caps) && d < total; i++ {
+			if u[i] < caps[i] {
+				u[i]++
+				d++
+				progress = true
+			}
+		}
+		if !progress { // unreachable when Feasible passed; defensive
+			panic("core: spread allocation stuck")
+		}
+	}
+	return u
+}
+
+// concentrate is the paper's second algorithm: give each host
+// min(c_i, remaining) processes in slist order.
+func concentrate(caps []int, total int) []int {
+	u := make([]int, len(caps))
+	d := 0
+	for i := 0; i < len(caps) && d < total; i++ {
+		take := caps[i]
+		if take > total-d {
+			take = total - d
+		}
+		u[i] = take
+		d += take
+	}
+	if d < total {
+		panic("core: concentrate allocation stuck")
+	}
+	return u
+}
+
+// mixed visits sites round-robin (in order of each site's first, i.e.
+// lowest-latency, host) and fills one whole host per visit.
+func mixed(slist []HostSlot, caps []int, total int) []int {
+	u := make([]int, len(slist))
+	// Per-site queues of host indices, preserving latency order.
+	var siteOrder []string
+	hostsOf := make(map[string][]int)
+	for i, h := range slist {
+		if _, ok := hostsOf[h.Site]; !ok {
+			siteOrder = append(siteOrder, h.Site)
+		}
+		hostsOf[h.Site] = append(hostsOf[h.Site], i)
+	}
+	d := 0
+	for d < total {
+		progress := false
+		for _, site := range siteOrder {
+			if d >= total {
+				break
+			}
+			q := hostsOf[site]
+			// Pop saturated hosts at the front of this site's queue.
+			for len(q) > 0 && u[q[0]] >= caps[q[0]] {
+				q = q[1:]
+			}
+			hostsOf[site] = q
+			if len(q) == 0 {
+				continue
+			}
+			i := q[0]
+			take := caps[i] - u[i]
+			if take > total-d {
+				take = total - d
+			}
+			u[i] += take
+			d += take
+			if take > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			panic("core: mixed allocation stuck")
+		}
+	}
+	return u
+}
+
+// assignRanks numbers the placed processes with the paper's §4.3
+// algorithm: walk slist, hand out ranks 0,1,...,n-1,0,1,... consecutively
+// across hosts. Because u_i ≤ c_i ≤ n, a host can never receive the same
+// rank twice, which is exactly criterion (b): replicas of a rank always
+// land on distinct hosts.
+func assignRanks(u []int, n int) [][]Placement {
+	procs := make([][]Placement, len(u))
+	rank := 0
+	copies := make([]int, n) // replica counter per rank
+	for i, ui := range u {
+		if ui == 0 {
+			continue // reservation cancelled for this host
+		}
+		procs[i] = make([]Placement, 0, ui)
+		for l := 0; l < ui; l++ {
+			procs[i] = append(procs[i], Placement{Rank: rank, Replica: copies[rank]})
+			copies[rank]++
+			rank++
+			if rank >= n {
+				rank = 0
+			}
+		}
+	}
+	return procs
+}
+
+// UsedHosts returns the number of hosts with at least one process.
+func (a *Assignment) UsedHosts() int {
+	n := 0
+	for _, u := range a.U {
+		if u > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// HostsBySite counts used hosts per site.
+func (a *Assignment) HostsBySite() map[string]int {
+	out := make(map[string]int)
+	for i, u := range a.U {
+		if u > 0 {
+			out[a.Hosts[i].Site]++
+		}
+	}
+	return out
+}
+
+// ProcsBySite counts mapped processes ("allocated cores") per site.
+func (a *Assignment) ProcsBySite() map[string]int {
+	out := make(map[string]int)
+	for i, u := range a.U {
+		if u > 0 {
+			out[a.Hosts[i].Site] += u
+		}
+	}
+	return out
+}
+
+// TotalProcs returns Σ u_i (always n×r for a successful allocation).
+func (a *Assignment) TotalProcs() int {
+	n := 0
+	for _, u := range a.U {
+		n += u
+	}
+	return n
+}

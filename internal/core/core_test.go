@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mkSlist builds a uniform slist of k hosts with capacity p each.
+func mkSlist(k, p int) []HostSlot {
+	out := make([]HostSlot, k)
+	for i := range out {
+		out[i] = HostSlot{
+			ID:      fmt.Sprintf("h%03d", i),
+			Site:    fmt.Sprintf("site%d", i/10),
+			P:       p,
+			Latency: time.Duration(i) * time.Millisecond,
+			Cores:   p,
+		}
+	}
+	return out
+}
+
+func TestCapacityRule(t *testing.T) {
+	cases := []struct{ p, n, want int }{
+		{4, 100, 4},  // owner limit binds
+		{100, 4, 4},  // ci must not exceed n
+		{0, 10, 0},   // host accepts nothing
+		{-3, 10, 0},  // negative owner limit sanitized
+		{10, 10, 10}, // equal
+	}
+	for _, c := range cases {
+		if got := Capacity(c.p, c.n); got != c.want {
+			t.Errorf("Capacity(%d,%d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFeasibleConditions(t *testing.T) {
+	// (a) |slist| >= r
+	err := Feasible(mkSlist(1, 4), 3, 2)
+	if !errors.Is(err, ErrTooFewHosts) {
+		t.Fatalf("err = %v, want ErrTooFewHosts", err)
+	}
+	// (b) sum ci >= n*r
+	err = Feasible(mkSlist(2, 1), 3, 1)
+	if !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("err = %v, want ErrInsufficientCapacity", err)
+	}
+	// Paper example: n=3 r=2 on two hosts works when P >= 3.
+	if err := Feasible(mkSlist(2, 3), 3, 2); err != nil {
+		t.Fatalf("paper example infeasible: %v", err)
+	}
+	if err := Feasible(mkSlist(2, 3), 0, 1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("n=0 accepted: %v", err)
+	}
+	if err := Feasible(mkSlist(2, 3), 1, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("r=0 accepted: %v", err)
+	}
+}
+
+func TestFeasibleUsesCappedCapacity(t *testing.T) {
+	// One host with P=100 cannot host n=5, r=2 alone: c = min(100,5) = 5 < 10.
+	err := Feasible(mkSlist(1, 100), 5, 2)
+	if !errors.Is(err, ErrTooFewHosts) {
+		// r=2 needs 2 hosts first
+		t.Fatalf("err = %v", err)
+	}
+	err = Feasible(mkSlist(2, 100), 5, 3)
+	if !errors.Is(err, ErrTooFewHosts) {
+		t.Fatalf("err = %v", err)
+	}
+	// 2 hosts, P=100, n=5, r=2: capacity = 2*min(100,5) = 10 = n*r. Feasible.
+	if err := Feasible(mkSlist(2, 100), 5, 2); err != nil {
+		t.Fatalf("should be exactly feasible: %v", err)
+	}
+}
+
+func TestSpreadRoundRobin(t *testing.T) {
+	// 10 hosts, capacity 4, 13 processes: first 3 hosts get 2, rest get 1.
+	a, err := Allocate(mkSlist(10, 4), 13, 1, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 2, 1, 1, 1, 1, 1, 1, 1}
+	for i, w := range want {
+		if a.U[i] != w {
+			t.Fatalf("U = %v, want %v", a.U, want)
+		}
+	}
+}
+
+func TestSpreadOneProcPerHostWhenEnoughHosts(t *testing.T) {
+	a, err := Allocate(mkSlist(100, 4), 60, 1, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range a.U {
+		if i < 60 && u != 1 {
+			t.Fatalf("host %d got %d processes, want 1", i, u)
+		}
+		if i >= 60 && u != 0 {
+			t.Fatalf("host %d got %d processes, want 0", i, u)
+		}
+	}
+}
+
+func TestSpreadRespectsCapacityHoles(t *testing.T) {
+	slist := mkSlist(5, 2)
+	slist[1].P = 0 // dead-end host
+	a, err := Allocate(slist, 8, 1, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.U[1] != 0 {
+		t.Fatalf("zero-capacity host received %d", a.U[1])
+	}
+	if a.TotalProcs() != 8 {
+		t.Fatalf("total = %d", a.TotalProcs())
+	}
+}
+
+func TestConcentrateFillsInOrder(t *testing.T) {
+	// 10 hosts, capacity 4, 13 processes: 4+4+4+1.
+	a, err := Allocate(mkSlist(10, 4), 13, 1, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 4, 4, 1, 0, 0, 0, 0, 0, 0}
+	for i, w := range want {
+		if a.U[i] != w {
+			t.Fatalf("U = %v, want %v", a.U, want)
+		}
+	}
+}
+
+func TestConcentratePrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(30)
+		slist := mkSlist(k, 0)
+		total := 0
+		n := 1 + rng.Intn(20)
+		for i := range slist {
+			slist[i].P = rng.Intn(6)
+			total += Capacity(slist[i].P, n)
+		}
+		if total == 0 {
+			continue
+		}
+		procs := 1 + rng.Intn(total)
+		if n > procs {
+			n = procs
+		}
+		a, err := Allocate(slist, procs, 1, Concentrate)
+		if errors.Is(err, ErrInsufficientCapacity) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After the first host that is not filled to capacity, all u must be 0.
+		brokeOff := false
+		for i, u := range a.U {
+			if brokeOff && u != 0 {
+				t.Fatalf("trial %d: not a prefix allocation: U=%v caps(P)=%v", trial, a.U, slist)
+			}
+			if u < Capacity(slist[i].P, a.N) {
+				brokeOff = true
+			}
+		}
+	}
+}
+
+func TestSpreadBalanceProperty(t *testing.T) {
+	// For any i, j: u_i can exceed u_j by more than 1 only if host j is
+	// saturated (u_j == c_j).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(40)
+		slist := mkSlist(k, 0)
+		total := 0
+		for i := range slist {
+			slist[i].P = rng.Intn(6)
+			total += Capacity(slist[i].P, n)
+		}
+		if total < n {
+			continue
+		}
+		a, err := Allocate(slist, n, 1, Spread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.U {
+			for j := range a.U {
+				cj := Capacity(slist[j].P, n)
+				if a.U[i] > a.U[j]+1 && a.U[j] < cj {
+					t.Fatalf("trial %d: unbalanced spread: U=%v", trial, a.U)
+				}
+			}
+		}
+	}
+}
+
+func TestRankAssignmentPaperExample(t *testing.T) {
+	// p2pmpirun -n 3 -r 2 on two hosts: P0,P1,P2 on H0 and replicas on H1.
+	a, err := Allocate(mkSlist(2, 3), 3, 2, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.U[0] != 3 || a.U[1] != 3 {
+		t.Fatalf("U = %v", a.U)
+	}
+	for h := 0; h < 2; h++ {
+		for l, pl := range a.Procs[h] {
+			if pl.Rank != l {
+				t.Fatalf("host %d slot %d has rank %d", h, l, pl.Rank)
+			}
+		}
+	}
+	// Replica numbering: copies on H0 are replica 0, on H1 replica 1.
+	for _, pl := range a.Procs[0] {
+		if pl.Replica != 0 {
+			t.Fatalf("H0 placement %+v", pl)
+		}
+	}
+	for _, pl := range a.Procs[1] {
+		if pl.Replica != 1 {
+			t.Fatalf("H1 placement %+v", pl)
+		}
+	}
+}
+
+// checkInvariants verifies every structural invariant of an assignment.
+func checkInvariants(t *testing.T, a *Assignment, slist []HostSlot, n, r int) {
+	t.Helper()
+	if a.TotalProcs() != n*r {
+		t.Fatalf("total procs = %d, want %d", a.TotalProcs(), n*r)
+	}
+	copies := make(map[int]int)
+	for i, procs := range a.Procs {
+		if len(procs) != a.U[i] {
+			t.Fatalf("host %d: |procs|=%d != U=%d", i, len(procs), a.U[i])
+		}
+		ci := Capacity(slist[i].P, n)
+		if a.U[i] > ci {
+			t.Fatalf("host %d overloaded: %d > c=%d", i, a.U[i], ci)
+		}
+		seen := make(map[int]bool)
+		for _, pl := range procs {
+			if pl.Rank < 0 || pl.Rank >= n {
+				t.Fatalf("rank %d out of range", pl.Rank)
+			}
+			if seen[pl.Rank] {
+				t.Fatalf("host %d hosts two replicas of rank %d (criterion (b) violated)", i, pl.Rank)
+			}
+			seen[pl.Rank] = true
+			copies[pl.Rank]++
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		if copies[rank] != r {
+			t.Fatalf("rank %d has %d copies, want %d", rank, copies[rank], r)
+		}
+	}
+	// Replica indices of each rank must be 0..r-1, each exactly once.
+	replicaSeen := make(map[[2]int]bool)
+	for _, procs := range a.Procs {
+		for _, pl := range procs {
+			key := [2]int{pl.Rank, pl.Replica}
+			if pl.Replica < 0 || pl.Replica >= r || replicaSeen[key] {
+				t.Fatalf("bad replica numbering %+v", pl)
+			}
+			replicaSeen[key] = true
+		}
+	}
+}
+
+func TestInvariantsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	strategies := []Strategy{Spread, Concentrate, Mixed}
+	trials := 0
+	for trials < 500 {
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(50)
+		r := 1 + rng.Intn(3)
+		slist := mkSlist(k, 0)
+		for i := range slist {
+			slist[i].P = rng.Intn(8)
+		}
+		st := strategies[rng.Intn(len(strategies))]
+		a, err := Allocate(slist, n, r, st)
+		if err != nil {
+			continue // infeasible draw
+		}
+		trials++
+		checkInvariants(t, a, slist, n, r)
+	}
+}
+
+func TestReplicasNeverColocateEvenWithHugeP(t *testing.T) {
+	// Hosts advertising P >> n must still be capped at n processes.
+	for _, st := range []Strategy{Spread, Concentrate, Mixed} {
+		a, err := Allocate(mkSlist(3, 1000), 4, 3, st)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		checkInvariants(t, a, a.Hosts, 4, 3)
+	}
+}
+
+func TestMixedRoundRobinsAcrossSites(t *testing.T) {
+	// 3 sites x 4 hosts x capacity 4; 24 processes should use 2 hosts per
+	// site (concentrated within hosts) rather than 6 hosts of one site.
+	slist := make([]HostSlot, 12)
+	for i := range slist {
+		slist[i] = HostSlot{
+			ID:   fmt.Sprintf("h%d", i),
+			Site: fmt.Sprintf("s%d", i%3), // interleaved latency order
+			P:    4,
+		}
+	}
+	a, err := Allocate(slist, 24, 1, Mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSite := a.ProcsBySite()
+	for s, c := range perSite {
+		if c != 8 {
+			t.Fatalf("site %s got %d procs, want 8 (%v)", s, c, perSite)
+		}
+	}
+	for i, u := range a.U {
+		if u != 0 && u != 4 {
+			t.Fatalf("mixed should fill hosts completely: U[%d]=%d", i, u)
+		}
+	}
+}
+
+func TestAllocateZeroCapacityHostCancelled(t *testing.T) {
+	slist := mkSlist(4, 2)
+	slist[0].P = 0 // e.g. the submitter frontend
+	a, err := Allocate(slist, 6, 1, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.U[0] != 0 || len(a.Procs[0]) != 0 {
+		t.Fatalf("frontend received processes: %v", a.U)
+	}
+	if a.UsedHosts() != 3 {
+		t.Fatalf("used hosts = %d", a.UsedHosts())
+	}
+}
+
+func TestStrategyStringRoundTrip(t *testing.T) {
+	for _, st := range []Strategy{Spread, Concentrate, Mixed} {
+		got, err := ParseStrategy(st.String())
+		if err != nil || got != st {
+			t.Fatalf("round trip %v: got %v err %v", st, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	if s := Strategy(42).String(); s != "strategy(42)" {
+		t.Fatalf("unknown strategy string = %q", s)
+	}
+}
+
+func TestSiteCounters(t *testing.T) {
+	slist := []HostSlot{
+		{ID: "a", Site: "x", P: 2},
+		{ID: "b", Site: "x", P: 2},
+		{ID: "c", Site: "y", P: 2},
+	}
+	a, err := Allocate(slist, 5, 1, Concentrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := a.HostsBySite()
+	procs := a.ProcsBySite()
+	if hosts["x"] != 2 || hosts["y"] != 1 {
+		t.Fatalf("hosts by site = %v", hosts)
+	}
+	if procs["x"] != 4 || procs["y"] != 1 {
+		t.Fatalf("procs by site = %v", procs)
+	}
+}
+
+func TestAllocateDoesNotMutateInput(t *testing.T) {
+	slist := mkSlist(5, 2)
+	orig := append([]HostSlot(nil), slist...)
+	if _, err := Allocate(slist, 4, 2, Spread); err != nil {
+		t.Fatal(err)
+	}
+	for i := range slist {
+		if slist[i] != orig[i] {
+			t.Fatal("Allocate mutated its input slist")
+		}
+	}
+}
+
+func BenchmarkAllocateSpread600(b *testing.B) {
+	slist := mkSlist(350, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(slist, 600, 1, Spread); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocateConcentrate600(b *testing.B) {
+	slist := mkSlist(350, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(slist, 600, 1, Concentrate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// genSlist is a quick.Generator-compatible random slist description.
+type genSlist struct {
+	Caps []uint8 // P per host, 0..7
+	N    uint8   // 1..48
+	R    uint8   // 1..3
+	St   uint8   // strategy selector
+}
+
+// Generate implements quick.Generator with bounded, always-interesting
+// shapes.
+func (genSlist) Generate(r *rand.Rand, size int) reflect.Value {
+	g := genSlist{
+		Caps: make([]uint8, 1+r.Intn(40)),
+		N:    uint8(1 + r.Intn(48)),
+		R:    uint8(1 + r.Intn(3)),
+		St:   uint8(r.Intn(3)),
+	}
+	for i := range g.Caps {
+		g.Caps[i] = uint8(r.Intn(8))
+	}
+	return reflect.ValueOf(g)
+}
+
+func (g genSlist) slist() []HostSlot {
+	out := make([]HostSlot, len(g.Caps))
+	for i, p := range g.Caps {
+		out[i] = HostSlot{
+			ID:      string(rune('A'+i%26)) + string(rune('0'+i/26)),
+			Site:    string(rune('a' + i%5)),
+			P:       int(p),
+			Latency: time.Duration(i) * time.Millisecond,
+		}
+	}
+	return out
+}
+
+// TestQuickAllocationInvariants drives the allocator with random shapes
+// and checks every published invariant in one pass:
+//   - exactly n×r processes are placed;
+//   - no host exceeds c_i = min(P_i, n);
+//   - every rank has exactly r copies, all on distinct hosts;
+//   - infeasible inputs are rejected exactly when the conditions say so.
+func TestQuickAllocationInvariants(t *testing.T) {
+	f := func(g genSlist) bool {
+		n, r := int(g.N), int(g.R)
+		slist := g.slist()
+		st := []Strategy{Spread, Concentrate, Mixed}[g.St%3]
+
+		feasErr := Feasible(slist, n, r)
+		asg, err := Allocate(slist, n, r, st)
+		if (feasErr == nil) != (err == nil) {
+			t.Logf("feasible=%v but allocate err=%v", feasErr, err)
+			return false
+		}
+		if err != nil {
+			return true
+		}
+		if asg.TotalProcs() != n*r {
+			return false
+		}
+		copies := make(map[int]int)
+		for i, procs := range asg.Procs {
+			if len(procs) != asg.U[i] {
+				return false
+			}
+			if asg.U[i] > Capacity(slist[i].P, n) {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, pl := range procs {
+				if pl.Rank < 0 || pl.Rank >= n || seen[pl.Rank] {
+					return false
+				}
+				seen[pl.Rank] = true
+				copies[pl.Rank]++
+			}
+		}
+		for rank := 0; rank < n; rank++ {
+			if copies[rank] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpreadDominatesHostCount checks the defining relation between
+// the two paper strategies: spread never uses fewer hosts than
+// concentrate for the same feasible request.
+func TestQuickSpreadDominatesHostCount(t *testing.T) {
+	f := func(g genSlist) bool {
+		n, r := int(g.N), int(g.R)
+		slist := g.slist()
+		if Feasible(slist, n, r) != nil {
+			return true
+		}
+		sp, err1 := Allocate(slist, n, r, Spread)
+		co, err2 := Allocate(slist, n, r, Concentrate)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sp.UsedHosts() >= co.UsedHosts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcentrateMinimizesHosts verifies concentrate's defining
+// property: it uses the minimum possible number of hosts, i.e. the
+// shortest slist prefix (by capacity) that covers n×r processes.
+func TestQuickConcentrateMinimizesHosts(t *testing.T) {
+	f := func(g genSlist) bool {
+		n, r := int(g.N), int(g.R)
+		slist := g.slist()
+		if Feasible(slist, n, r) != nil {
+			return true
+		}
+		co, err := Allocate(slist, n, r, Concentrate)
+		if err != nil {
+			return false
+		}
+		// Count the minimal prefix cover.
+		need := n * r
+		minHosts := 0
+		for _, h := range slist {
+			if need <= 0 {
+				break
+			}
+			c := Capacity(h.P, n)
+			if c > 0 {
+				minHosts++
+				need -= c
+			}
+		}
+		return co.UsedHosts() == minHosts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism: identical inputs produce identical assignments.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(g genSlist) bool {
+		n, r := int(g.N), int(g.R)
+		slist := g.slist()
+		st := []Strategy{Spread, Concentrate, Mixed}[g.St%3]
+		a1, err1 := Allocate(slist, n, r, st)
+		a2, err2 := Allocate(slist, n, r, st)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return reflect.DeepEqual(a1.U, a2.U) && reflect.DeepEqual(a1.Procs, a2.Procs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRankAssignmentContiguity: within one host, assigned ranks are
+// consecutive modulo n (the paper's numbering walks ranks 0..n-1
+// cyclically across hosts).
+func TestQuickRankAssignmentContiguity(t *testing.T) {
+	f := func(g genSlist) bool {
+		n, r := int(g.N), int(g.R)
+		slist := g.slist()
+		st := []Strategy{Spread, Concentrate, Mixed}[g.St%3]
+		asg, err := Allocate(slist, n, r, st)
+		if err != nil {
+			return true
+		}
+		for _, procs := range asg.Procs {
+			for k := 1; k < len(procs); k++ {
+				if procs[k].Rank != (procs[k-1].Rank+1)%n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"p2pmpi/internal/grid"
+)
+
+// SitePointsCSV renders Figure 2/3 data as CSV, one row per demanded
+// process count with hosts_<site> and cores_<site> columns — the format
+// the paper's gnuplot scripts would consume.
+func SitePointsCSV(pts []SitePoint) string {
+	var b strings.Builder
+	b.WriteString("n")
+	for _, s := range grid.Sites {
+		fmt.Fprintf(&b, ",hosts_%s,cores_%s", s, s)
+	}
+	b.WriteString("\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%d", p.N)
+		for _, s := range grid.Sites {
+			fmt.Fprintf(&b, ",%d,%d", p.HostsBySite[s], p.CoresBySite[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TimePointsCSV renders Figure 4 data as CSV with one column per
+// strategy.
+func TimePointsCSV(pts []TimePoint) string {
+	type row struct {
+		conc, spread float64
+		hasC, hasS   bool
+	}
+	rows := map[int]*row{}
+	var ns []int
+	for _, p := range pts {
+		r := rows[p.N]
+		if r == nil {
+			r = &row{}
+			rows[p.N] = r
+			ns = append(ns, p.N)
+		}
+		switch p.Strategy.String() {
+		case "concentrate":
+			r.conc, r.hasC = p.Seconds, true
+		case "spread":
+			r.spread, r.hasS = p.Seconds, true
+		}
+	}
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString("n,concentrate_s,spread_s\n")
+	for _, n := range ns {
+		r := rows[n]
+		b.WriteString(fmt.Sprintf("%d,", n))
+		if r.hasC {
+			fmt.Fprintf(&b, "%.6f", r.conc)
+		}
+		b.WriteString(",")
+		if r.hasS {
+			fmt.Fprintf(&b, "%.6f", r.spread)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table1CSV renders the inventory as CSV.
+func Table1CSV() string {
+	var b strings.Builder
+	b.WriteString("site,cluster,cpu,nodes,cpus,cores\n")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d\n",
+			r.Site, r.Cluster, r.CPU, r.Nodes, r.CPUs, r.Cores)
+	}
+	return b.String()
+}

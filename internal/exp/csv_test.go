@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
+)
+
+func TestSitePointsCSV(t *testing.T) {
+	pts := []SitePoint{{
+		N:           250,
+		HostsBySite: map[string]int{grid.Nancy: 60, grid.Lyon: 5},
+		CoresBySite: map[string]int{grid.Nancy: 240, grid.Lyon: 10},
+	}}
+	out := SitePointsCSV(pts)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n,hosts_nancy,cores_nancy") {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "250,60,240,5,10") {
+		t.Fatalf("row = %s", lines[1])
+	}
+}
+
+func TestTimePointsCSV(t *testing.T) {
+	pts := []TimePoint{
+		{N: 64, Strategy: core.Spread, Seconds: 4.3},
+		{N: 32, Strategy: core.Concentrate, Seconds: 4.09},
+		{N: 32, Strategy: core.Spread, Seconds: 2.04},
+		{N: 64, Strategy: core.Concentrate, Seconds: 2.64},
+	}
+	out := TimePointsCSV(pts)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "n,concentrate_s,spread_s" {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "32,4.09") || !strings.HasPrefix(lines[2], "64,2.64") {
+		t.Fatalf("rows:\n%s", out)
+	}
+}
+
+func TestTimePointsCSVMissingStrategy(t *testing.T) {
+	pts := []TimePoint{{N: 32, Strategy: core.Spread, Seconds: 1}}
+	out := TimePointsCSV(pts)
+	if !strings.Contains(out, "32,,1.000000") {
+		t.Fatalf("missing column not blank:\n%s", out)
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	out := Table1CSV()
+	if !strings.Contains(out, "nancy,grelon,Intel Xeon 5110,60,120,240") {
+		t.Fatalf("csv:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 9 {
+		t.Fatalf("want 1 header + 8 rows:\n%s", out)
+	}
+}

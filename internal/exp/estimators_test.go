@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"testing"
+
+	"p2pmpi/internal/latency"
+)
+
+// TestEstimatorStudyOrdering: on the live grid, a windowed estimator
+// must rank peers at least as well as the paper's last-sample behaviour.
+func TestEstimatorStudyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two full grids")
+	}
+	pts, err := EstimatorStudy(DefaultOptions(42),
+		[]latency.Kind{latency.KindLast, latency.KindMedian}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	last, median := pts[0], pts[1]
+	if last.Kind != latency.KindLast || median.Kind != latency.KindMedian {
+		t.Fatalf("order = %v %v", last.Kind, median.Kind)
+	}
+	if last.Tau <= 0.5 || last.Tau > 1 {
+		t.Fatalf("last tau = %v, out of plausible range", last.Tau)
+	}
+	if median.Tau < last.Tau-0.01 {
+		t.Fatalf("median tau %.4f worse than last %.4f", median.Tau, last.Tau)
+	}
+}

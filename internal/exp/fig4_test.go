@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"testing"
+
+	"p2pmpi/internal/core"
+)
+
+// TestFig4ISCrossover checks the headline claim of Figure 4 right: IS
+// favours spread at 32 processes (single-site placement, no memory
+// contention) and concentrate at 64 (four spread processes leave nancy
+// and WAN latency dominates).
+func TestFig4ISCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the full grid and runs Class-B IS patterns")
+	}
+	w := bootedWorld(t)
+
+	conc, err := NASSweep(w, "is-model-B", core.Concentrate, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := NASSweep(w, "is-model-B", core.Spread, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c32, c64 := conc[0].Seconds, conc[1].Seconds
+	s32, s64 := spread[0].Seconds, spread[1].Seconds
+
+	if s32 >= c32 {
+		t.Errorf("IS at 32: spread %.2fs should beat concentrate %.2fs", s32, c32)
+	}
+	if s64 <= c64 {
+		t.Errorf("IS at 64: concentrate %.2fs should beat spread %.2fs", c64, s64)
+	}
+	// The spread curve must rise sharply between 32 and 64 (the paper's
+	// WAN-latency slowdown); concentrate must not rise.
+	if s64 < 1.5*s32 {
+		t.Errorf("spread did not degrade: %.2fs -> %.2fs", s32, s64)
+	}
+	if c64 > 1.2*c32 {
+		t.Errorf("concentrate not roughly constant: %.2fs -> %.2fs", c32, c64)
+	}
+}
+
+// TestFig4EPEquilibrium checks Figure 4 left at the top end: by 512
+// processes the two strategies are within ~15% of each other (the
+// paper's "equilibrium").
+func TestFig4EPEquilibrium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the full grid")
+	}
+	w := bootedWorld(t)
+	conc, err := NASSweep(w, "ep-model-B", core.Concentrate, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := NASSweep(w, "ep-model-B", core.Spread, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := conc[0].Seconds, spread[0].Seconds
+	ratio := s / c
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("EP at 512: spread/concentrate = %.3f, want within 15%% of 1", ratio)
+	}
+}

@@ -1,0 +1,210 @@
+// Package exp is the experiment harness: it deploys the complete P2P-MPI
+// middleware on the modelled Grid'5000 testbed and regenerates every
+// table and figure of the paper's evaluation (§5). See EXPERIMENTS.md
+// for the paper-vs-measured record.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/nas"
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/simnet"
+	"p2pmpi/internal/vtime"
+)
+
+// FrontalHost is the submitter machine at nancy (job origin, §5). It
+// also hosts the supernode and accepts no processes (P = 0).
+const FrontalHost = "frontal.nancy"
+
+// SupernodeAddr is the bootstrap address inside the world.
+const SupernodeAddr = FrontalHost + ":8800"
+
+// Options tunes a World.
+type Options struct {
+	// Seed drives all stochastic elements (jitter, keys).
+	Seed int64
+	// FrontalPingInterval is the submitter's probe period; the paper's
+	// MPD pings periodically and the ranking noise between submissions
+	// comes from here.
+	FrontalPingInterval time.Duration
+	// PeerPingInterval is the probe period of compute peers. Only the
+	// submitter's measurements influence the experiments, so the harness
+	// keeps peers' own probing sparse to bound simulation cost.
+	PeerPingInterval time.Duration
+	// Cost calibrates the NAS virtual-time runs.
+	Cost nas.CostModel
+	// Estimator selects the submitter's latency estimator (default:
+	// KindLast, the paper's single-sample behaviour). Used by the
+	// estimator study.
+	Estimator       latency.Kind
+	EstimatorWindow int
+}
+
+// DefaultOptions returns the harness configuration used for the paper's
+// figures.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Seed:                seed,
+		FrontalPingInterval: 20 * time.Second,
+		PeerPingInterval:    time.Hour,
+		Cost:                nas.DefaultCostModel(),
+	}
+}
+
+// World is one booted deployment: 350 peers, one supernode, one
+// submitter frontend, all under a virtual clock.
+type World struct {
+	S       *vtime.Scheduler
+	Net     *simnet.Net
+	Grid    *grid.Grid
+	SN      *overlay.Supernode
+	Frontal *mpd.MPD
+	Peers   []*mpd.MPD
+	opts    Options
+}
+
+// Programs returns the registry every peer runs: the paper's hostname
+// experiment and the Class-B NAS pattern programs.
+func Programs(cost nas.CostModel) map[string]mpd.Program {
+	return map[string]mpd.Program{
+		"hostname":   mpd.Hostname,
+		"ep-model-B": nas.EPModelProgram(nas.EPClassB, cost),
+		"is-model-B": nas.ISModelProgram(nas.ISClassB, cost),
+	}
+}
+
+// NewWorld builds (without booting) the full testbed.
+func NewWorld(opts Options) *World {
+	s := vtime.New()
+	g := grid.Grid5000()
+	topo := simnet.NewGridTopology(g)
+	topo.AddHost(FrontalHost, grid.Nancy)
+	net := simnet.New(s, topo, simnet.DefaultConfig(opts.Seed))
+
+	w := &World{S: s, Net: net, Grid: g, opts: opts}
+	w.SN = overlay.NewSupernode(s, net.Node(FrontalHost), overlay.SupernodeConfig{
+		Addr: SupernodeAddr,
+		TTL:  10 * time.Minute,
+	})
+
+	programs := Programs(opts.Cost)
+	w.Frontal = mpd.New(s, net.Node(FrontalHost), mpd.Config{
+		Self: proto.PeerInfo{
+			ID: FrontalHost, Site: grid.Nancy,
+			MPDAddr: FrontalHost + ":9000", RSAddr: FrontalHost + ":9001",
+		},
+		SupernodeAddr:   SupernodeAddr,
+		P:               0, // the frontend submits, it does not compute
+		Programs:        programs,
+		PingInterval:    opts.FrontalPingInterval,
+		Estimator:       opts.Estimator,
+		EstimatorWindow: opts.EstimatorWindow,
+		Seed:            opts.Seed,
+	})
+
+	for _, h := range g.Hosts {
+		cl := g.ClusterOf(h)
+		w.Peers = append(w.Peers, mpd.New(s, net.Node(h.ID), mpd.Config{
+			Self: proto.PeerInfo{
+				ID: h.ID, Site: h.Site,
+				MPDAddr: h.ID + ":9000", RSAddr: h.ID + ":9001",
+			},
+			SupernodeAddr: SupernodeAddr,
+			// The experiments set P to the number of cores of the host
+			// (§5: "their P parameter is set to the number of cores").
+			P: h.Cores,
+			J: 1,
+			Profile: mpd.HostProfile{
+				Cores:      h.Cores,
+				CoreGFLOPS: cl.CoreGFLOPS,
+				MemBWGBs:   cl.HostMemBWGBs,
+			},
+			Programs:     programs,
+			PingInterval: opts.PeerPingInterval,
+			Seed:         opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
+		}))
+	}
+	return w
+}
+
+// Boot starts every daemon and warms up the submitter's latency table
+// (one cache refresh plus a ping round over all 350 peers).
+func (w *World) Boot() error {
+	var bootErr error
+	w.S.Go("exp.boot", func() {
+		if err := w.SN.Start(); err != nil {
+			bootErr = err
+			return
+		}
+		if err := w.Frontal.Start(); err != nil {
+			bootErr = err
+			return
+		}
+		for _, p := range w.Peers {
+			if err := p.Start(); err != nil {
+				bootErr = err
+				return
+			}
+		}
+	})
+	w.S.RunFor(2 * time.Second)
+	if bootErr != nil {
+		return bootErr
+	}
+	// The frontal registered before the peers: refresh its view and
+	// measure everyone, as the MPD does before booking (§4.2 step 2).
+	w.S.Go("exp.warm", func() {
+		if peers, err := overlay.FetchFrom(w.Net.Node(FrontalHost), SupernodeAddr, 2*time.Second); err == nil {
+			w.Frontal.Cache().Update(peers)
+		}
+	})
+	w.S.RunFor(5 * time.Second)
+	w.S.RunFor(w.opts.FrontalPingInterval + 10*time.Second) // one full probe round
+	if got := w.Frontal.Cache().Size(); got != len(w.Peers) {
+		return fmt.Errorf("exp: frontal knows %d peers, want %d", got, len(w.Peers))
+	}
+	return nil
+}
+
+// Close shuts every daemon down and stops the scheduler.
+func (w *World) Close() {
+	w.SN.Close()
+	w.Frontal.Close()
+	for _, p := range w.Peers {
+		p.Close()
+	}
+	w.S.Shutdown()
+}
+
+// ErrPumpExhausted is returned when a submission exceeds the pump budget.
+var ErrPumpExhausted = errors.New("exp: submission did not complete within the simulated budget")
+
+// Submit runs one job from the frontal, pumping the virtual clock until
+// it completes (budget: one virtual hour).
+func (w *World) Submit(spec mpd.JobSpec) (*mpd.JobResult, error) {
+	type outcome struct {
+		res *mpd.JobResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	w.S.Go("exp.submit", func() {
+		res, err := w.Frontal.Submit(spec)
+		ch <- outcome{res, err}
+	})
+	for i := 0; i < 3600; i++ {
+		w.S.RunFor(time.Second)
+		select {
+		case o := <-ch:
+			return o.res, o.err
+		default:
+		}
+	}
+	return nil, ErrPumpExhausted
+}

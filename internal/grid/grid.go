@@ -1,0 +1,214 @@
+// Package grid models the Grid'5000 testbed exactly as the paper's
+// evaluation used it: Table 1's eight clusters across six sites, the
+// inter-site round-trip times printed in the figure legends, and the
+// 10 Gb/s backbone (1 Gb/s toward bordeaux). It also carries the per-host
+// performance characteristics the virtual-time benchmark runs calibrate
+// against (2008-era core speed and memory bandwidth).
+package grid
+
+import (
+	"fmt"
+	"time"
+)
+
+// Site names, in the paper's latency order from the origin (nancy).
+const (
+	Nancy    = "nancy"
+	Lyon     = "lyon"
+	Rennes   = "rennes"
+	Bordeaux = "bordeaux"
+	Grenoble = "grenoble"
+	Sophia   = "sophia"
+)
+
+// Sites lists every site in ascending RTT from nancy, the order the
+// figures use in their legends.
+var Sites = []string{Nancy, Lyon, Rennes, Bordeaux, Grenoble, Sophia}
+
+// Site describes one Grid'5000 site as seen from the origin site.
+type Site struct {
+	Name string
+	// RTTFromOrigin is the round-trip time from nancy measured at the
+	// site frontends, as printed in the paper's figure legends.
+	RTTFromOrigin time.Duration
+	// BandwidthBps is the backbone capacity toward this site.
+	BandwidthBps int64
+}
+
+// Cluster is one row of the paper's Table 1 plus calibration data.
+type Cluster struct {
+	Site  string
+	Name  string
+	CPU   string
+	Nodes int
+	CPUs  int
+	Cores int
+
+	// CoresPerHost = Cores / Nodes; every host of a cluster is uniform.
+	CoresPerHost int
+
+	// CoreGFLOPS is the sustained per-core compute rate used by the
+	// virtual-time performance model (2008-era estimates).
+	CoreGFLOPS float64
+	// HostMemBWGBs is the per-host memory bandwidth shared by all
+	// processes concentrated on that host.
+	HostMemBWGBs float64
+}
+
+// Host is one allocatable machine.
+type Host struct {
+	ID      string
+	Site    string
+	Cluster string
+	Cores   int
+	// Index is the position of the host within its cluster (0-based).
+	Index int
+}
+
+// Grid is the full testbed: sites, clusters and the expanded host list.
+type Grid struct {
+	Origin   string
+	SiteInfo map[string]*Site
+	Clusters []*Cluster
+	Hosts    []*Host
+
+	hostByID map[string]*Host
+}
+
+const (
+	gbps  = int64(1_000_000_000)
+	tenGb = 10 * gbps
+)
+
+// Grid5000 builds the testbed of the paper's Table 1. The returned grid
+// has 350 hosts and 1040 cores; the figure legends' per-site totals
+// (sophia 70 hosts/216 cores, grenoble 20/64, ...) fall out of it.
+func Grid5000() *Grid {
+	g := &Grid{
+		Origin: Nancy,
+		SiteInfo: map[string]*Site{
+			Nancy:    {Name: Nancy, RTTFromOrigin: 87 * time.Microsecond, BandwidthBps: tenGb},
+			Lyon:     {Name: Lyon, RTTFromOrigin: 10576 * time.Microsecond, BandwidthBps: tenGb},
+			Rennes:   {Name: Rennes, RTTFromOrigin: 11612 * time.Microsecond, BandwidthBps: tenGb},
+			Bordeaux: {Name: Bordeaux, RTTFromOrigin: 12674 * time.Microsecond, BandwidthBps: 1 * gbps},
+			Grenoble: {Name: Grenoble, RTTFromOrigin: 13204 * time.Microsecond, BandwidthBps: tenGb},
+			Sophia:   {Name: Sophia, RTTFromOrigin: 17167 * time.Microsecond, BandwidthBps: tenGb},
+		},
+		Clusters: []*Cluster{
+			{Site: Nancy, Name: "grelon", CPU: "Intel Xeon 5110", Nodes: 60, CPUs: 120, Cores: 240,
+				CoreGFLOPS: 1.9, HostMemBWGBs: 5.0},
+			{Site: Lyon, Name: "capricorn", CPU: "AMD Opteron 246", Nodes: 50, CPUs: 100, Cores: 100,
+				CoreGFLOPS: 2.0, HostMemBWGBs: 6.0},
+			{Site: Rennes, Name: "paravent", CPU: "AMD Opteron 246", Nodes: 90, CPUs: 180, Cores: 180,
+				CoreGFLOPS: 2.0, HostMemBWGBs: 6.0},
+			{Site: Bordeaux, Name: "bordereau", CPU: "AMD Opteron 2218", Nodes: 60, CPUs: 120, Cores: 240,
+				CoreGFLOPS: 2.4, HostMemBWGBs: 7.0},
+			{Site: Grenoble, Name: "idpot", CPU: "Intel Xeon IA32", Nodes: 8, CPUs: 16, Cores: 16,
+				CoreGFLOPS: 1.8, HostMemBWGBs: 3.5},
+			{Site: Grenoble, Name: "idcalc", CPU: "Intel Itanium 2", Nodes: 12, CPUs: 24, Cores: 48,
+				CoreGFLOPS: 2.2, HostMemBWGBs: 6.0},
+			{Site: Sophia, Name: "azur", CPU: "AMD Opteron 246", Nodes: 32, CPUs: 64, Cores: 64,
+				CoreGFLOPS: 2.0, HostMemBWGBs: 6.0},
+			{Site: Sophia, Name: "sol", CPU: "AMD Opteron 2218", Nodes: 38, CPUs: 76, Cores: 152,
+				CoreGFLOPS: 2.4, HostMemBWGBs: 7.0},
+		},
+		hostByID: make(map[string]*Host),
+	}
+	for _, c := range g.Clusters {
+		c.CoresPerHost = c.Cores / c.Nodes
+		for i := 0; i < c.Nodes; i++ {
+			h := &Host{
+				ID:      fmt.Sprintf("%s-%d.%s", c.Name, i+1, c.Site),
+				Site:    c.Site,
+				Cluster: c.Name,
+				Cores:   c.CoresPerHost,
+				Index:   i,
+			}
+			g.Hosts = append(g.Hosts, h)
+			g.hostByID[h.ID] = h
+		}
+	}
+	return g
+}
+
+// HostByID returns the host with the given ID, or nil.
+func (g *Grid) HostByID(id string) *Host { return g.hostByID[id] }
+
+// ClusterOf returns the cluster a host belongs to, or nil.
+func (g *Grid) ClusterOf(h *Host) *Cluster {
+	for _, c := range g.Clusters {
+		if c.Site == h.Site && c.Name == h.Cluster {
+			return c
+		}
+	}
+	return nil
+}
+
+// HostsBySite counts hosts per site (the figure-legend numbers).
+func (g *Grid) HostsBySite() map[string]int {
+	out := make(map[string]int)
+	for _, h := range g.Hosts {
+		out[h.Site]++
+	}
+	return out
+}
+
+// CoresBySite counts cores per site (the figure-legend numbers).
+func (g *Grid) CoresBySite() map[string]int {
+	out := make(map[string]int)
+	for _, h := range g.Hosts {
+		out[h.Site] += h.Cores
+	}
+	return out
+}
+
+// TotalHosts returns the number of allocatable hosts (350 for Table 1).
+func (g *Grid) TotalHosts() int { return len(g.Hosts) }
+
+// TotalCores returns the number of cores (1040 for Table 1).
+func (g *Grid) TotalCores() int {
+	n := 0
+	for _, h := range g.Hosts {
+		n += h.Cores
+	}
+	return n
+}
+
+// SiteRTT returns the base round-trip time between two sites. Within a
+// site it is the local RTT printed for nancy (0.087 ms). Between the
+// origin and a remote site it is the legend value. Between two remote
+// sites (which the paper does not report) it uses the star approximation
+// through the backbone: half the sum of the two legs' one-way times,
+// doubled — i.e. (rtt(a)+rtt(b))/2.
+func (g *Grid) SiteRTT(a, b string) time.Duration {
+	if a == b {
+		return g.SiteInfo[Nancy].RTTFromOrigin // local-site RTT
+	}
+	sa, sb := g.SiteInfo[a], g.SiteInfo[b]
+	if sa == nil || sb == nil {
+		panic(fmt.Sprintf("grid: unknown site pair %q-%q", a, b))
+	}
+	if a == g.Origin {
+		return sb.RTTFromOrigin
+	}
+	if b == g.Origin {
+		return sa.RTTFromOrigin
+	}
+	return (sa.RTTFromOrigin + sb.RTTFromOrigin) / 2
+}
+
+// SiteBandwidth returns the bottleneck backbone capacity between sites:
+// the minimum of the two sites' uplinks; intra-site traffic runs at
+// cluster Ethernet speed (1 Gb/s per host NIC, modelled elsewhere), so
+// the site pipe is effectively unconstrained locally.
+func (g *Grid) SiteBandwidth(a, b string) int64 {
+	if a == b {
+		return tenGb
+	}
+	ba := g.SiteInfo[a].BandwidthBps
+	bb := g.SiteInfo[b].BandwidthBps
+	if ba < bb {
+		return ba
+	}
+	return bb
+}

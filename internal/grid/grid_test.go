@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable1Totals(t *testing.T) {
+	g := Grid5000()
+	if got := g.TotalHosts(); got != 350 {
+		t.Fatalf("total hosts = %d, want 350", got)
+	}
+	// 240+100+180+240+16+48+64+152 — the sum of Table 1's core column.
+	if got := g.TotalCores(); got != 1040 {
+		t.Fatalf("total cores = %d, want 1040", got)
+	}
+}
+
+// TestFigureLegendTotals checks the per-site host/core counts printed in
+// the legends of Figures 2 and 3.
+func TestFigureLegendTotals(t *testing.T) {
+	g := Grid5000()
+	hosts := g.HostsBySite()
+	cores := g.CoresBySite()
+	want := []struct {
+		site  string
+		hosts int
+		cores int
+	}{
+		{Nancy, 60, 240},
+		{Lyon, 50, 100},
+		{Rennes, 90, 180},
+		{Bordeaux, 60, 240},
+		{Grenoble, 20, 64},
+		{Sophia, 70, 216},
+	}
+	for _, w := range want {
+		if hosts[w.site] != w.hosts {
+			t.Errorf("%s hosts = %d, want %d", w.site, hosts[w.site], w.hosts)
+		}
+		if cores[w.site] != w.cores {
+			t.Errorf("%s cores = %d, want %d", w.site, cores[w.site], w.cores)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	g := Grid5000()
+	if len(g.Clusters) != 8 {
+		t.Fatalf("clusters = %d, want 8", len(g.Clusters))
+	}
+	for _, c := range g.Clusters {
+		if c.CoresPerHost*c.Nodes != c.Cores {
+			t.Errorf("%s: %d cores/host x %d nodes != %d cores",
+				c.Name, c.CoresPerHost, c.Nodes, c.Cores)
+		}
+		if c.CPUs != c.Nodes*2 {
+			t.Errorf("%s: every Table 1 cluster is dual-socket, CPUs=%d nodes=%d",
+				c.Name, c.CPUs, c.Nodes)
+		}
+	}
+}
+
+func TestCoresPerHost(t *testing.T) {
+	g := Grid5000()
+	want := map[string]int{
+		"grelon": 4, "capricorn": 2, "paravent": 2, "bordereau": 4,
+		"idpot": 2, "idcalc": 4, "azur": 2, "sol": 4,
+	}
+	for _, c := range g.Clusters {
+		if c.CoresPerHost != want[c.Name] {
+			t.Errorf("%s cores/host = %d, want %d", c.Name, c.CoresPerHost, want[c.Name])
+		}
+	}
+}
+
+func TestRTTOrderingMatchesPaper(t *testing.T) {
+	g := Grid5000()
+	prev := time.Duration(0)
+	for _, s := range Sites {
+		rtt := g.SiteInfo[s].RTTFromOrigin
+		if rtt < prev {
+			t.Fatalf("site %s breaks the paper's RTT ordering", s)
+		}
+		prev = rtt
+	}
+	if g.SiteInfo[Lyon].RTTFromOrigin != 10576*time.Microsecond {
+		t.Fatalf("lyon RTT = %v", g.SiteInfo[Lyon].RTTFromOrigin)
+	}
+}
+
+func TestSiteRTTSymmetric(t *testing.T) {
+	g := Grid5000()
+	for _, a := range Sites {
+		for _, b := range Sites {
+			if g.SiteRTT(a, b) != g.SiteRTT(b, a) {
+				t.Fatalf("RTT(%s,%s) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestSiteRTTStarApproximation(t *testing.T) {
+	g := Grid5000()
+	got := g.SiteRTT(Lyon, Sophia)
+	want := (g.SiteInfo[Lyon].RTTFromOrigin + g.SiteInfo[Sophia].RTTFromOrigin) / 2
+	if got != want {
+		t.Fatalf("lyon-sophia RTT = %v, want %v", got, want)
+	}
+}
+
+func TestBordeauxBandwidth(t *testing.T) {
+	g := Grid5000()
+	if bw := g.SiteBandwidth(Nancy, Bordeaux); bw != 1_000_000_000 {
+		t.Fatalf("nancy-bordeaux bandwidth = %d, want 1 Gb/s", bw)
+	}
+	if bw := g.SiteBandwidth(Nancy, Lyon); bw != 10_000_000_000 {
+		t.Fatalf("nancy-lyon bandwidth = %d, want 10 Gb/s", bw)
+	}
+}
+
+func TestHostLookup(t *testing.T) {
+	g := Grid5000()
+	h := g.HostByID("grelon-1.nancy")
+	if h == nil || h.Site != Nancy || h.Cores != 4 {
+		t.Fatalf("grelon-1.nancy lookup: %+v", h)
+	}
+	if g.HostByID("nonexistent") != nil {
+		t.Fatal("bogus lookup should return nil")
+	}
+	c := g.ClusterOf(h)
+	if c == nil || c.Name != "grelon" {
+		t.Fatalf("ClusterOf = %+v", c)
+	}
+}
+
+func TestHostIDsUnique(t *testing.T) {
+	g := Grid5000()
+	seen := make(map[string]bool)
+	for _, h := range g.Hosts {
+		if seen[h.ID] {
+			t.Fatalf("duplicate host ID %s", h.ID)
+		}
+		seen[h.ID] = true
+	}
+}

@@ -1,0 +1,222 @@
+// Package latency implements the peer latency bookkeeping of the MPD
+// cache: round-trip samples from application-level pings feed an
+// estimator, and the estimate orders the cached peer list before
+// reservation (paper §4.1).
+//
+// The paper measures RTT with a single application-level echo and notes
+// that accuracy "may differ from the RTT given by an ICMP echo" and is
+// "subject to CPU and TCP load variations"; improving it is listed as
+// future work. This package therefore ships a family of estimators
+// (last sample, sliding mean, EWMA, sliding median, sliding minimum) and
+// a ranking-quality harness (Kendall tau against the true latency order)
+// used by the ablation benchmarks.
+package latency
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Estimator condenses a stream of RTT samples into one current estimate.
+type Estimator interface {
+	// Add records one round-trip sample.
+	Add(rtt time.Duration)
+	// Estimate returns the current estimate; Unknown if no sample yet.
+	Estimate() time.Duration
+	// Samples returns how many samples were recorded.
+	Samples() int
+}
+
+// Unknown is returned by estimators before their first sample. It sorts
+// after every real latency.
+const Unknown = time.Duration(1<<63 - 1)
+
+// Kind names an estimator family for configuration and ablations.
+type Kind string
+
+// The available estimator kinds.
+const (
+	KindLast   Kind = "last"   // most recent sample (the paper's behaviour)
+	KindMean   Kind = "mean"   // sliding-window mean
+	KindEWMA   Kind = "ewma"   // exponentially weighted moving average
+	KindMedian Kind = "median" // sliding-window median
+	KindMin    Kind = "min"    // sliding-window minimum
+)
+
+// Kinds lists every estimator family in a stable order.
+var Kinds = []Kind{KindLast, KindMean, KindEWMA, KindMedian, KindMin}
+
+// New constructs an estimator of the given kind. Window is the sample
+// window for windowed kinds (≤ 0 means 8); EWMA uses alpha = 2/(window+1).
+func New(kind Kind, window int) (Estimator, error) {
+	if window <= 0 {
+		window = 8
+	}
+	switch kind {
+	case KindLast:
+		return &lastEstimator{}, nil
+	case KindMean:
+		return &windowEstimator{window: window, reduce: reduceMean}, nil
+	case KindEWMA:
+		return &ewmaEstimator{alpha: 2.0 / float64(window+1)}, nil
+	case KindMedian:
+		return &windowEstimator{window: window, reduce: reduceMedian}, nil
+	case KindMin:
+		return &windowEstimator{window: window, reduce: reduceMin}, nil
+	default:
+		return nil, fmt.Errorf("latency: unknown estimator kind %q", kind)
+	}
+}
+
+// MustNew is New for static configuration; it panics on error.
+func MustNew(kind Kind, window int) Estimator {
+	e, err := New(kind, window)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type lastEstimator struct {
+	last time.Duration
+	n    int
+}
+
+func (e *lastEstimator) Add(rtt time.Duration) { e.last = rtt; e.n++ }
+func (e *lastEstimator) Estimate() time.Duration {
+	if e.n == 0 {
+		return Unknown
+	}
+	return e.last
+}
+func (e *lastEstimator) Samples() int { return e.n }
+
+type ewmaEstimator struct {
+	alpha float64
+	cur   float64
+	n     int
+}
+
+func (e *ewmaEstimator) Add(rtt time.Duration) {
+	if e.n == 0 {
+		e.cur = float64(rtt)
+	} else {
+		e.cur = e.alpha*float64(rtt) + (1-e.alpha)*e.cur
+	}
+	e.n++
+}
+
+func (e *ewmaEstimator) Estimate() time.Duration {
+	if e.n == 0 {
+		return Unknown
+	}
+	return time.Duration(e.cur)
+}
+func (e *ewmaEstimator) Samples() int { return e.n }
+
+type windowEstimator struct {
+	window int
+	buf    []time.Duration
+	head   int
+	n      int
+	reduce func([]time.Duration) time.Duration
+}
+
+func (e *windowEstimator) Add(rtt time.Duration) {
+	if len(e.buf) < e.window {
+		e.buf = append(e.buf, rtt)
+	} else {
+		e.buf[e.head] = rtt
+		e.head = (e.head + 1) % e.window
+	}
+	e.n++
+}
+
+func (e *windowEstimator) Estimate() time.Duration {
+	if len(e.buf) == 0 {
+		return Unknown
+	}
+	return e.reduce(e.buf)
+}
+func (e *windowEstimator) Samples() int { return e.n }
+
+func reduceMean(buf []time.Duration) time.Duration {
+	var sum time.Duration
+	for _, v := range buf {
+		sum += v
+	}
+	return sum / time.Duration(len(buf))
+}
+
+func reduceMedian(buf []time.Duration) time.Duration {
+	tmp := append([]time.Duration(nil), buf...)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	m := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[m]
+	}
+	return (tmp[m-1] + tmp[m]) / 2
+}
+
+func reduceMin(buf []time.Duration) time.Duration {
+	minV := buf[0]
+	for _, v := range buf[1:] {
+		if v < minV {
+			minV = v
+		}
+	}
+	return minV
+}
+
+// Table tracks one estimator per peer and produces the latency-sorted
+// peer ordering the booking step consumes.
+type Table struct {
+	kind   Kind
+	window int
+	peers  map[string]Estimator
+}
+
+// NewTable creates a table producing estimators of the given kind.
+func NewTable(kind Kind, window int) *Table {
+	return &Table{kind: kind, window: window, peers: make(map[string]Estimator)}
+}
+
+// Observe records a sample for a peer, creating its estimator on first use.
+func (t *Table) Observe(peer string, rtt time.Duration) {
+	e := t.peers[peer]
+	if e == nil {
+		e = MustNew(t.kind, t.window)
+		t.peers[peer] = e
+	}
+	e.Add(rtt)
+}
+
+// Estimate returns the current estimate for a peer (Unknown if none).
+func (t *Table) Estimate(peer string) time.Duration {
+	if e := t.peers[peer]; e != nil {
+		return e.Estimate()
+	}
+	return Unknown
+}
+
+// Forget drops a peer's history (used when a peer is marked dead).
+func (t *Table) Forget(peer string) { delete(t.peers, peer) }
+
+// Len returns the number of tracked peers.
+func (t *Table) Len() int { return len(t.peers) }
+
+// Rank sorts the given peer IDs by ascending estimate; peers without
+// samples (Unknown) go last. Ties break by peer ID so the order is
+// deterministic.
+func (t *Table) Rank(peers []string) []string {
+	out := append([]string(nil), peers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ei, ej := t.Estimate(out[i]), t.Estimate(out[j])
+		if ei != ej {
+			return ei < ej
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+package mpd
+
+import (
+	"testing"
+	"time"
+
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/simnet"
+	"p2pmpi/internal/vtime"
+)
+
+// TestPeerReappearsAfterExpiry: a peer expired by the supernode (its
+// alive signals were lost for longer than the TTL) must eventually be
+// re-listed through the alive loop's periodic re-registration.
+func TestPeerReappearsAfterExpiry(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	hostSite := map[string]string{"sn": "x", "p1": "x"}
+	net := simnet.New(s, &simnet.StaticTopology{HostSite: hostSite, DefLat: time.Millisecond},
+		simnet.Config{Seed: 5, NICBps: 1e9})
+
+	sn := overlay.NewSupernode(s, net.Node("sn"), overlay.SupernodeConfig{
+		Addr: "sn:8800", TTL: 20 * time.Second, SweepInterval: 5 * time.Second,
+	})
+	peer := New(s, net.Node("p1"), Config{
+		Self: proto.PeerInfo{ID: "p1", Site: "x",
+			MPDAddr: "p1:9000", RSAddr: "p1:9001"},
+		SupernodeAddr:  "sn:8800",
+		P:              1,
+		Programs:       programs(),
+		AliveInterval:  10 * time.Second,
+		PingInterval:   time.Hour,
+		ReserveTimeout: time.Second,
+	})
+
+	s.Go("main", func() {
+		if err := sn.Start(); err != nil {
+			t.Errorf("sn: %v", err)
+			return
+		}
+		if err := peer.Start(); err != nil {
+			t.Errorf("peer: %v", err)
+		}
+	})
+	s.RunFor(5 * time.Second)
+	if sn.PeerCount() != 1 {
+		t.Fatalf("peer not registered: %d", sn.PeerCount())
+	}
+
+	// Partition the peer for longer than the TTL; the supernode expires
+	// it.
+	net.FailHost("p1")
+	s.RunFor(40 * time.Second)
+	if sn.PeerCount() != 0 {
+		t.Fatalf("expired peer still listed: %d", sn.PeerCount())
+	}
+
+	// Heal the partition: within a few alive ticks the peer must
+	// re-register itself (the bare Alive signal cannot resurrect it).
+	net.RestoreHost("p1")
+	s.RunFor(2 * time.Minute)
+	if sn.PeerCount() != 1 {
+		t.Fatalf("peer did not self-heal after partition: %d", sn.PeerCount())
+	}
+	sn.Close()
+	peer.Close()
+	s.RunFor(time.Minute)
+}

@@ -1,0 +1,431 @@
+// Package mpd implements the MPD daemon (§3.2): the per-host background
+// process started by mpiboot. It maintains the peer cache with measured
+// latencies, sends alive signals to the supernode, answers latency pings,
+// acts as gatekeeper for the local resource (owner's J and P settings via
+// the co-located Reservation Service) and coordinates the whole §4.2 job
+// submission: booking with overbooking, RS-RS brokering, slist
+// extraction, feasibility, allocation-strategy placement, rank
+// distribution and the two-phase launch with hash-key validation.
+package mpd
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/mpi"
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/reservation"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// HostProfile carries the performance characteristics the modelled NAS
+// runs consume through Env.Compute.
+type HostProfile struct {
+	// Cores is the host's core count.
+	Cores int
+	// CoreGFLOPS is the sustained per-core compute rate.
+	CoreGFLOPS float64
+	// MemBWGBs is the host memory bandwidth shared by co-located
+	// processes.
+	MemBWGBs float64
+}
+
+// Env is the execution environment handed to each launched MPI process.
+type Env struct {
+	// Rank, Size, Replica, R locate this process in the application.
+	Rank    int
+	Size    int
+	Replica int
+	R       int
+	// Slot is this process's table entry; Table the full placement.
+	Slot  mpi.Slot
+	Table []mpi.Slot
+	// HostID names the hosting peer; CoLocated counts this job's
+	// processes on this host (drives the memory-contention model).
+	HostID    string
+	CoLocated int
+	// Args are the job arguments.
+	Args []string
+	// RT and Net bind the process to its runtime and network.
+	RT  vtime.Runtime
+	Net transport.Network
+	// Out collects the process output, returned to the submitter.
+	Out bytes.Buffer
+	// Profile is the hosting hardware model.
+	Profile HostProfile
+
+	comm    *mpi.Comm
+	algs    mpi.Algorithms
+	joinErr error
+}
+
+// Comm returns the process's communicator (joined during Prepare).
+func (e *Env) Comm() (*mpi.Comm, error) {
+	if e.comm == nil && e.joinErr == nil {
+		return nil, fmt.Errorf("mpd: communicator not initialized")
+	}
+	return e.comm, e.joinErr
+}
+
+// Compute advances time as if the process performed the given floating
+// point work and memory traffic. Co-located processes of the job share
+// the host memory bandwidth, which is the paper's concentrate-strategy
+// contention effect; each process has its own core (P never exceeds the
+// core count in the experiments), so CPU time is not shared.
+func (e *Env) Compute(flops, memBytes float64) {
+	if e.Profile.CoreGFLOPS <= 0 || e.Profile.MemBWGBs <= 0 {
+		return // no model configured (real runs do real work instead)
+	}
+	tCPU := flops / (e.Profile.CoreGFLOPS * 1e9)
+	tMem := memBytes * float64(e.CoLocated) / (e.Profile.MemBWGBs * 1e9)
+	t := tCPU
+	if tMem > t {
+		t = tMem
+	}
+	e.RT.Sleep(time.Duration(t * float64(time.Second)))
+}
+
+// Program is an MPI application body, one invocation per process.
+type Program func(env *Env) error
+
+// Config assembles one peer's daemon settings.
+type Config struct {
+	// Self identifies this peer; its MPDAddr/RSAddr are the listen
+	// addresses.
+	Self proto.PeerInfo
+	// SupernodeAddr is the bootstrap entry point. The paper's MPD "knows
+	// at least one supernode": additional fallbacks can be listed in
+	// SupernodeFallbacks and are tried in order when the primary fails.
+	SupernodeAddr      string
+	SupernodeFallbacks []string
+	// P and J are the owner preferences (§4.1); Deny lists refused
+	// submitters.
+	P, J int
+	Deny []string
+	// Profile describes the hardware for modelled computations.
+	Profile HostProfile
+	// Programs is the runnable application registry.
+	Programs map[string]Program
+
+	// Protocol timing (defaults in parentheses).
+	PingInterval    time.Duration // latency probe period (20s)
+	AliveInterval   time.Duration // supernode keep-alive period (30s)
+	RefreshInterval time.Duration // cache refresh period (60s)
+	ReserveTimeout  time.Duration // RS brokering timeout (2s)
+	PrepareTimeout  time.Duration // launch phase-one timeout (10s)
+	StartTimeout    time.Duration // launch phase-two timeout (10s)
+
+	// Overbook inflates the booking fan-out to anticipate unavailable
+	// hosts (1.2).
+	Overbook float64
+	// Estimator selects how ping samples become the ordering latency
+	// (KindLast, the paper's behaviour).
+	Estimator       latency.Kind
+	EstimatorWindow int
+	// ProcBasePort is the first port used by launched processes (41000).
+	ProcBasePort int
+	// Seed makes key generation deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PingInterval <= 0 {
+		c.PingInterval = 20 * time.Second
+	}
+	if c.AliveInterval <= 0 {
+		c.AliveInterval = 30 * time.Second
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 60 * time.Second
+	}
+	if c.ReserveTimeout <= 0 {
+		c.ReserveTimeout = 2 * time.Second
+	}
+	if c.PrepareTimeout <= 0 {
+		c.PrepareTimeout = 10 * time.Second
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 10 * time.Second
+	}
+	if c.Overbook <= 0 {
+		c.Overbook = 1.2
+	}
+	if c.Estimator == "" {
+		c.Estimator = latency.KindLast
+	}
+	if c.ProcBasePort <= 0 {
+		c.ProcBasePort = 41000
+	}
+	if c.J <= 0 {
+		c.J = 1
+	}
+}
+
+// MPD is one peer's daemon.
+type MPD struct {
+	rt  vtime.Runtime
+	net transport.Network
+	cfg Config
+
+	cache *overlay.Cache
+	rs    *reservation.Service
+
+	mu          sync.Mutex
+	ln          transport.Listener
+	closed      bool
+	jobs        map[string]*localJob     // by key (hosting side)
+	pendingDone map[string]vtime.Mailbox // by jobID (submitter side)
+	rng         *rand.Rand
+	stats       Stats
+}
+
+// Stats counts protocol events for tests and reporting.
+type Stats struct {
+	PingsSent     int64
+	PingsAnswered int64
+	JobsHosted    int64
+	JobsSubmitted int64
+}
+
+// localJob is one hosted application on this peer.
+type localJob struct {
+	key     string
+	jobID   string
+	prep    *proto.Prepare
+	program Program
+	envs    []*Env
+	started bool
+}
+
+// New creates an MPD daemon (not yet started).
+func New(rt vtime.Runtime, net transport.Network, cfg Config) *MPD {
+	cfg.fillDefaults()
+	m := &MPD{
+		rt:          rt,
+		net:         net,
+		cfg:         cfg,
+		cache:       overlay.NewCache(cfg.Self.ID, cfg.Estimator, cfg.EstimatorWindow),
+		jobs:        make(map[string]*localJob),
+		pendingDone: make(map[string]vtime.Mailbox),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(len(cfg.Self.ID)))),
+	}
+	m.rs = reservation.New(rt, net, reservation.Config{
+		Addr: cfg.Self.RSAddr,
+		J:    cfg.J,
+		P:    cfg.P,
+		Deny: cfg.Deny,
+	})
+	return m
+}
+
+// Cache exposes the peer cache (tests and experiment harness).
+func (m *MPD) Cache() *overlay.Cache { return m.cache }
+
+// RS exposes the co-located reservation service (tests).
+func (m *MPD) RS() *reservation.Service { return m.rs }
+
+// Stats returns a copy of the daemon counters.
+func (m *MPD) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Start boots the daemon: RS, MPD listener, supernode registration and
+// the periodic loops (mpiboot's effect, §3.2).
+func (m *MPD) Start() error {
+	if err := m.rs.Start(); err != nil {
+		return fmt.Errorf("mpd: start rs: %w", err)
+	}
+	ln, err := m.net.Listen(m.cfg.Self.MPDAddr)
+	if err != nil {
+		m.rs.Close()
+		return fmt.Errorf("mpd: listen: %w", err)
+	}
+	m.mu.Lock()
+	m.ln = ln
+	m.mu.Unlock()
+
+	m.rt.Go("mpd.accept."+m.cfg.Self.ID, m.acceptLoop)
+	m.rt.Go("mpd.boot."+m.cfg.Self.ID, func() {
+		if peers, err := m.registerAny(); err == nil {
+			m.cache.Update(peers)
+		}
+		m.pingRound() // measure latencies right away
+	})
+	m.rt.Go("mpd.alive."+m.cfg.Self.ID, m.aliveLoop)
+	m.rt.Go("mpd.refresh."+m.cfg.Self.ID, m.refreshLoop)
+	m.rt.Go("mpd.ping."+m.cfg.Self.ID, m.pingLoop)
+	return nil
+}
+
+// Close stops the daemon. Idempotent.
+func (m *MPD) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	ln := m.ln
+	for _, mb := range m.pendingDone {
+		mb.Close()
+	}
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	m.rs.Close()
+}
+
+func (m *MPD) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+func (m *MPD) aliveLoop() {
+	for tick := 1; ; tick++ {
+		m.rt.Sleep(m.cfg.AliveInterval)
+		if m.isClosed() {
+			return
+		}
+		// Every few ticks, a full re-registration instead of a bare
+		// keep-alive: it repairs the membership after a partition longer
+		// than the supernode's TTL (Alive alone cannot resurrect an
+		// expired entry because it carries only the peer ID).
+		if tick%5 == 0 {
+			if peers, err := m.registerAny(); err == nil {
+				m.cache.Update(peers) // free host-list refresh
+			}
+			continue
+		}
+		m.aliveAny()
+	}
+}
+
+func (m *MPD) refreshLoop() {
+	for {
+		m.rt.Sleep(m.cfg.RefreshInterval)
+		if m.isClosed() {
+			return
+		}
+		if peers, err := m.fetchAny(); err == nil {
+			m.cache.Update(peers)
+		}
+	}
+}
+
+// supernodes lists the configured supernode addresses, primary first.
+func (m *MPD) supernodes() []string {
+	return append([]string{m.cfg.SupernodeAddr}, m.cfg.SupernodeFallbacks...)
+}
+
+// registerAny registers with the first supernode that answers.
+func (m *MPD) registerAny() ([]proto.PeerInfo, error) {
+	var lastErr error
+	for _, sn := range m.supernodes() {
+		peers, err := overlay.RegisterWith(m.net, sn, m.cfg.Self, m.cfg.ReserveTimeout)
+		if err == nil {
+			return peers, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// fetchAny fetches the host list from the first answering supernode.
+func (m *MPD) fetchAny() ([]proto.PeerInfo, error) {
+	var lastErr error
+	for _, sn := range m.supernodes() {
+		peers, err := overlay.FetchFrom(m.net, sn, m.cfg.ReserveTimeout)
+		if err == nil {
+			return peers, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// aliveAny refreshes the last-seen stamp at the first answering
+// supernode; on failure it falls through the configured list so the
+// peer stays listed somewhere while the primary is down.
+func (m *MPD) aliveAny() {
+	for _, sn := range m.supernodes() {
+		if overlay.SendAlive(m.net, sn, m.cfg.Self.ID, m.cfg.ReserveTimeout) == nil {
+			return
+		}
+	}
+}
+
+func (m *MPD) pingLoop() {
+	for {
+		m.rt.Sleep(m.cfg.PingInterval)
+		if m.isClosed() {
+			return
+		}
+		m.pingRound()
+	}
+}
+
+// pingRound measures the RTT to every cached peer concurrently using the
+// application-level echo of §4.1 (never ICMP).
+func (m *MPD) pingRound() {
+	ids := m.cache.IDs()
+	if len(ids) == 0 {
+		return
+	}
+	mb := m.rt.NewMailbox()
+	for _, id := range ids {
+		id := id
+		info, ok := m.cache.Peer(id)
+		if !ok {
+			mb.Push(struct{}{})
+			continue
+		}
+		m.rt.Go("mpd.ping1."+m.cfg.Self.ID, func() {
+			defer mb.Push(struct{}{})
+			nonce := m.nextNonce()
+			t0 := m.rt.Now()
+			reply, err := transport.RequestReply(m.net, info.MPDAddr,
+				transport.Message{Payload: proto.MustMarshal(&proto.Ping{Nonce: nonce})},
+				m.cfg.ReserveTimeout)
+			if err != nil {
+				return
+			}
+			if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
+				if pong, ok := msg.(*proto.Pong); ok && pong.Nonce == nonce {
+					m.cache.Observe(id, m.rt.Now().Sub(t0))
+				}
+			}
+		})
+		m.mu.Lock()
+		m.stats.PingsSent++
+		m.mu.Unlock()
+	}
+	for range ids {
+		mb.PopTimeout(2*m.cfg.ReserveTimeout + 15*time.Second)
+	}
+}
+
+func (m *MPD) nextNonce() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.Uint64()
+}
+
+func (m *MPD) newKey() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("%016x%016x", m.rng.Uint64(), m.rng.Uint64())
+}
+
+// mathCeil avoids importing math for one call site elsewhere.
+func mathCeil(v float64) int { return int(math.Ceil(v)) }

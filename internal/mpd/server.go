@@ -1,0 +1,224 @@
+package mpd
+
+import (
+	"fmt"
+	"strings"
+
+	"p2pmpi/internal/mpi"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+)
+
+func (m *MPD) acceptLoop() {
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.rt.Go("mpd.conn."+m.cfg.Self.ID, func() { m.serveConn(c) })
+	}
+}
+
+func (m *MPD) serveConn(c transport.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_, req, err := proto.Unmarshal(msg.Payload)
+		if err != nil {
+			return
+		}
+		var reply any
+		switch r := req.(type) {
+		case *proto.Ping:
+			m.mu.Lock()
+			m.stats.PingsAnswered++
+			m.mu.Unlock()
+			reply = &proto.Pong{Nonce: r.Nonce}
+		case *proto.Prepare:
+			reply = m.handlePrepare(r)
+		case *proto.Start:
+			reply = m.handleStart(r)
+		case *proto.JobDone:
+			m.handleJobDone(r)
+			reply = nil // one-way
+		default:
+			return
+		}
+		if reply == nil {
+			continue
+		}
+		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+			return
+		}
+	}
+}
+
+// handlePrepare is §4.2 step 7 (the remote side of the launch): verify
+// the hash key against the local RS, enforce the gatekeeper limits, and
+// pre-bind every local process's MPI endpoint so that the submitter's
+// Start can assume all listeners exist.
+func (m *MPD) handlePrepare(p *proto.Prepare) *proto.Ready {
+	nok := func(format string, args ...any) *proto.Ready {
+		return &proto.Ready{Key: p.Key, OK: false, Reason: fmt.Sprintf(format, args...)}
+	}
+	if !m.rs.ValidateKey(p.Key) {
+		return nok("unknown or expired reservation key")
+	}
+	program, ok := m.cfg.Programs[p.Program]
+	if !ok {
+		return nok("program %q not in registry", p.Program)
+	}
+
+	// Collect this host's slots from the table.
+	var local []mpi.Slot
+	table := make([]mpi.Slot, 0, len(p.Table))
+	for _, s := range p.Table {
+		ms := mpi.Slot{Rank: s.Rank, Replica: s.Replica, Global: s.Global,
+			HostID: s.HostID, Addr: s.Addr}
+		table = append(table, ms)
+		if s.HostID == m.cfg.Self.ID {
+			local = append(local, ms)
+		}
+	}
+	if len(local) == 0 {
+		return nok("no slots for this host in the table")
+	}
+	if len(local) > m.cfg.P {
+		return nok("gatekeeper: %d slots exceed owner limit P=%d", len(local), m.cfg.P)
+	}
+
+	if err := m.rs.Consume(p.Key); err != nil {
+		return nok("consume: %v", err)
+	}
+
+	job := &localJob{key: p.Key, jobID: p.JobID, prep: p, program: program}
+	for _, slot := range local {
+		env := &Env{
+			Rank: slot.Rank, Size: p.N, Replica: slot.Replica, R: p.R,
+			Slot: slot, Table: table,
+			HostID: m.cfg.Self.ID, CoLocated: len(local),
+			Args: p.Args, RT: m.rt, Net: m.net,
+			Profile: m.cfg.Profile,
+		}
+		env.algs = unpackAlgorithms(p.Algorithms)
+		comm, err := mpi.Join(mpi.Config{
+			Self: slot, Slots: table, N: p.N, R: p.R,
+			Net: m.net, RT: m.rt,
+			Algorithms: env.algs,
+		})
+		env.comm, env.joinErr = comm, err
+		if err != nil {
+			// Unwind: close what we already bound, free the reservation.
+			for _, e := range job.envs {
+				if e.comm != nil {
+					e.comm.Close()
+				}
+			}
+			m.rs.Release(p.Key)
+			return nok("join slot g%d: %v", slot.Global, err)
+		}
+		job.envs = append(job.envs, env)
+	}
+
+	m.mu.Lock()
+	m.jobs[p.Key] = job
+	m.stats.JobsHosted++
+	m.mu.Unlock()
+	return &proto.Ready{Key: p.Key, OK: true}
+}
+
+// handleStart is phase two: actually run the program on every local slot.
+func (m *MPD) handleStart(s *proto.Start) *proto.StartAck {
+	m.mu.Lock()
+	job := m.jobs[s.Key]
+	if job != nil && !job.started {
+		job.started = true
+		m.mu.Unlock()
+		m.rt.Go("mpd.job."+m.cfg.Self.ID, func() { m.runJob(job) })
+		return &proto.StartAck{Key: s.Key}
+	}
+	m.mu.Unlock()
+	return &proto.StartAck{Key: s.Key}
+}
+
+// runJob executes all local processes, reports JobDone to the submitter
+// and releases the reservation.
+func (m *MPD) runJob(job *localJob) {
+	type outcome struct {
+		idx int
+		err error
+	}
+	mb := m.rt.NewMailbox()
+	for i, env := range job.envs {
+		i, env := i, env
+		m.rt.Go(fmt.Sprintf("proc.%s.g%d", m.cfg.Self.ID, env.Slot.Global), func() {
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("program panic: %v", r)
+					}
+				}()
+				err = job.program(env)
+			}()
+			if env.comm != nil {
+				env.comm.Close()
+			}
+			mb.Push(outcome{idx: i, err: err})
+		})
+	}
+
+	done := &proto.JobDone{JobID: job.jobID, HostID: m.cfg.Self.ID}
+	results := make([]proto.SlotResult, len(job.envs))
+	for range job.envs {
+		v, ok := mb.Pop()
+		if !ok { // mailbox closed: daemon shutting down
+			break
+		}
+		o := v.(outcome)
+		env := job.envs[o.idx]
+		sr := proto.SlotResult{
+			Rank:    env.Rank,
+			Replica: env.Replica,
+			OK:      o.err == nil,
+			Output:  append([]byte(nil), env.Out.Bytes()...),
+		}
+		if o.err != nil {
+			sr.Err = o.err.Error()
+		}
+		results[o.idx] = sr
+	}
+	done.Results = results
+
+	m.rs.Release(job.key)
+	m.mu.Lock()
+	delete(m.jobs, job.key)
+	m.mu.Unlock()
+
+	// Fire-and-forget report; the submitter times out if we are dead.
+	if c, err := m.net.Dial(job.prep.SubmitterMPD); err == nil {
+		c.Send(transport.Message{Payload: proto.MustMarshal(done)})
+		c.Close()
+	}
+}
+
+// handleJobDone routes a completion report to the waiting Submit call.
+func (m *MPD) handleJobDone(d *proto.JobDone) {
+	m.mu.Lock()
+	mb := m.pendingDone[d.JobID]
+	m.mu.Unlock()
+	if mb != nil {
+		mb.Push(d)
+	}
+}
+
+// hostOf extracts the host part of an "host:port" address.
+func hostOf(addr string) string {
+	if i := strings.LastIndex(addr, ":"); i > 0 {
+		return addr[:i]
+	}
+	return addr
+}

@@ -1,0 +1,264 @@
+package mpd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+)
+
+// prepareVia sends a raw Prepare to a peer's MPD and decodes the Ready.
+func prepareVia(t *testing.T, tb *testbed, target *MPD, p *proto.Prepare) *proto.Ready {
+	t.Helper()
+	reply, err := transport.RequestReply(tb.net.Node("frontal"), target.cfg.Self.MPDAddr,
+		transport.Message{Payload: proto.MustMarshal(p)}, time.Second)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	_, msg, err := proto.Unmarshal(reply.Payload)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	rdy, ok := msg.(*proto.Ready)
+	if !ok {
+		t.Fatalf("reply = %+v", msg)
+	}
+	return rdy
+}
+
+func TestPrepareRejectsUnknownKey(t *testing.T) {
+	tb := newTestbed(t, 1, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+
+	var rdy *proto.Ready
+	tb.s.Go("probe", func() {
+		rdy = prepareVia(t, tb, peer, &proto.Prepare{
+			Key: "forged-key", JobID: "j", Program: "hostname", N: 1, R: 1,
+			Table: []proto.Slot{{Rank: 0, HostID: peer.cfg.Self.ID,
+				Addr: peer.cfg.Self.ID + ":41000"}},
+			SubmitterMPD: "frontal:9000",
+		})
+	})
+	tb.s.RunFor(5 * time.Second)
+	if rdy == nil || rdy.OK {
+		t.Fatalf("forged key accepted: %+v", rdy)
+	}
+	if !strings.Contains(rdy.Reason, "key") {
+		t.Fatalf("reason = %q", rdy.Reason)
+	}
+}
+
+func TestPrepareRejectsUnknownProgram(t *testing.T) {
+	tb := newTestbed(t, 1, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+
+	var rdy *proto.Ready
+	tb.s.Go("probe", func() {
+		// Hold a real reservation first so the key is valid.
+		reply, err := transport.RequestReply(tb.net.Node("frontal"), peer.cfg.Self.RSAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Reserve{
+				Key: "k1", JobID: "j", Submitter: tb.front.cfg.Self, N: 1,
+			})}, time.Second)
+		if err != nil {
+			t.Errorf("reserve: %v", err)
+			return
+		}
+		if _, msg, _ := proto.Unmarshal(reply.Payload); msg != nil {
+			if _, ok := msg.(*proto.ReserveOK); !ok {
+				t.Errorf("reserve reply %+v", msg)
+				return
+			}
+		}
+		rdy = prepareVia(t, tb, peer, &proto.Prepare{
+			Key: "k1", JobID: "j", Program: "not-a-program", N: 1, R: 1,
+			Table: []proto.Slot{{Rank: 0, HostID: peer.cfg.Self.ID,
+				Addr: peer.cfg.Self.ID + ":41000"}},
+			SubmitterMPD: "frontal:9000",
+		})
+	})
+	tb.s.RunFor(5 * time.Second)
+	if rdy == nil || rdy.OK {
+		t.Fatalf("unknown program accepted: %+v", rdy)
+	}
+	if !strings.Contains(rdy.Reason, "registry") {
+		t.Fatalf("reason = %q", rdy.Reason)
+	}
+}
+
+func TestPrepareEnforcesGatekeeperP(t *testing.T) {
+	tb := newTestbed(t, 1, 0, 2) // P=2
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+
+	var rdy *proto.Ready
+	tb.s.Go("probe", func() {
+		transport.RequestReply(tb.net.Node("frontal"), peer.cfg.Self.RSAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Reserve{
+				Key: "k2", JobID: "j", Submitter: tb.front.cfg.Self, N: 3,
+			})}, time.Second)
+		// A malicious submitter maps 3 slots onto a P=2 host.
+		table := []proto.Slot{
+			{Rank: 0, Global: 0, HostID: peer.cfg.Self.ID, Addr: peer.cfg.Self.ID + ":41000"},
+			{Rank: 1, Global: 1, HostID: peer.cfg.Self.ID, Addr: peer.cfg.Self.ID + ":41001"},
+			{Rank: 2, Global: 2, HostID: peer.cfg.Self.ID, Addr: peer.cfg.Self.ID + ":41002"},
+		}
+		rdy = prepareVia(t, tb, peer, &proto.Prepare{
+			Key: "k2", JobID: "j", Program: "hostname", N: 3, R: 1,
+			Table: table, SubmitterMPD: "frontal:9000",
+		})
+	})
+	tb.s.RunFor(5 * time.Second)
+	if rdy == nil || rdy.OK {
+		t.Fatalf("gatekeeper accepted 3 slots on a P=2 host: %+v", rdy)
+	}
+	if !strings.Contains(rdy.Reason, "gatekeeper") {
+		t.Fatalf("reason = %q", rdy.Reason)
+	}
+}
+
+func TestPrepareRejectsForeignTable(t *testing.T) {
+	tb := newTestbed(t, 2, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+	other := tb.peers[1]
+
+	var rdy *proto.Ready
+	tb.s.Go("probe", func() {
+		transport.RequestReply(tb.net.Node("frontal"), peer.cfg.Self.RSAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Reserve{
+				Key: "k3", JobID: "j", Submitter: tb.front.cfg.Self, N: 1,
+			})}, time.Second)
+		// The table names only the *other* host: nothing for this peer.
+		rdy = prepareVia(t, tb, peer, &proto.Prepare{
+			Key: "k3", JobID: "j", Program: "hostname", N: 1, R: 1,
+			Table: []proto.Slot{{Rank: 0, HostID: other.cfg.Self.ID,
+				Addr: other.cfg.Self.ID + ":41000"}},
+			SubmitterMPD: "frontal:9000",
+		})
+	})
+	tb.s.RunFor(5 * time.Second)
+	if rdy == nil || rdy.OK {
+		t.Fatalf("prepare with no local slots accepted: %+v", rdy)
+	}
+}
+
+func TestStartUnknownKeyIsHarmless(t *testing.T) {
+	tb := newTestbed(t, 1, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+
+	ok := false
+	tb.s.Go("probe", func() {
+		reply, err := transport.RequestReply(tb.net.Node("frontal"), peer.cfg.Self.MPDAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Start{Key: "ghost"})}, time.Second)
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		_, msg, _ := proto.Unmarshal(reply.Payload)
+		_, ok = msg.(*proto.StartAck)
+	})
+	tb.s.RunFor(5 * time.Second)
+	if !ok {
+		t.Fatal("no ack for unknown-key start")
+	}
+	if peer.Stats().JobsHosted != 0 {
+		t.Fatal("ghost start created a job")
+	}
+}
+
+func TestJobDoneForUnknownJobDropped(t *testing.T) {
+	tb := newTestbed(t, 1, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+
+	tb.s.Go("probe", func() {
+		c, err := tb.net.Node("frontal").Dial(tb.front.cfg.Self.MPDAddr)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.Send(transport.Message{Payload: proto.MustMarshal(&proto.JobDone{
+			JobID: "never-submitted", HostID: "x",
+		})})
+		c.Close()
+	})
+	tb.s.RunFor(5 * time.Second) // must not wedge or panic
+}
+
+func TestSequentialJobsReusePorts(t *testing.T) {
+	tb := newTestbed(t, 3, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	for i := 0; i < 3; i++ {
+		res, err := tb.submit(t, JobSpec{
+			Program: "echorank", N: 4, R: 1, Strategy: core.Spread,
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res.Failures() != 0 {
+			t.Fatalf("job %d failures: %+v", i, res.Results)
+		}
+	}
+}
+
+func TestMixedStrategySubmission(t *testing.T) {
+	tb := newTestbed(t, 4, 4, 2)
+	tb.boot(t)
+	defer tb.close()
+	res, err := tb.submit(t, JobSpec{
+		Program: "hostname", N: 8, R: 1, Strategy: core.Mixed,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Mixed fills hosts (2 procs each) but round-robins the two sites.
+	sites := res.Assignment.ProcsBySite()
+	if sites["near"] != 4 || sites["far"] != 4 {
+		t.Fatalf("mixed site split = %v, want 4/4", sites)
+	}
+	for i, u := range res.Assignment.U {
+		if u != 0 && u != 2 {
+			t.Fatalf("mixed host %d has %d procs", i, u)
+		}
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if hostOf("a.b.c:123") != "a.b.c" || hostOf("plain") != "plain" {
+		t.Fatal("hostOf broken")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tb := newTestbed(t, 2, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	if _, err := tb.submit(t, JobSpec{Program: "hostname", N: 2, R: 1, Strategy: core.Spread}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.front.Stats().JobsSubmitted != 1 {
+		t.Fatalf("submitted = %d", tb.front.Stats().JobsSubmitted)
+	}
+	hosted := int64(0)
+	for _, p := range tb.peers {
+		hosted += p.Stats().JobsHosted
+	}
+	if hosted == 0 {
+		t.Fatal("no peer hosted the job")
+	}
+	if tb.front.Stats().PingsSent == 0 || tb.peers[0].Stats().PingsAnswered == 0 {
+		t.Fatal("ping counters flat")
+	}
+}

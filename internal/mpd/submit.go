@@ -1,0 +1,361 @@
+package mpd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/mpi"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/reservation"
+	"p2pmpi/internal/transport"
+)
+
+// JobSpec is one p2pmpirun invocation:
+// p2pmpirun -n N -r R -a Strategy Program Args...
+type JobSpec struct {
+	Program  string
+	Args     []string
+	N        int
+	R        int
+	Strategy core.Strategy
+	// Timeout bounds the whole run (default 5 minutes).
+	Timeout time.Duration
+	// Algorithms selects the collective implementations used by the
+	// job's communicators (zero value = library defaults). Used by the
+	// collective-algorithm ablations.
+	Algorithms mpi.Algorithms
+}
+
+// JobResult is the submitter's view of a completed job.
+type JobResult struct {
+	JobID      string
+	Key        string
+	Assignment *core.Assignment
+	// Results holds one entry per process slot, sorted by (rank,
+	// replica). Hosts that never reported produce OK=false entries.
+	Results []proto.SlotResult
+	// Duration is the wall/virtual time from Submit to the last report.
+	Duration time.Duration
+}
+
+// OutputOf returns the captured output of (rank, replica).
+func (r *JobResult) OutputOf(rank, replica int) ([]byte, bool) {
+	for _, sr := range r.Results {
+		if sr.Rank == rank && sr.Replica == replica {
+			return sr.Output, sr.OK
+		}
+	}
+	return nil, false
+}
+
+// Failures counts slots that did not complete successfully.
+func (r *JobResult) Failures() int {
+	n := 0
+	for _, sr := range r.Results {
+		if !sr.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Submission errors.
+var (
+	// ErrNotEnoughPeers: even after a cache refresh and brokering, the
+	// selected hosts cannot satisfy the request.
+	ErrNotEnoughPeers = errors.New("mpd: not enough peers to satisfy the request")
+	// ErrLaunchFailed: a prepared host refused or timed out during launch.
+	ErrLaunchFailed = errors.New("mpd: launch failed")
+)
+
+// Submit runs the complete §4.2 procedure. It must be called from an
+// actor/goroutine of the daemon's runtime and blocks until the job
+// completes or times out.
+func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
+	if spec.N < 1 || spec.R < 1 {
+		return nil, core.ErrBadRequest
+	}
+	if spec.Timeout <= 0 {
+		spec.Timeout = 5 * time.Minute
+	}
+	if _, ok := m.cfg.Programs[spec.Program]; !ok {
+		return nil, fmt.Errorf("mpd: program %q not in registry", spec.Program)
+	}
+	started := m.rt.Now()
+	need := spec.N * spec.R
+
+	// Step 2 (booking): make sure we know enough nodes; refresh the
+	// cached list from the supernode if not.
+	if m.cache.Size() < need {
+		if peers, err := m.fetchAny(); err == nil {
+			m.cache.Update(peers)
+		}
+	}
+
+	// Sort by ascending latency and overbook.
+	ranked := m.cache.Ranked()
+	candidates := make([]proto.PeerInfo, 0, len(ranked)+1)
+	lats := make(map[string]time.Duration, len(ranked)+1)
+	if m.cfg.P > 0 {
+		// The submitter's own machine is a peer too, at zero latency.
+		candidates = append(candidates, m.cfg.Self)
+		lats[m.cfg.Self.ID] = 0
+	}
+	for _, rp := range ranked {
+		candidates = append(candidates, rp.Info)
+		lats[rp.Info.ID] = rp.Latency
+	}
+	book := mathCeil(float64(need)*m.cfg.Overbook) + 2
+	if book > len(candidates) {
+		book = len(candidates)
+	}
+	candidates = candidates[:book]
+
+	// Step 3 (RS-RS brokering) with a unique hash key.
+	key := m.newKey()
+	jobID := m.newKey()[:16]
+	m.mu.Lock()
+	m.stats.JobsSubmitted++
+	m.mu.Unlock()
+	res := reservation.Broker(m.rt, m.net, candidates, proto.Reserve{
+		Key: key, JobID: jobID, Submitter: m.cfg.Self, N: spec.N,
+	}, m.cfg.ReserveTimeout)
+
+	// Step 5: mark silent peers dead in the cache.
+	for _, d := range res.Dead {
+		if d.ID != m.cfg.Self.ID {
+			m.cache.MarkDead(d.ID)
+		}
+	}
+
+	// Step 6 (allocation): slist = first min(|rlist|, n×r) reserved
+	// hosts; cancel every reservation beyond it.
+	rlist := res.Offers
+	cut := need
+	if cut > len(rlist) {
+		cut = len(rlist)
+	}
+	slist, surplus := rlist[:cut], rlist[cut:]
+	for _, o := range surplus {
+		m.cancelReservation(o.Peer, key)
+	}
+
+	hostSlots := make([]core.HostSlot, 0, len(slist))
+	for _, o := range slist {
+		hostSlots = append(hostSlots, core.HostSlot{
+			ID:      o.Peer.ID,
+			Site:    o.Peer.Site,
+			P:       o.P,
+			Latency: lats[o.Peer.ID],
+		})
+	}
+	asg, err := core.Allocate(hostSlots, spec.N, spec.R, spec.Strategy)
+	if err != nil {
+		for _, o := range slist {
+			m.cancelReservation(o.Peer, key)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrNotEnoughPeers, err)
+	}
+
+	// Build the slot table; process g listens on ProcBasePort+g at its
+	// host. Hosts with u_i = 0 get their reservations cancelled (§4.3).
+	infoByID := make(map[string]proto.PeerInfo, len(slist))
+	for _, o := range slist {
+		infoByID[o.Peer.ID] = o.Peer
+	}
+	var table []proto.Slot
+	var usedHosts []proto.PeerInfo
+	global := 0
+	for i, placements := range asg.Procs {
+		if asg.U[i] == 0 {
+			m.cancelReservation(infoByID[asg.Hosts[i].ID], key)
+			continue
+		}
+		info := infoByID[asg.Hosts[i].ID]
+		usedHosts = append(usedHosts, info)
+		host := hostOf(info.MPDAddr)
+		for _, pl := range placements {
+			table = append(table, proto.Slot{
+				Rank: pl.Rank, Replica: pl.Replica, Global: global,
+				HostID: info.ID,
+				Addr:   fmt.Sprintf("%s:%d", host, m.cfg.ProcBasePort+global),
+			})
+			global++
+		}
+	}
+
+	// Register the completion mailbox before anything can finish.
+	doneMB := m.rt.NewMailbox()
+	m.mu.Lock()
+	m.pendingDone[jobID] = doneMB
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.pendingDone, jobID)
+		m.mu.Unlock()
+	}()
+
+	// Phase one: Prepare on every used host (step 6-7).
+	prep := &proto.Prepare{
+		Key: key, JobID: jobID, Program: spec.Program, Args: spec.Args,
+		N: spec.N, R: spec.R, Table: table,
+		SubmitterMPD: m.cfg.Self.MPDAddr,
+		Deadline:     spec.Timeout,
+		Algorithms:   packAlgorithms(spec.Algorithms),
+	}
+	if err := m.fanOutReady(usedHosts, prep); err != nil {
+		for _, o := range slist {
+			m.cancelReservation(o.Peer, key)
+		}
+		return nil, err
+	}
+
+	// Phase two: Start everywhere (step 8).
+	if err := m.fanOutStart(usedHosts, key); err != nil {
+		return nil, err
+	}
+
+	// Collect one JobDone per used host.
+	resultBySlot := make(map[[2]int]proto.SlotResult)
+	deadline := m.rt.Now().Add(spec.Timeout)
+	for reported := 0; reported < len(usedHosts); reported++ {
+		wait := deadline.Sub(m.rt.Now())
+		if wait < 0 {
+			break
+		}
+		v, err := doneMB.PopTimeout(wait)
+		if err != nil {
+			break
+		}
+		d := v.(*proto.JobDone)
+		for _, sr := range d.Results {
+			resultBySlot[[2]int{sr.Rank, sr.Replica}] = sr
+		}
+	}
+
+	out := &JobResult{
+		JobID:      jobID,
+		Key:        key,
+		Assignment: asg,
+		Duration:   m.rt.Now().Sub(started),
+	}
+	for _, s := range table {
+		if sr, ok := resultBySlot[[2]int{s.Rank, s.Replica}]; ok {
+			out.Results = append(out.Results, sr)
+		} else {
+			out.Results = append(out.Results, proto.SlotResult{
+				Rank: s.Rank, Replica: s.Replica, OK: false,
+				Err: "no completion report from host " + s.HostID,
+			})
+		}
+	}
+	sort.Slice(out.Results, func(i, j int) bool {
+		if out.Results[i].Rank != out.Results[j].Rank {
+			return out.Results[i].Rank < out.Results[j].Rank
+		}
+		return out.Results[i].Replica < out.Results[j].Replica
+	})
+	return out, nil
+}
+
+// fanOutReady sends Prepare to every host and fails if any is not Ready.
+func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
+	type ans struct {
+		host string
+		ok   bool
+		why  string
+	}
+	mb := m.rt.NewMailbox()
+	for _, h := range hosts {
+		h := h
+		m.rt.Go("mpd.prepare."+m.cfg.Self.ID, func() {
+			a := ans{host: h.ID}
+			reply, err := transport.RequestReply(m.net, h.MPDAddr,
+				transport.Message{Payload: proto.MustMarshal(prep)}, m.cfg.PrepareTimeout)
+			if err != nil {
+				a.why = err.Error()
+			} else if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
+				if rdy, ok := msg.(*proto.Ready); ok {
+					a.ok, a.why = rdy.OK, rdy.Reason
+				}
+			}
+			mb.Push(a)
+		})
+	}
+	var firstErr error
+	for range hosts {
+		v, err := mb.PopTimeout(2*m.cfg.PrepareTimeout + 15*time.Second)
+		if err != nil {
+			return fmt.Errorf("%w: prepare fan-out stalled", ErrLaunchFailed)
+		}
+		a := v.(ans)
+		if !a.ok && firstErr == nil {
+			firstErr = fmt.Errorf("%w: host %s: %s", ErrLaunchFailed, a.host, a.why)
+		}
+	}
+	return firstErr
+}
+
+// fanOutStart sends Start to every host and waits for the acks.
+func (m *MPD) fanOutStart(hosts []proto.PeerInfo, key string) error {
+	mb := m.rt.NewMailbox()
+	for _, h := range hosts {
+		h := h
+		m.rt.Go("mpd.start."+m.cfg.Self.ID, func() {
+			_, err := transport.RequestReply(m.net, h.MPDAddr,
+				transport.Message{Payload: proto.MustMarshal(&proto.Start{Key: key})},
+				m.cfg.StartTimeout)
+			mb.Push(err == nil)
+		})
+	}
+	for range hosts {
+		v, err := mb.PopTimeout(2*m.cfg.StartTimeout + 15*time.Second)
+		if err != nil || !v.(bool) {
+			return fmt.Errorf("%w: start fan-out failed", ErrLaunchFailed)
+		}
+	}
+	return nil
+}
+
+func (m *MPD) cancelReservation(peer proto.PeerInfo, key string) {
+	if peer.RSAddr == "" {
+		return
+	}
+	m.rt.Go("mpd.cancel."+m.cfg.Self.ID, func() {
+		transport.RequestReply(m.net, peer.RSAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Cancel{Key: key})},
+			m.cfg.ReserveTimeout)
+	})
+}
+
+// packAlgorithms flattens the algorithm selectors into the wire layout
+// of proto.Prepare.Algorithms.
+func packAlgorithms(a mpi.Algorithms) [5]int {
+	return [5]int{int(a.Bcast), int(a.Reduce), int(a.Allreduce),
+		int(a.Allgather), int(a.Alltoall)}
+}
+
+// unpackAlgorithms reverses packAlgorithms.
+func unpackAlgorithms(v [5]int) mpi.Algorithms {
+	return mpi.Algorithms{
+		Bcast:     mpi.BcastAlg(v[0]),
+		Reduce:    mpi.ReduceAlg(v[1]),
+		Allreduce: mpi.AllreduceAlg(v[2]),
+		Allgather: mpi.AllgatherAlg(v[3]),
+		Alltoall:  mpi.AlltoallAlg(v[4]),
+	}
+}
+
+// Hostname is the built-in program used by the paper's co-allocation
+// experiment: every process simply echoes the name of its host.
+func Hostname(env *Env) error {
+	_, err := fmt.Fprintf(&env.Out, "%s", env.HostID)
+	return err
+}
+
+// Estimator re-exports the latency kinds for configuration convenience.
+var _ = latency.KindLast

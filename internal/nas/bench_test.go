@@ -1,0 +1,47 @@
+package nas
+
+import "testing"
+
+// BenchmarkEPPairs measures the Gaussian-pair kernel rate (the compute
+// inner loop of the real EP runs).
+func BenchmarkEPPairs(b *testing.B) {
+	b.SetBytes(16) // two 8-byte randoms per pair
+	r := EPChunk(0, int64(b.N))
+	_ = r
+}
+
+// BenchmarkLCGSkip measures the O(log n) stream jump used by every
+// process to find its offset.
+func BenchmarkLCGSkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewLCG(EPSeed)
+		g.Skip(uint64(i) * 1e9)
+	}
+}
+
+// BenchmarkISKeyGeneration measures NPB key-sequence generation.
+func BenchmarkISKeyGeneration(b *testing.B) {
+	n := int64(b.N)
+	if n > 1<<22 {
+		n = 1 << 22
+	}
+	b.ResetTimer()
+	done := int64(0)
+	for done < int64(b.N) {
+		chunk := n
+		if int64(b.N)-done < chunk {
+			chunk = int64(b.N) - done
+		}
+		_ = ISKeys(ISClassB, 0, chunk)
+		done += chunk
+	}
+}
+
+// BenchmarkCountingSort measures the per-iteration local ranking cost.
+func BenchmarkCountingSort(b *testing.B) {
+	keys := ISKeys(ISClassS, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = countingSort(keys)
+	}
+}

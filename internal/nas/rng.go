@@ -1,0 +1,69 @@
+// Package nas implements the NAS Parallel Benchmarks kernels the paper
+// evaluates (§5): EP (Embarrassingly Parallel) and IS (Integer Sort),
+// both as real MPI programs verified against the NPB reference values
+// and as virtual-time "pattern" programs that execute the identical
+// communication schedule under the performance model (the paper ran the
+// Java translations of EP and IS; we run Go translations).
+package nas
+
+// The NPB linear congruential generator: x_{k+1} = a * x_k mod 2^46 with
+// a = 5^13. NPB implements the 46-bit modular multiply in double
+// precision; here it is exact integer arithmetic — (a*b) mod 2^46 equals
+// the low 46 bits of the wrapping 64-bit product because 2^46 divides
+// 2^64.
+
+const (
+	// LCGMultiplier is a = 5^13, the NPB generator multiplier.
+	LCGMultiplier = uint64(1220703125)
+	// EPSeed and ISSeed are the benchmark seeds from the NPB sources.
+	EPSeed = uint64(271828183)
+	ISSeed = uint64(314159265)
+
+	mask46 = (uint64(1) << 46) - 1
+	r46    = 1.0 / float64(uint64(1)<<46)
+)
+
+// LCG is the NPB pseudo-random stream in exact integer form.
+type LCG struct {
+	x uint64
+}
+
+// NewLCG returns a generator positioned at the given seed.
+func NewLCG(seed uint64) *LCG { return &LCG{x: seed & mask46} }
+
+// Next advances the stream and returns a uniform value in (0, 1).
+func (g *LCG) Next() float64 {
+	g.x = (g.x * LCGMultiplier) & mask46
+	return float64(g.x) * r46
+}
+
+// State returns the current 46-bit state.
+func (g *LCG) State() uint64 { return g.x }
+
+// Skip advances the stream by n steps in O(log n) using the power jump
+// x_{k+n} = a^n x_k mod 2^46 — NPB's find_my_seed, used so each MPI
+// process can start generating at its own offset.
+func (g *LCG) Skip(n uint64) {
+	g.x = (powMod46(LCGMultiplier, n) * g.x) & mask46
+}
+
+// At returns a generator positioned n steps after the given seed.
+func At(seed, n uint64) *LCG {
+	g := NewLCG(seed)
+	g.Skip(n)
+	return g
+}
+
+// powMod46 computes a^n mod 2^46 by binary exponentiation.
+func powMod46(a, n uint64) uint64 {
+	result := uint64(1)
+	base := a & mask46
+	for n > 0 {
+		if n&1 == 1 {
+			result = (result * base) & mask46
+		}
+		base = (base * base) & mask46
+		n >>= 1
+	}
+	return result
+}

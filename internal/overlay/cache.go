@@ -1,0 +1,126 @@
+package overlay
+
+import (
+	"sync"
+	"time"
+
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/proto"
+)
+
+// Cache is the MPD's local copy of the supernode host list (the "cached
+// list" of §4.1) together with the measured latency to each peer. The
+// booking step consumes Ranked(), the ascending-latency ordering.
+type Cache struct {
+	mu     sync.Mutex
+	selfID string
+	peers  map[string]proto.PeerInfo
+	lat    *latency.Table
+	dead   map[string]bool // peers marked dead; ignored until re-learned
+}
+
+// NewCache creates a cache for the peer with the given identity. The
+// estimator kind controls how ping samples condense into the ordering
+// latency (the paper's behaviour is KindLast).
+func NewCache(selfID string, kind latency.Kind, window int) *Cache {
+	return &Cache{
+		selfID: selfID,
+		peers:  make(map[string]proto.PeerInfo),
+		lat:    latency.NewTable(kind, window),
+		dead:   make(map[string]bool),
+	}
+}
+
+// Update merges a host list snapshot into the cache. Self is excluded;
+// a peer previously marked dead is resurrected only by a fresh snapshot
+// (it re-registered or is still listed by the supernode).
+func (c *Cache) Update(list []proto.PeerInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range list {
+		if p.ID == c.selfID {
+			continue
+		}
+		c.peers[p.ID] = p
+		delete(c.dead, p.ID)
+	}
+}
+
+// Observe records a ping round-trip sample for a peer.
+func (c *Cache) Observe(id string, rtt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.peers[id]; ok {
+		c.lat.Observe(id, rtt)
+	}
+}
+
+// MarkDead removes a peer that failed to answer a reservation or ping
+// (§4.2 step 5: "nodes that have not responded before a given timeout
+// are marked as dead").
+func (c *Cache) MarkDead(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.peers, id)
+	c.lat.Forget(id)
+	c.dead[id] = true
+}
+
+// Size returns the number of live cached peers.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// Latency returns the current latency estimate for a peer.
+func (c *Cache) Latency(id string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lat.Estimate(id)
+}
+
+// IDs returns the cached peer IDs in unspecified order.
+func (c *Cache) IDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Peer returns the cached info for a peer.
+func (c *Cache) Peer(id string) (proto.PeerInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[id]
+	return p, ok
+}
+
+// Ranked returns all cached peers sorted by ascending measured latency;
+// unmeasured peers sort last (the booking step may still probe them).
+func (c *Cache) Ranked() []RankedPeer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	sorted := c.lat.Rank(ids)
+	out := make([]RankedPeer, 0, len(sorted))
+	for _, id := range sorted {
+		out = append(out, RankedPeer{
+			Info:    c.peers[id],
+			Latency: c.lat.Estimate(id),
+		})
+	}
+	return out
+}
+
+// RankedPeer pairs a cached peer with its current latency estimate.
+type RankedPeer struct {
+	Info    proto.PeerInfo
+	Latency time.Duration
+}

@@ -1,0 +1,201 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/simnet"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+func simWorld(t *testing.T) (*vtime.Scheduler, *simnet.Net) {
+	t.Helper()
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	topo := &simnet.StaticTopology{
+		HostSite: map[string]string{
+			"sn": "hub", "p1": "east", "p2": "east", "p3": "west",
+		},
+		DefLat: 2 * time.Millisecond,
+	}
+	n := simnet.New(s, topo, simnet.Config{Seed: 3, NICBps: 1e9})
+	return s, n
+}
+
+func peer(id string) proto.PeerInfo {
+	return proto.PeerInfo{ID: id, MPDAddr: id + ":9000", RSAddr: id + ":9001"}
+}
+
+func TestRegisterReturnsHostList(t *testing.T) {
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{Addr: "sn:8800"})
+	var got []proto.PeerInfo
+	s.Go("main", func() {
+		if err := sn.Start(); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		if _, err := RegisterWith(n.Node("p1"), "sn:8800", peer("p1"), time.Second); err != nil {
+			t.Errorf("register p1: %v", err)
+		}
+		list, err := RegisterWith(n.Node("p2"), "sn:8800", peer("p2"), time.Second)
+		if err != nil {
+			t.Errorf("register p2: %v", err)
+		}
+		got = list
+		sn.Close()
+	})
+	s.Wait()
+	if len(got) != 2 || got[0].ID != "p1" || got[1].ID != "p2" {
+		t.Fatalf("host list = %+v", got)
+	}
+}
+
+func TestAliveKeepsPeerListed(t *testing.T) {
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{
+		Addr: "sn:8800", TTL: 10 * time.Second, SweepInterval: 2 * time.Second,
+	})
+	s.Go("main", func() {
+		sn.Start()
+		RegisterWith(n.Node("p1"), "sn:8800", peer("p1"), time.Second)
+		RegisterWith(n.Node("p2"), "sn:8800", peer("p2"), time.Second)
+		// p1 stays alive, p2 goes silent.
+		for i := 0; i < 10; i++ {
+			s.Sleep(4 * time.Second)
+			if err := SendAlive(n.Node("p1"), "sn:8800", "p1", time.Second); err != nil {
+				t.Errorf("alive: %v", err)
+			}
+		}
+		list, err := FetchFrom(n.Node("p3"), "sn:8800", time.Second)
+		if err != nil {
+			t.Errorf("fetch: %v", err)
+		}
+		if len(list) != 1 || list[0].ID != "p1" {
+			t.Errorf("after expiry, list = %+v", list)
+		}
+		sn.Close()
+	})
+	s.Wait()
+}
+
+func TestFetchFromUnreachableSupernode(t *testing.T) {
+	s, n := simWorld(t)
+	var err error
+	s.Go("main", func() {
+		_, err = FetchFrom(n.Node("p1"), "sn:8800", time.Second)
+	})
+	s.Wait()
+	if err == nil {
+		t.Fatal("fetch from nothing succeeded")
+	}
+}
+
+func TestReregisterUpdatesInfo(t *testing.T) {
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{Addr: "sn:8800"})
+	s.Go("main", func() {
+		sn.Start()
+		RegisterWith(n.Node("p1"), "sn:8800", peer("p1"), time.Second)
+		p := peer("p1")
+		p.MPDAddr = "p1:9999" // moved port
+		RegisterWith(n.Node("p1"), "sn:8800", p, time.Second)
+		list, _ := FetchFrom(n.Node("p2"), "sn:8800", time.Second)
+		if len(list) != 1 || list[0].MPDAddr != "p1:9999" {
+			t.Errorf("list = %+v", list)
+		}
+		sn.Close()
+	})
+	s.Wait()
+}
+
+func TestSupernodeIgnoresGarbage(t *testing.T) {
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{Addr: "sn:8800"})
+	s.Go("main", func() {
+		sn.Start()
+		c, err := n.Node("p1").Dial("sn:8800")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.Send(transport.Message{Payload: []byte{0xFF, 0x00, 0x01}})
+		// The supernode must drop the conn, not crash.
+		s.Sleep(50 * time.Millisecond)
+		if sn.PeerCount() != 0 {
+			t.Errorf("garbage registered a peer")
+		}
+		// And still serve well-formed clients afterwards.
+		if _, err := RegisterWith(n.Node("p2"), "sn:8800", peer("p2"), time.Second); err != nil {
+			t.Errorf("register after garbage: %v", err)
+		}
+		sn.Close()
+	})
+	s.Wait()
+}
+
+func TestCacheExcludesSelf(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Update([]proto.PeerInfo{peer("me"), peer("a"), peer("b")})
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (self excluded)", c.Size())
+	}
+}
+
+func TestCacheRankedOrder(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Update([]proto.PeerInfo{peer("far"), peer("near"), peer("mid"), peer("new")})
+	c.Observe("far", 30*time.Millisecond)
+	c.Observe("near", time.Millisecond)
+	c.Observe("mid", 10*time.Millisecond)
+	r := c.Ranked()
+	want := []string{"near", "mid", "far", "new"} // unmeasured last
+	for i, w := range want {
+		if r[i].Info.ID != w {
+			t.Fatalf("ranked = %v, want %v at %d", ids(r), w, i)
+		}
+	}
+	if r[3].Latency != latency.Unknown {
+		t.Fatalf("unmeasured peer has latency %v", r[3].Latency)
+	}
+}
+
+func ids(r []RankedPeer) []string {
+	out := make([]string, len(r))
+	for i := range r {
+		out[i] = r[i].Info.ID
+	}
+	return out
+}
+
+func TestCacheMarkDead(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Update([]proto.PeerInfo{peer("a"), peer("b")})
+	c.Observe("a", time.Millisecond)
+	c.MarkDead("a")
+	if c.Size() != 1 {
+		t.Fatalf("size = %d after MarkDead", c.Size())
+	}
+	if _, ok := c.Peer("a"); ok {
+		t.Fatal("dead peer still present")
+	}
+	// A fresh snapshot resurrects it (the supernode still lists it).
+	c.Update([]proto.PeerInfo{peer("a")})
+	if c.Size() != 2 {
+		t.Fatal("snapshot did not resurrect peer")
+	}
+	if c.Latency("a") != latency.Unknown {
+		t.Fatal("stale latency survived death")
+	}
+}
+
+func TestCacheObserveUnknownPeerIgnored(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Observe("ghost", time.Millisecond)
+	if c.Latency("ghost") != latency.Unknown {
+		t.Fatal("observation for unknown peer recorded")
+	}
+}

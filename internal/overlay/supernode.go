@@ -1,0 +1,241 @@
+// Package overlay implements the P2P membership layer of P2P-MPI: the
+// supernode (the bootstrap entry point that replaced JXTA's RendezVous,
+// §3.2) and the MPD-side peer cache with latency bookkeeping (§4.1).
+//
+// The supernode maintains the host list: peer ID, service addresses and a
+// last-seen timestamp refreshed by periodic alive signals. Entries that
+// miss alive signals for a TTL are swept out, which is how dead peers
+// eventually disappear from the overlay.
+package overlay
+
+import (
+	"sync"
+	"time"
+
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// SupernodeConfig tunes the supernode daemon.
+type SupernodeConfig struct {
+	// Addr is the listen address ("host:port").
+	Addr string
+	// TTL is how long a peer stays listed without an alive signal.
+	TTL time.Duration
+	// SweepInterval is how often expired peers are purged.
+	SweepInterval time.Duration
+}
+
+// Supernode is the bootstrap/membership daemon.
+type Supernode struct {
+	rt  vtime.Runtime
+	net transport.Network
+	cfg SupernodeConfig
+
+	mu     sync.Mutex
+	peers  map[string]*peerEntry
+	ln     transport.Listener
+	closed bool
+}
+
+type peerEntry struct {
+	info     proto.PeerInfo
+	lastSeen time.Time
+}
+
+// NewSupernode creates a supernode daemon (not yet started).
+func NewSupernode(rt vtime.Runtime, net transport.Network, cfg SupernodeConfig) *Supernode {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 90 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.TTL / 3
+	}
+	return &Supernode{rt: rt, net: net, cfg: cfg, peers: make(map[string]*peerEntry)}
+}
+
+// Start binds the listener and spawns the accept and sweep loops.
+func (s *Supernode) Start() error {
+	ln, err := s.net.Listen(s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.rt.Go("supernode.accept", s.acceptLoop)
+	s.rt.Go("supernode.sweep", s.sweepLoop)
+	return nil
+}
+
+// Close stops the daemon. Idempotent.
+func (s *Supernode) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Addr returns the bound listen address.
+func (s *Supernode) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr()
+}
+
+// PeerCount returns the number of currently listed peers.
+func (s *Supernode) PeerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// Snapshot returns the current host list (for tests and tooling).
+func (s *Supernode) Snapshot() []proto.PeerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.listLocked()
+}
+
+func (s *Supernode) listLocked() []proto.PeerInfo {
+	out := make([]proto.PeerInfo, 0, len(s.peers))
+	for _, e := range s.peers {
+		out = append(out, e.info)
+	}
+	// Deterministic order: by peer ID.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s *Supernode) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.rt.Go("supernode.conn", func() { s.serveConn(c) })
+	}
+}
+
+// serveConn answers request/reply exchanges until the peer closes.
+func (s *Supernode) serveConn(c transport.Conn) {
+	defer c.Close()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_, req, err := proto.Unmarshal(m.Payload)
+		if err != nil {
+			return
+		}
+		var reply any
+		switch r := req.(type) {
+		case *proto.Register:
+			s.register(r.Peer)
+			reply = &proto.PeerList{Peers: s.Snapshot()}
+		case *proto.Alive:
+			s.touch(r.ID)
+			reply = &proto.AliveAck{}
+		case *proto.FetchPeers:
+			reply = &proto.PeerList{Peers: s.Snapshot()}
+		default:
+			return // protocol violation: drop the connection
+		}
+		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Supernode) register(p proto.PeerInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers[p.ID] = &peerEntry{info: p, lastSeen: s.rt.Now()}
+}
+
+func (s *Supernode) touch(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.peers[id]; ok {
+		e.lastSeen = s.rt.Now()
+	}
+}
+
+func (s *Supernode) sweepLoop() {
+	for {
+		s.rt.Sleep(s.cfg.SweepInterval)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		cutoff := s.rt.Now().Add(-s.cfg.TTL)
+		for id, e := range s.peers {
+			if e.lastSeen.Before(cutoff) {
+				delete(s.peers, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Client-side helpers: one-shot exchanges with a supernode.
+
+// RegisterWith announces self to the supernode and returns the host list.
+func RegisterWith(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration) ([]proto.PeerInfo, error) {
+	reply, err := transport.RequestReply(net, snAddr,
+		transport.Message{Payload: proto.MustMarshal(&proto.Register{Peer: self})}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	_, msg, err := proto.Unmarshal(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	pl, ok := msg.(*proto.PeerList)
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return pl.Peers, nil
+}
+
+// FetchFrom retrieves a fresh host list from the supernode.
+func FetchFrom(net transport.Network, snAddr string, timeout time.Duration) ([]proto.PeerInfo, error) {
+	reply, err := transport.RequestReply(net, snAddr,
+		transport.Message{Payload: proto.MustMarshal(&proto.FetchPeers{})}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	_, msg, err := proto.Unmarshal(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	pl, ok := msg.(*proto.PeerList)
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return pl.Peers, nil
+}
+
+// SendAlive refreshes self's last-seen stamp at the supernode.
+func SendAlive(net transport.Network, snAddr, selfID string, timeout time.Duration) error {
+	_, err := transport.RequestReply(net, snAddr,
+		transport.Message{Payload: proto.MustMarshal(&proto.Alive{ID: selfID})}, timeout)
+	return err
+}

@@ -1,0 +1,175 @@
+package proto
+
+import (
+	"fmt"
+
+	"p2pmpi/internal/wire"
+)
+
+// Marshal encodes any proto message into a framed byte slice.
+func Marshal(msg any) ([]byte, error) {
+	e := wire.NewEncoder(64)
+	switch m := msg.(type) {
+	case *Register:
+		e.U8(uint8(TRegister))
+		m.Peer.encode(e)
+	case *PeerList:
+		e.U8(uint8(TPeerList))
+		e.Int(len(m.Peers))
+		for _, p := range m.Peers {
+			p.encode(e)
+		}
+	case *Alive:
+		e.U8(uint8(TAlive)).String(m.ID)
+	case *AliveAck:
+		e.U8(uint8(TAliveAck))
+	case *FetchPeers:
+		e.U8(uint8(TFetchPeers))
+	case *Ping:
+		e.U8(uint8(TPing)).U64(m.Nonce)
+	case *Pong:
+		e.U8(uint8(TPong)).U64(m.Nonce)
+	case *Reserve:
+		e.U8(uint8(TReserve)).String(m.Key).String(m.JobID)
+		m.Submitter.encode(e)
+		e.Int(m.N)
+	case *ReserveOK:
+		e.U8(uint8(TReserveOK)).String(m.Key).Int(m.P)
+	case *ReserveNOK:
+		e.U8(uint8(TReserveNOK)).String(m.Key).String(m.Reason)
+	case *Cancel:
+		e.U8(uint8(TCancel)).String(m.Key)
+	case *CancelAck:
+		e.U8(uint8(TCancelAck)).String(m.Key)
+	case *Prepare:
+		e.U8(uint8(TPrepare)).String(m.Key).String(m.JobID).String(m.Program)
+		e.StringSlice(m.Args)
+		e.Int(m.N).Int(m.R)
+		e.Int(len(m.Table))
+		for _, s := range m.Table {
+			s.encode(e)
+		}
+		e.String(m.SubmitterMPD)
+		e.Duration(m.Deadline)
+		for _, a := range m.Algorithms {
+			e.Int(a)
+		}
+	case *Ready:
+		e.U8(uint8(TReady)).String(m.Key).Bool(m.OK).String(m.Reason)
+	case *Start:
+		e.U8(uint8(TStart)).String(m.Key)
+	case *StartAck:
+		e.U8(uint8(TStartAck)).String(m.Key)
+	case *JobDone:
+		e.U8(uint8(TJobDone)).String(m.JobID).String(m.HostID)
+		e.Int(len(m.Results))
+		for _, r := range m.Results {
+			e.Int(r.Rank).Int(r.Replica).Bool(r.OK).String(r.Err).Blob(r.Output)
+		}
+	default:
+		return nil, fmt.Errorf("proto: cannot marshal %T", msg)
+	}
+	return e.Bytes(), nil
+}
+
+// MustMarshal is Marshal for known-good messages; it panics on error.
+func MustMarshal(msg any) []byte {
+	b, err := Marshal(msg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Unmarshal decodes one framed message, returning its type and a pointer
+// to the decoded struct.
+func Unmarshal(b []byte) (Type, any, error) {
+	d := wire.NewDecoder(b)
+	t := Type(d.U8())
+	var msg any
+	switch t {
+	case TRegister:
+		msg = &Register{Peer: decodePeerInfo(d)}
+	case TPeerList:
+		n := d.Int()
+		if n < 0 || n > d.Remaining() {
+			return t, nil, wire.ErrCorrupt
+		}
+		m := &PeerList{}
+		if n > 0 {
+			m.Peers = make([]PeerInfo, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			m.Peers = append(m.Peers, decodePeerInfo(d))
+		}
+		msg = m
+	case TAlive:
+		msg = &Alive{ID: d.String()}
+	case TAliveAck:
+		msg = &AliveAck{}
+	case TFetchPeers:
+		msg = &FetchPeers{}
+	case TPing:
+		msg = &Ping{Nonce: d.U64()}
+	case TPong:
+		msg = &Pong{Nonce: d.U64()}
+	case TReserve:
+		msg = &Reserve{Key: d.String(), JobID: d.String(),
+			Submitter: decodePeerInfo(d), N: d.Int()}
+	case TReserveOK:
+		msg = &ReserveOK{Key: d.String(), P: d.Int()}
+	case TReserveNOK:
+		msg = &ReserveNOK{Key: d.String(), Reason: d.String()}
+	case TCancel:
+		msg = &Cancel{Key: d.String()}
+	case TCancelAck:
+		msg = &CancelAck{Key: d.String()}
+	case TPrepare:
+		m := &Prepare{Key: d.String(), JobID: d.String(), Program: d.String(),
+			Args: d.StringSlice(), N: d.Int(), R: d.Int()}
+		n := d.Int()
+		if n < 0 || n > d.Remaining() {
+			return t, nil, wire.ErrCorrupt
+		}
+		if n > 0 {
+			m.Table = make([]Slot, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			m.Table = append(m.Table, decodeSlot(d))
+		}
+		m.SubmitterMPD = d.String()
+		m.Deadline = d.Duration()
+		for i := range m.Algorithms {
+			m.Algorithms[i] = d.Int()
+		}
+		msg = m
+	case TReady:
+		msg = &Ready{Key: d.String(), OK: d.Bool(), Reason: d.String()}
+	case TStart:
+		msg = &Start{Key: d.String()}
+	case TStartAck:
+		msg = &StartAck{Key: d.String()}
+	case TJobDone:
+		m := &JobDone{JobID: d.String(), HostID: d.String()}
+		n := d.Int()
+		if n < 0 || n > d.Remaining()+1 {
+			return t, nil, wire.ErrCorrupt
+		}
+		if n > 0 {
+			m.Results = make([]SlotResult, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			m.Results = append(m.Results, SlotResult{
+				Rank: d.Int(), Replica: d.Int(), OK: d.Bool(),
+				Err: d.String(), Output: d.Blob(),
+			})
+		}
+		msg = m
+	default:
+		return t, nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
+	}
+	if err := d.Finish(); err != nil {
+		return t, nil, err
+	}
+	return t, msg, nil
+}

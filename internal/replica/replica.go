@@ -1,0 +1,117 @@
+// Package replica implements the replica-group state machine behind
+// P2P-MPI's fault tolerance (§3.2 and [11]): each MPI rank runs r copies
+// on distinct hosts; one copy (the leader, lowest live replica index)
+// transmits messages while backups log them, and a heartbeat-based
+// failure detector promotes the next backup when the leader goes silent.
+//
+// The package is pure state: no I/O, no clocks of its own. The MPI layer
+// feeds it heartbeat observations and timestamps and asks who leads.
+package replica
+
+import "time"
+
+// Group tracks liveness and leadership inside one rank's replica set.
+type Group struct {
+	r           int // replication degree
+	self        int // this process's replica index
+	failTimeout time.Duration
+
+	alive  []bool
+	lastHB []time.Time
+}
+
+// NewGroup creates the state machine for a group of r replicas, of which
+// this process is replica self. All members start alive; heartbeat
+// staleness is judged against failTimeout.
+func NewGroup(r, self int, failTimeout time.Duration, now time.Time) *Group {
+	if r < 1 {
+		panic("replica: degree must be >= 1")
+	}
+	if self < 0 || self >= r {
+		panic("replica: self index out of range")
+	}
+	g := &Group{
+		r:           r,
+		self:        self,
+		failTimeout: failTimeout,
+		alive:       make([]bool, r),
+		lastHB:      make([]time.Time, r),
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+		g.lastHB[i] = now
+	}
+	return g
+}
+
+// Self returns this process's replica index.
+func (g *Group) Self() int { return g.self }
+
+// Degree returns the replication degree r.
+func (g *Group) Degree() int { return g.r }
+
+// HeartbeatFrom records a heartbeat observation from a replica. A
+// heartbeat resurrects a falsely suspected member (the detector is not
+// perfect; transmission-level dedup keeps that safe).
+func (g *Group) HeartbeatFrom(idx int, now time.Time) {
+	if idx < 0 || idx >= g.r {
+		return
+	}
+	g.alive[idx] = true
+	g.lastHB[idx] = now
+}
+
+// MarkDead declares a replica permanently failed (e.g. its host was
+// reported down by the middleware).
+func (g *Group) MarkDead(idx int) {
+	if idx >= 0 && idx < g.r {
+		g.alive[idx] = false
+	}
+}
+
+// Suspect marks every member whose heartbeat is older than failTimeout
+// as dead, and returns the indices it newly suspected. Self is exempt.
+func (g *Group) Suspect(now time.Time) []int {
+	var suspected []int
+	cutoff := now.Add(-g.failTimeout)
+	for i := 0; i < g.r; i++ {
+		if i == g.self || !g.alive[i] {
+			continue
+		}
+		if g.lastHB[i].Before(cutoff) {
+			g.alive[i] = false
+			suspected = append(suspected, i)
+		}
+	}
+	return suspected
+}
+
+// Leader returns the lowest live replica index, or -1 when the whole
+// group is considered dead (cannot happen for self-including views).
+func (g *Group) Leader() int {
+	for i := 0; i < g.r; i++ {
+		if g.alive[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsLeader reports whether this process currently leads its group.
+func (g *Group) IsLeader() bool { return g.Leader() == g.self }
+
+// Alive reports a replica's current liveness.
+func (g *Group) Alive(idx int) bool {
+	return idx >= 0 && idx < g.r && g.alive[idx]
+}
+
+// LiveCount returns the number of live replicas.
+func (g *Group) LiveCount() int {
+	n := 0
+	for _, a := range g.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}

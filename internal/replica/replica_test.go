@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2008, 4, 14, 0, 0, 0, 0, time.UTC)
+
+func TestInitialLeaderIsReplicaZero(t *testing.T) {
+	g := NewGroup(3, 1, time.Second, t0)
+	if g.Leader() != 0 || g.IsLeader() {
+		t.Fatalf("leader = %d", g.Leader())
+	}
+	if g.LiveCount() != 3 {
+		t.Fatalf("live = %d", g.LiveCount())
+	}
+}
+
+func TestSingleReplicaAlwaysLeads(t *testing.T) {
+	g := NewGroup(1, 0, time.Second, t0)
+	if !g.IsLeader() {
+		t.Fatal("solo replica must lead")
+	}
+	if got := g.Suspect(t0.Add(time.Hour)); got != nil {
+		t.Fatalf("suspected %v in a solo group", got)
+	}
+}
+
+func TestSuspectPromotesNextBackup(t *testing.T) {
+	g := NewGroup(3, 1, time.Second, t0)
+	// Replica 2 keeps beating; replica 0 goes silent.
+	g.HeartbeatFrom(2, t0.Add(2*time.Second))
+	suspected := g.Suspect(t0.Add(2500 * time.Millisecond))
+	if len(suspected) != 1 || suspected[0] != 0 {
+		t.Fatalf("suspected = %v, want [0]", suspected)
+	}
+	if !g.IsLeader() {
+		t.Fatal("replica 1 should lead after 0 died")
+	}
+}
+
+func TestSuspectSkipsSelfAndDead(t *testing.T) {
+	g := NewGroup(3, 0, time.Second, t0)
+	g.MarkDead(2)
+	suspected := g.Suspect(t0.Add(time.Hour))
+	// Only replica 1 can be newly suspected; 2 was already dead, self exempt.
+	if len(suspected) != 1 || suspected[0] != 1 {
+		t.Fatalf("suspected = %v", suspected)
+	}
+	if g.Leader() != 0 {
+		t.Fatalf("leader = %d", g.Leader())
+	}
+}
+
+func TestHeartbeatResurrects(t *testing.T) {
+	g := NewGroup(2, 1, time.Second, t0)
+	g.Suspect(t0.Add(5 * time.Second))
+	if g.Leader() != 1 {
+		t.Fatal("promotion did not happen")
+	}
+	// A late heartbeat from 0 demotes us again (dedup makes this safe).
+	g.HeartbeatFrom(0, t0.Add(6*time.Second))
+	if g.Leader() != 0 {
+		t.Fatal("resurrection did not restore leadership order")
+	}
+}
+
+func TestMarkDeadAll(t *testing.T) {
+	g := NewGroup(2, 0, time.Second, t0)
+	g.MarkDead(0)
+	g.MarkDead(1)
+	if g.Leader() != -1 || g.LiveCount() != 0 {
+		t.Fatalf("leader = %d live = %d", g.Leader(), g.LiveCount())
+	}
+}
+
+func TestOutOfRangeObservationsIgnored(t *testing.T) {
+	g := NewGroup(2, 0, time.Second, t0)
+	g.HeartbeatFrom(-1, t0)
+	g.HeartbeatFrom(99, t0)
+	g.MarkDead(-5)
+	if g.LiveCount() != 2 {
+		t.Fatal("out-of-range ops changed state")
+	}
+	if g.Alive(99) || g.Alive(-1) {
+		t.Fatal("alive out of range")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGroup(0, 0, time.Second, t0) },
+		func() { NewGroup(2, 2, time.Second, t0) },
+		func() { NewGroup(2, -1, time.Second, t0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,340 @@
+// Package reservation implements the Reservation Service (RS) introduced
+// for co-allocation (§3.2, §4.2): the per-peer daemon that negotiates
+// resource holds between submitters and hosts.
+//
+// The host-side RS enforces the owner's preferences (§4.1): the number J
+// of simultaneous applications, and a deny list of submitter IDs. It
+// answers Reserve with OK (carrying the host's P setting) or NOK, holds
+// the reservation under its unique hash key until it is started,
+// cancelled or expired, and later validates the key presented by the
+// launch request (§4.2 step 7).
+package reservation
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// Reasons sent in ReserveNOK replies.
+const (
+	ReasonDenied = "submitter denied by owner preferences"
+	ReasonBusy   = "J limit reached"
+	ReasonClosed = "service shutting down"
+)
+
+// ErrUnknownKey is returned when validating or consuming a key the RS
+// does not hold.
+var ErrUnknownKey = errors.New("reservation: unknown key")
+
+// Config carries the owner preferences and service settings.
+type Config struct {
+	// Addr is the RS listen address.
+	Addr string
+	// J is the number of distinct applications the owner accepts to run
+	// simultaneously (default 1).
+	J int
+	// P is the number of processes per application the owner accepts;
+	// advertised in ReserveOK. Zero means the host runs no processes.
+	P int
+	// Deny lists submitter peer IDs refused by the owner.
+	Deny []string
+	// HoldTTL bounds how long an unstarted reservation is held.
+	HoldTTL time.Duration
+}
+
+// Service is one peer's Reservation Service daemon.
+type Service struct {
+	rt  vtime.Runtime
+	net transport.Network
+	cfg Config
+
+	mu       sync.Mutex
+	ln       transport.Listener
+	closed   bool
+	held     map[string]*hold // by key
+	running  map[string]bool  // job keys currently executing
+	denySet  map[string]bool
+	accepted int64 // stats: total accepted reservations
+	rejected int64
+}
+
+type hold struct {
+	key       string
+	jobID     string
+	submitter string
+	expiresAt time.Time
+}
+
+// New creates an RS daemon (not yet started).
+func New(rt vtime.Runtime, net transport.Network, cfg Config) *Service {
+	if cfg.J <= 0 {
+		cfg.J = 1
+	}
+	if cfg.HoldTTL <= 0 {
+		cfg.HoldTTL = 60 * time.Second
+	}
+	deny := make(map[string]bool, len(cfg.Deny))
+	for _, id := range cfg.Deny {
+		deny[id] = true
+	}
+	return &Service{
+		rt: rt, net: net, cfg: cfg,
+		held:    make(map[string]*hold),
+		running: make(map[string]bool),
+		denySet: deny,
+	}
+}
+
+// Start binds the listener and spawns the accept loop.
+func (s *Service) Start() error {
+	ln, err := s.net.Listen(s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.rt.Go("rs.accept", s.acceptLoop)
+	return nil
+}
+
+// Close stops the daemon. Idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+func (s *Service) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.rt.Go("rs.conn", func() { s.serveConn(c) })
+	}
+}
+
+func (s *Service) serveConn(c transport.Conn) {
+	defer c.Close()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_, req, err := proto.Unmarshal(m.Payload)
+		if err != nil {
+			return
+		}
+		var reply any
+		switch r := req.(type) {
+		case *proto.Reserve:
+			reply = s.handleReserve(r)
+		case *proto.Cancel:
+			s.CancelKey(r.Key)
+			reply = &proto.CancelAck{Key: r.Key}
+		default:
+			return
+		}
+		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+			return
+		}
+	}
+}
+
+// handleReserve applies §4.2 step 4: deny-list check, J-limit check,
+// then hold the key and answer OK with the host's P value.
+func (s *Service) handleReserve(r *proto.Reserve) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.rejected++
+		return &proto.ReserveNOK{Key: r.Key, Reason: ReasonClosed}
+	}
+	if s.denySet[r.Submitter.ID] {
+		s.rejected++
+		return &proto.ReserveNOK{Key: r.Key, Reason: ReasonDenied}
+	}
+	s.expireLocked()
+	// The J limit counts applications: running ones plus distinct held
+	// reservations. Re-reserving with the same key refreshes the hold.
+	if _, refresh := s.held[r.Key]; !refresh {
+		if len(s.running)+len(s.held) >= s.cfg.J {
+			s.rejected++
+			return &proto.ReserveNOK{Key: r.Key, Reason: ReasonBusy}
+		}
+	}
+	s.held[r.Key] = &hold{
+		key:       r.Key,
+		jobID:     r.JobID,
+		submitter: r.Submitter.ID,
+		expiresAt: s.rt.Now().Add(s.cfg.HoldTTL),
+	}
+	s.accepted++
+	return &proto.ReserveOK{Key: r.Key, P: s.cfg.P}
+}
+
+func (s *Service) expireLocked() {
+	now := s.rt.Now()
+	for k, h := range s.held {
+		if h.expiresAt.Before(now) {
+			delete(s.held, k)
+		}
+	}
+}
+
+// ValidateKey reports whether the RS holds a reservation under this key
+// (the launch-time check of §4.2 step 7).
+func (s *Service) ValidateKey(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	_, ok := s.held[key]
+	return ok
+}
+
+// Consume converts a held reservation into a running application. It is
+// called by the local MPD when the job actually starts.
+func (s *Service) Consume(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if _, ok := s.held[key]; !ok {
+		return ErrUnknownKey
+	}
+	delete(s.held, key)
+	s.running[key] = true
+	return nil
+}
+
+// Release ends a running application (or drops a held key), freeing its
+// J slot.
+func (s *Service) Release(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, key)
+	delete(s.held, key)
+}
+
+// CancelKey drops a held reservation (remote Cancel or local decision).
+func (s *Service) CancelKey(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.held, key)
+}
+
+// Held returns the number of held (unstarted) reservations.
+func (s *Service) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	return len(s.held)
+}
+
+// Running returns the number of running applications.
+func (s *Service) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.running)
+}
+
+// Stats returns (accepted, rejected) reservation counts.
+func (s *Service) Stats() (accepted, rejected int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted, s.rejected
+}
+
+// Client side: the submitter's RS broker (§4.2 steps 2-5).
+
+// Offer is one positive answer gathered by Broker, in request order.
+type Offer struct {
+	Peer proto.PeerInfo
+	P    int
+}
+
+// BrokerResult separates responders from the silent (dead) and refusing
+// peers after a brokering round.
+type BrokerResult struct {
+	// Offers holds the OK answers, preserving the order in which peers
+	// were asked (ascending latency), which becomes the rlist order.
+	Offers []Offer
+	// Refused lists peers that answered NOK.
+	Refused []proto.PeerInfo
+	// Dead lists peers that did not answer before the timeout.
+	Dead []proto.PeerInfo
+}
+
+// Broker fans a Reserve request out to the RS of every candidate peer and
+// gathers answers until the timeout (§4.2 step 3: "RS-RS brokering").
+// The fan-out is concurrent; the result preserves candidate order.
+func Broker(rt vtime.Runtime, net transport.Network, candidates []proto.PeerInfo,
+	req proto.Reserve, timeout time.Duration) BrokerResult {
+
+	type answer struct {
+		idx  int
+		dead bool
+		ok   bool
+		p    int
+	}
+	mb := rt.NewMailbox()
+	for i, cand := range candidates {
+		i, cand := i, cand
+		rt.Go("rs.broker", func() {
+			r := req // copy; each request carries the same key
+			a := answer{idx: i, dead: true}
+			reply, err := transport.RequestReply(net, cand.RSAddr,
+				transport.Message{Payload: proto.MustMarshal(&r)}, timeout)
+			if err == nil {
+				if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
+					switch m := msg.(type) {
+					case *proto.ReserveOK:
+						a.dead, a.ok, a.p = false, true, m.P
+					case *proto.ReserveNOK:
+						a.dead, a.ok = false, false
+					}
+				}
+			}
+			mb.Push(a)
+		})
+	}
+
+	// Every worker pushes exactly one answer within roughly the timeout
+	// (RequestReply is itself bounded); the margin covers dial time.
+	results := make([]*answer, len(candidates))
+	for range candidates {
+		v, err := mb.PopTimeout(2*timeout + 15*time.Second)
+		if err != nil {
+			break
+		}
+		a := v.(answer)
+		results[a.idx] = &a
+	}
+
+	var out BrokerResult
+	for i, cand := range candidates {
+		a := results[i]
+		switch {
+		case a == nil || a.dead:
+			out.Dead = append(out.Dead, cand)
+		case a.ok:
+			out.Offers = append(out.Offers, Offer{Peer: cand, P: a.p})
+		default:
+			out.Refused = append(out.Refused, cand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// BenchmarkMessageDelivery measures the simulator's cost per delivered
+// message across a WAN link.
+func BenchmarkMessageDelivery(b *testing.B) {
+	s := vtime.New()
+	defer s.Shutdown()
+	topo := &StaticTopology{
+		HostSite: map[string]string{"a1": "east", "b1": "west"},
+		DefLat:   5 * time.Millisecond,
+	}
+	n := New(s, topo, DefaultConfig(1))
+
+	s.Go("server", func() {
+		l, err := n.Node("b1").Listen("b1:1")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		c, err := l.Accept()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Recv(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, err := n.Node("a1").Dial("b1:1")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		msg := transport.Message{Payload: []byte("0123456789abcdef")}
+		for i := 0; i < b.N; i++ {
+			if err := c.Send(msg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	s.Wait()
+}
+
+// BenchmarkDialTeardown measures connection setup/teardown pairs.
+func BenchmarkDialTeardown(b *testing.B) {
+	s := vtime.New()
+	defer s.Shutdown()
+	topo := &StaticTopology{
+		HostSite: map[string]string{"a1": "east", "b1": "east"},
+		DefLat:   time.Millisecond,
+	}
+	n := New(s, topo, DefaultConfig(2))
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:1")
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		for i := 0; i < b.N; i++ {
+			c, err := n.Node("a1").Dial("b1:1")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			c.Close()
+		}
+	})
+	b.ResetTimer()
+	s.Wait()
+}

@@ -1,0 +1,295 @@
+package simnet
+
+import (
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// nodeNet is the per-host transport.Network view.
+type nodeNet struct {
+	n    *Net
+	host string
+}
+
+func (nn *nodeNet) Listen(addr string) (transport.Listener, error) {
+	host, port, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if host != nn.host {
+		return nil, transport.ErrUnreachable
+	}
+	nn.n.mu.Lock()
+	defer nn.n.mu.Unlock()
+	h := nn.n.hostLocked(host)
+	if h == nil || nn.n.downHost[host] {
+		return nil, transport.ErrUnreachable
+	}
+	if port == "0" {
+		for {
+			h.nextPort++
+			port = itoa(h.nextPort)
+			if h.listeners[port] == nil {
+				break
+			}
+		}
+	}
+	if h.listeners[port] != nil {
+		return nil, transport.ErrClosed // port in use
+	}
+	l := &listener{
+		n:       nn.n,
+		addr:    host + ":" + port,
+		host:    host,
+		port:    port,
+		acceptq: vtime.NewQueue[*conn](nn.n.rt),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
+	rhost, rport, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := nn.n
+	n.mu.Lock()
+	from := n.hostLocked(nn.host)
+	to := n.hostLocked(rhost)
+	if from == nil {
+		n.mu.Unlock()
+		return nil, transport.ErrUnreachable
+	}
+	if n.downHost[nn.host] {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if to == nil {
+		n.mu.Unlock()
+		return nil, transport.ErrUnreachable
+	}
+	// SYN travels one way; the handshake result travels back. The dialer
+	// observes a full round trip before Dial returns, like TCP.
+	synArrival := n.planDelivery(from, to, 64)
+	resultq := vtime.NewQueue[dialResult](n.rt)
+	n.mu.Unlock()
+
+	n.rt.After(synArrival-n.rt.Elapsed(), func() {
+		n.mu.Lock()
+		l := to.listeners[rport]
+		down := n.downHost[rhost]
+		if down || l == nil || l.closed {
+			// Connection refused: the RST also takes one trip back.
+			back := n.planDelivery(to, from, 64)
+			n.mu.Unlock()
+			n.rt.After(back-n.rt.Elapsed(), func() {
+				resultq.Push(dialResult{err: transport.ErrUnreachable})
+			})
+			return
+		}
+		local := nn.host + ":" + itoa(ephemeral(from))
+		pair := newConnPair(n, local, l.addr)
+		back := n.planDelivery(to, from, 64)
+		n.mu.Unlock()
+		l.acceptq.Push(pair.server)
+		n.rt.After(back-n.rt.Elapsed(), func() {
+			resultq.Push(dialResult{c: pair.client})
+		})
+	})
+	r, ok := resultq.Pop()
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return r.c, r.err
+}
+
+func ephemeral(h *netHost) int {
+	h.nextPort++
+	return h.nextPort
+}
+
+type dialResult struct {
+	c   transport.Conn
+	err error
+}
+
+func itoa(v int) string {
+	// Tiny positive-int formatter to avoid strconv in the hot path.
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+type listener struct {
+	n       *Net
+	addr    string
+	host    string
+	port    string
+	acceptq *vtime.Queue[*conn]
+	closed  bool
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	c, ok := l.acceptq.Pop()
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return c, nil
+}
+
+func (l *listener) Close() error {
+	l.n.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		if h := l.n.hosts[l.host]; h != nil {
+			delete(h.listeners, l.port)
+		}
+	}
+	l.n.mu.Unlock()
+	l.acceptq.Close()
+	return nil
+}
+
+func (l *listener) Addr() string { return l.addr }
+
+// connPair is the shared state of the two directions of one connection.
+type connPair struct {
+	client *conn
+	server *conn
+}
+
+// conn is one endpoint. Messages pushed to inbox arrive via delivery
+// events; lastArrival clamps arrivals to per-direction FIFO order.
+type conn struct {
+	n           *Net
+	local       string
+	remote      string
+	localHost   string
+	remoteHost  string
+	inbox       *vtime.Queue[transport.Message]
+	peer        *conn
+	closed      bool
+	lastArrival time.Duration // FIFO clamp for messages *arriving at peer*
+}
+
+func newConnPair(n *Net, clientAddr, serverAddr string) *connPair {
+	ch, _, _ := splitAddr(clientAddr)
+	sh, _, _ := splitAddr(serverAddr)
+	client := &conn{
+		n: n, local: clientAddr, remote: serverAddr,
+		localHost: ch, remoteHost: sh,
+		inbox: vtime.NewQueue[transport.Message](n.rt),
+	}
+	server := &conn{
+		n: n, local: serverAddr, remote: clientAddr,
+		localHost: sh, remoteHost: ch,
+		inbox: vtime.NewQueue[transport.Message](n.rt),
+	}
+	client.peer = server
+	server.peer = client
+	return &connPair{client: client, server: server}
+}
+
+// frameOverhead approximates per-message header cost on the wire.
+const frameOverhead = 64
+
+func (c *conn) Send(m transport.Message) error {
+	n := c.n
+	n.mu.Lock()
+	if c.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if n.downHost[c.localHost] {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if n.downHost[c.remoteHost] || c.peer.closed {
+		// Messages into the void are silently dropped, like TCP segments
+		// toward a dead host; the sender learns via higher-level timeout.
+		n.mu.Unlock()
+		return nil
+	}
+	from := n.hostLocked(c.localHost)
+	to := n.hostLocked(c.remoteHost)
+	arrival := n.planDelivery(from, to, m.Size()+frameOverhead)
+	if arrival <= c.lastArrival {
+		arrival = c.lastArrival + time.Nanosecond
+	}
+	c.lastArrival = arrival
+	peer := c.peer
+	n.mu.Unlock()
+
+	// Copy the payload: the sender may reuse its buffer immediately.
+	var cp []byte
+	if len(m.Payload) > 0 {
+		cp = make([]byte, len(m.Payload))
+		copy(cp, m.Payload)
+	}
+	msg := transport.Message{Payload: cp, Virtual: m.Virtual}
+	n.rt.After(arrival-n.rt.Elapsed(), func() {
+		n.mu.Lock()
+		dead := n.downHost[peer.localHost]
+		n.mu.Unlock()
+		if !dead {
+			peer.inbox.Push(msg)
+		}
+	})
+	return nil
+}
+
+func (c *conn) Recv() (transport.Message, error) { return c.RecvTimeout(-1) }
+
+func (c *conn) RecvTimeout(d time.Duration) (transport.Message, error) {
+	m, err := c.inbox.PopTimeout(d)
+	switch err {
+	case nil:
+		return m, nil
+	case vtime.ErrTimeout:
+		return transport.Message{}, transport.ErrTimeout
+	default:
+		return transport.Message{}, transport.ErrClosed
+	}
+}
+
+func (c *conn) Close() error {
+	n := c.n
+	n.mu.Lock()
+	if c.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peer := c.peer
+	base := n.topo.SiteLatency(n.topo.Site(c.localHost), n.topo.Site(c.remoteHost))
+	fin := c.lastArrival
+	if e := n.rt.Elapsed() + base; e > fin {
+		fin = e
+	}
+	n.mu.Unlock()
+	c.inbox.Close()
+	// FIN arrives after all in-flight data (FIFO), closing the peer's
+	// inbox so its pending Recv drains buffered messages then ErrClosed.
+	n.rt.After(fin-n.rt.Elapsed(), func() {
+		peer.inbox.Close()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() string  { return c.local }
+func (c *conn) RemoteAddr() string { return c.remote }
+
+var _ transport.Conn = (*conn)(nil)
+var _ transport.Listener = (*listener)(nil)
+var _ transport.Network = (*nodeNet)(nil)

@@ -1,0 +1,212 @@
+// Package simnet simulates the Grid'5000 wide-area network on top of the
+// virtual-time scheduler. It implements the transport interfaces, so all
+// middleware and MPI code runs unchanged inside it.
+//
+// The model, kept deliberately close to what shapes the paper's results:
+//
+//   - one-way propagation latency between sites (half the measured RTT),
+//   - Gaussian jitter on every message, modelling the CPU and TCP load
+//     variations the paper blames for its latency-ranking noise (§5.1),
+//   - per-host NIC capacity (1 Gb/s GigE) and a shared inter-site pipe
+//     (10 Gb/s backbone, 1 Gb/s toward bordeaux) with cut-through
+//     queueing: a transfer occupies every resource on its path from its
+//     start time, and a busy resource delays the transfer,
+//   - strict FIFO per connection direction (TCP ordering).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// Topology supplies base latency and capacity between hosts, aggregated
+// at site granularity.
+type Topology interface {
+	// Site maps a host ID to its site name; unknown hosts return "".
+	Site(host string) string
+	// SiteLatency returns the base one-way latency between two sites.
+	SiteLatency(a, b string) time.Duration
+	// SiteBps returns the shared pipe capacity between two sites.
+	SiteBps(a, b string) int64
+}
+
+// Config tunes the noise and capacity model.
+type Config struct {
+	// Seed makes every jitter sample reproducible.
+	Seed int64
+	// JitterFrac is the jitter standard deviation as a fraction of the
+	// base one-way latency.
+	JitterFrac float64
+	// JitterFloor is an additive jitter standard deviation, dominating on
+	// near-zero-latency local links (models end-host scheduling noise).
+	JitterFloor time.Duration
+	// NICBps is each host's network interface capacity.
+	NICBps int64
+}
+
+// DefaultConfig reflects the paper's setting: enough probe noise that
+// lyon/rennes/bordeaux (≈1 ms apart) interleave in the measured ranking
+// while nancy and sophia stay at their extremes.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		JitterFrac:  0.08,
+		JitterFloor: 250 * time.Microsecond,
+		NICBps:      1_000_000_000,
+	}
+}
+
+// Net is a simulated network bound to one scheduler.
+type Net struct {
+	rt   *vtime.Scheduler
+	topo Topology
+	cfg  Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	hosts    map[string]*netHost
+	pipes    map[string]*serializer
+	downHost map[string]bool // failed hosts drop all traffic
+}
+
+type netHost struct {
+	id        string
+	site      string
+	listeners map[string]*listener // by port
+	nicOut    *serializer
+	nicIn     *serializer
+	nextPort  int
+}
+
+// serializer models one capacity-limited resource. A transfer starting at
+// t of size bytes holds the resource until max(busy, t) + size/bps.
+type serializer struct {
+	bps  int64
+	busy time.Duration
+}
+
+func (s *serializer) reserve(start time.Duration, size int64) time.Duration {
+	if s.busy < start {
+		s.busy = start
+	}
+	s.busy += time.Duration(float64(size*8) / float64(s.bps) * float64(time.Second))
+	return s.busy
+}
+
+// New creates a simulated network over the scheduler and topology.
+func New(rt *vtime.Scheduler, topo Topology, cfg Config) *Net {
+	if cfg.NICBps <= 0 {
+		cfg.NICBps = 1_000_000_000
+	}
+	return &Net{
+		rt:       rt,
+		topo:     topo,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		hosts:    make(map[string]*netHost),
+		pipes:    make(map[string]*serializer),
+		downHost: make(map[string]bool),
+	}
+}
+
+// Node returns the transport.Network view bound to one host: Listen binds
+// local ports, Dial originates from that host.
+func (n *Net) Node(hostID string) transport.Network {
+	return &nodeNet{n: n, host: hostID}
+}
+
+// FailHost makes a host unreachable: its listeners stop accepting, new
+// messages to and from it are dropped. Used by fault-injection tests.
+func (n *Net) FailHost(hostID string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downHost[hostID] = true
+}
+
+// RestoreHost brings a failed host back (listeners must be re-created).
+func (n *Net) RestoreHost(hostID string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downHost, hostID)
+}
+
+// BaseOneWay exposes the noise-free one-way latency between two hosts,
+// used by experiments to compute the "true" ranking.
+func (n *Net) BaseOneWay(a, b string) time.Duration {
+	return n.topo.SiteLatency(n.topo.Site(a), n.topo.Site(b))
+}
+
+func (n *Net) hostLocked(id string) *netHost {
+	h := n.hosts[id]
+	if h == nil {
+		site := n.topo.Site(id)
+		if site == "" {
+			return nil
+		}
+		h = &netHost{
+			id:        id,
+			site:      site,
+			listeners: make(map[string]*listener),
+			nicOut:    &serializer{bps: n.cfg.NICBps},
+			nicIn:     &serializer{bps: n.cfg.NICBps},
+			nextPort:  20000,
+		}
+		n.hosts[id] = h
+	}
+	return h
+}
+
+func (n *Net) pipeLocked(siteA, siteB string) *serializer {
+	a, b := siteA, siteB
+	if a > b {
+		a, b = b, a
+	}
+	key := a + "|" + b
+	p := n.pipes[key]
+	if p == nil {
+		p = &serializer{bps: n.topo.SiteBps(siteA, siteB)}
+		n.pipes[key] = p
+	}
+	return p
+}
+
+// jitterLocked samples non-negative latency noise for a base latency.
+func (n *Net) jitterLocked(base time.Duration) time.Duration {
+	std := float64(base)*n.cfg.JitterFrac + float64(n.cfg.JitterFloor)
+	j := n.rng.NormFloat64() * std
+	if j < 0 {
+		j = -j
+	}
+	return time.Duration(j)
+}
+
+// planDelivery computes the virtual arrival time of a message of the
+// given size sent now from a to b, reserving capacity along the path.
+func (n *Net) planDelivery(from, to *netHost, size int64) time.Duration {
+	now := n.rt.Elapsed()
+	base := n.topo.SiteLatency(from.site, to.site)
+
+	finish := from.nicOut.reserve(now, size)
+	if f := n.pipeLocked(from.site, to.site).reserve(now, size); f > finish {
+		finish = f
+	}
+	if f := to.nicIn.reserve(now, size); f > finish {
+		finish = f
+	}
+	return finish + base + n.jitterLocked(base)
+}
+
+// splitAddr separates "host:port"; hosts contain dots but no colons.
+func splitAddr(addr string) (host, port string, err error) {
+	i := strings.LastIndex(addr, ":")
+	if i <= 0 || i == len(addr)-1 {
+		return "", "", fmt.Errorf("simnet: bad address %q", addr)
+	}
+	return addr[:i], addr[i+1:], nil
+}

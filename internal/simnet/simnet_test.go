@@ -1,0 +1,384 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// testNet builds a two-site network with deterministic (zero) jitter.
+func testNet(t *testing.T, cfg Config) (*vtime.Scheduler, *Net) {
+	t.Helper()
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	topo := &StaticTopology{
+		HostSite: map[string]string{
+			"a1": "east", "a2": "east",
+			"b1": "west", "b2": "west",
+		},
+		DefLat: 5 * time.Millisecond,
+	}
+	return s, New(s, topo, cfg)
+}
+
+func zeroJitter() Config {
+	return Config{Seed: 1, JitterFrac: 0, JitterFloor: 0, NICBps: 1_000_000_000}
+}
+
+func TestListenDialSendRecv(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var got string
+	s.Go("server", func() {
+		l, err := n.Node("b1").Listen("b1:100")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		m, err := c.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = string(m.Payload)
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond) // let the server listen first
+		c, err := n.Node("a1").Dial("b1:100")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := c.Send(transport.Message{Payload: []byte("hello grid")}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	s.Wait()
+	if got != "hello grid" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDialObservesRTT(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var dialTook time.Duration
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		l.Accept()
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		start := s.Elapsed()
+		if _, err := n.Node("a1").Dial("b1:100"); err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		dialTook = s.Elapsed() - start
+	})
+	s.Wait()
+	// One-way is 5ms; a handshake is at least one RTT = 10ms.
+	if dialTook < 10*time.Millisecond || dialTook > 12*time.Millisecond {
+		t.Fatalf("dial took %v, want ≈10ms", dialTook)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var err1, err2 error
+	s.Go("client", func() {
+		_, err1 = n.Node("a1").Dial("b1:999") // no listener
+		_, err2 = n.Node("a1").Dial("nowhere:1")
+	})
+	s.Wait()
+	if err1 != transport.ErrUnreachable {
+		t.Fatalf("no-listener dial err = %v", err1)
+	}
+	if err2 != transport.ErrUnreachable {
+		t.Fatalf("unknown-host dial err = %v", err2)
+	}
+}
+
+func TestMessageLatency(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var elapsed time.Duration
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		c, _ := l.Accept()
+		sent, _ := c.Recv()
+		_ = sent
+		elapsed = s.Elapsed()
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, _ := n.Node("a1").Dial("b1:100")
+		sendAt := s.Elapsed()
+		c.Send(transport.Message{Payload: []byte("x")})
+		_ = sendAt
+	})
+	s.Wait()
+	// 1ms listen delay + 10ms handshake + 5ms one-way = 16ms (+ tiny
+	// serialization time).
+	if elapsed < 16*time.Millisecond || elapsed > 17*time.Millisecond {
+		t.Fatalf("message arrived at %v, want ≈16ms", elapsed)
+	}
+}
+
+func TestFIFOPerConnection(t *testing.T) {
+	s, n := testNet(t, Config{Seed: 7, JitterFrac: 0.5, JitterFloor: time.Millisecond, NICBps: 1e9})
+	const msgs = 200
+	var got []int
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		c, _ := l.Accept()
+		for i := 0; i < msgs; i++ {
+			m, err := c.Recv()
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got = append(got, int(m.Payload[0])<<8|int(m.Payload[1]))
+		}
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, _ := n.Node("a1").Dial("b1:100")
+		for i := 0; i < msgs; i++ {
+			c.Send(transport.Message{Payload: []byte{byte(i >> 8), byte(i)}})
+		}
+	})
+	s.Wait()
+	if len(got) != msgs {
+		t.Fatalf("received %d/%d", len(got), msgs)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d (jitter must not break per-conn FIFO)", i, v)
+		}
+	}
+}
+
+func TestBandwidthShapesBigTransfer(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var arrival time.Duration
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		c, _ := l.Accept()
+		c.Recv()
+		arrival = s.Elapsed()
+	})
+	var sendStart time.Duration
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, _ := n.Node("a1").Dial("b1:100")
+		sendStart = s.Elapsed()
+		// 100 MB virtual payload over a 1 Gb/s NIC ≈ 0.8 s serialization.
+		c.Send(transport.Message{Virtual: 100 << 20})
+	})
+	s.Wait()
+	transfer := arrival - sendStart
+	if transfer < 800*time.Millisecond || transfer > 900*time.Millisecond {
+		t.Fatalf("100MB over 1Gb/s took %v, want ≈839ms", transfer)
+	}
+}
+
+func TestSharedPipeContention(t *testing.T) {
+	s, n := testNet(t, Config{Seed: 1, NICBps: 10_000_000_000}) // NICs faster than pipe
+	n.cfg.JitterFrac, n.cfg.JitterFloor = 0, 0
+	topo := n.topo.(*StaticTopology)
+	topo.Bps = 1_000_000_000 // 1 Gb/s shared east-west pipe
+
+	done := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		src := fmt.Sprintf("a%d", i+1)
+		port := fmt.Sprintf("b1:%d", 200+i)
+		s.Go("server"+src, func() {
+			l, _ := n.Node("b1").Listen(port)
+			c, _ := l.Accept()
+			c.Recv()
+			done[i] = s.Elapsed()
+		})
+		s.Go("client"+src, func() {
+			s.Sleep(time.Millisecond)
+			c, _ := n.Node(src).Dial(port)
+			c.Send(transport.Message{Virtual: 50 << 20}) // 50 MB each
+		})
+	}
+	s.Wait()
+	// Two 50MB flows over one shared 1Gb/s pipe: the second finishes
+	// after ≈0.8s of combined serialization, not 0.4s.
+	last := done[0]
+	if done[1] > last {
+		last = done[1]
+	}
+	if last < 790*time.Millisecond {
+		t.Fatalf("contended flows finished at %v, too fast for a shared pipe", last)
+	}
+}
+
+func TestCloseDrainsInFlight(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var got int
+	var finalErr error
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		c, _ := l.Accept()
+		for {
+			_, err := c.Recv()
+			if err != nil {
+				finalErr = err
+				return
+			}
+			got++
+		}
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, _ := n.Node("a1").Dial("b1:100")
+		for i := 0; i < 5; i++ {
+			c.Send(transport.Message{Payload: []byte{byte(i)}})
+		}
+		c.Close() // immediately after the sends
+	})
+	s.Wait()
+	if got != 5 {
+		t.Fatalf("receiver drained %d/5 before close", got)
+	}
+	if finalErr != transport.ErrClosed {
+		t.Fatalf("final err = %v, want ErrClosed", finalErr)
+	}
+}
+
+func TestFailHostDropsTraffic(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var recvErr error
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		c, _ := l.Accept()
+		_, recvErr = c.RecvTimeout(100 * time.Millisecond)
+	})
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		c, _ := n.Node("a1").Dial("b1:100")
+		s.Sleep(time.Millisecond)
+		n.FailHost("a1")
+		c.Send(transport.Message{Payload: []byte("lost")})
+	})
+	s.Wait()
+	if recvErr != transport.ErrTimeout {
+		t.Fatalf("recv err = %v, want timeout (message must be dropped)", recvErr)
+	}
+}
+
+func TestDialToFailedHost(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	var err error
+	s.Go("client", func() {
+		n.FailHost("b1")
+		_, err = n.Node("a1").Dial("b1:100")
+	})
+	s.Wait()
+	if err != transport.ErrUnreachable {
+		t.Fatalf("dial err = %v, want unreachable", err)
+	}
+}
+
+func TestRequestReplyHelper(t *testing.T) {
+	s, n := testNet(t, zeroJitter())
+	s.Go("server", func() {
+		l, _ := n.Node("b1").Listen("b1:100")
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.Go("handler", func() {
+				m, err := c.Recv()
+				if err == nil {
+					c.Send(transport.Message{Payload: append([]byte("re:"), m.Payload...)})
+				}
+			})
+		}
+	})
+	var reply transport.Message
+	var err error
+	s.Go("client", func() {
+		s.Sleep(time.Millisecond)
+		reply, err = transport.RequestReply(n.Node("a1"), "b1:100",
+			transport.Message{Payload: []byte("ping")}, time.Second)
+	})
+	s.Wait()
+	if err != nil || string(reply.Payload) != "re:ping" {
+		t.Fatalf("reply = %q, err = %v", reply.Payload, err)
+	}
+}
+
+func TestGridTopologyLatencies(t *testing.T) {
+	g := grid.Grid5000()
+	topo := NewGridTopology(g)
+	topo.AddHost("frontal.nancy", grid.Nancy)
+
+	if got := topo.Site("grelon-1.nancy"); got != grid.Nancy {
+		t.Fatalf("site of grelon-1 = %q", got)
+	}
+	if got := topo.Site("frontal.nancy"); got != grid.Nancy {
+		t.Fatalf("extra host site = %q", got)
+	}
+	if got := topo.Site("unknown-host"); got != "" {
+		t.Fatalf("unknown host mapped to %q", got)
+	}
+	oneWay := topo.SiteLatency(grid.Nancy, grid.Sophia)
+	if oneWay != 17167*time.Microsecond/2 {
+		t.Fatalf("nancy-sophia one way = %v", oneWay)
+	}
+}
+
+func TestJitterIsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		s := vtime.New()
+		defer s.Shutdown()
+		topo := &StaticTopology{
+			HostSite: map[string]string{"a1": "east", "b1": "west"},
+			DefLat:   5 * time.Millisecond,
+		}
+		n := New(s, topo, DefaultConfig(42))
+		var arrivals []time.Duration
+		s.Go("server", func() {
+			l, _ := n.Node("b1").Listen("b1:1")
+			c, _ := l.Accept()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+				arrivals = append(arrivals, s.Elapsed())
+			}
+		})
+		s.Go("client", func() {
+			s.Sleep(time.Millisecond)
+			c, _ := n.Node("a1").Dial("b1:1")
+			for i := 0; i < 20; i++ {
+				c.Send(transport.Message{Payload: []byte{1}})
+				s.Sleep(time.Millisecond)
+			}
+		})
+		s.Wait()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lost messages: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter diverged at msg %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"time"
+
+	"p2pmpi/internal/grid"
+)
+
+// GridTopology adapts a grid.Grid to the simnet Topology interface and
+// lets extra non-compute hosts (site frontends, the submitter) be pinned
+// to sites.
+type GridTopology struct {
+	g     *grid.Grid
+	extra map[string]string // hostID -> site
+}
+
+// NewGridTopology wraps g. Hosts from g resolve through their host table.
+func NewGridTopology(g *grid.Grid) *GridTopology {
+	return &GridTopology{g: g, extra: make(map[string]string)}
+}
+
+// AddHost pins an additional host ID (e.g. "frontal.nancy") to a site.
+func (t *GridTopology) AddHost(id, site string) { t.extra[id] = site }
+
+// Site maps a host to its site.
+func (t *GridTopology) Site(host string) string {
+	if h := t.g.HostByID(host); h != nil {
+		return h.Site
+	}
+	return t.extra[host]
+}
+
+// SiteLatency returns the one-way latency: half the site RTT.
+func (t *GridTopology) SiteLatency(a, b string) time.Duration {
+	return t.g.SiteRTT(a, b) / 2
+}
+
+// SiteBps returns the shared inter-site pipe capacity.
+func (t *GridTopology) SiteBps(a, b string) int64 { return t.g.SiteBandwidth(a, b) }
+
+var _ Topology = (*GridTopology)(nil)
+
+// StaticTopology is a flat test topology: every host is in the site named
+// by the map value, with a fixed latency matrix.
+type StaticTopology struct {
+	HostSite map[string]string
+	Lat      map[[2]string]time.Duration // site pair (sorted) -> one way
+	DefLat   time.Duration
+	Bps      int64
+}
+
+// Site implements Topology.
+func (t *StaticTopology) Site(host string) string { return t.HostSite[host] }
+
+// SiteLatency implements Topology.
+func (t *StaticTopology) SiteLatency(a, b string) time.Duration {
+	if a > b {
+		a, b = b, a
+	}
+	if d, ok := t.Lat[[2]string{a, b}]; ok {
+		return d
+	}
+	if a == b {
+		return t.DefLat / 10
+	}
+	return t.DefLat
+}
+
+// SiteBps implements Topology.
+func (t *StaticTopology) SiteBps(a, b string) int64 {
+	if t.Bps > 0 {
+		return t.Bps
+	}
+	return 10_000_000_000
+}
+
+var _ Topology = (*StaticTopology)(nil)

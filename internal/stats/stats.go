@@ -1,0 +1,166 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness and the latency estimators: summaries, histograms
+// and rank-correlation (Kendall tau) for estimator-quality ablations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics and moments for a sample.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean, Std      float64
+	P50, P90, P99  float64
+	Sum            float64
+	sorted         []float64
+	sumSq          float64
+	populationMode bool
+}
+
+// Summarize computes a Summary over xs. It copies the input.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.sorted = append([]float64(nil), xs...)
+	sort.Float64s(s.sorted)
+	s.Min = s.sorted[0]
+	s.Max = s.sorted[len(s.sorted)-1]
+	for _, x := range xs {
+		s.Sum += x
+		s.sumSq += x * x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		v := (s.sumSq - s.Sum*s.Sum/float64(s.N)) / float64(s.N-1)
+		if v > 0 {
+			s.Std = math.Sqrt(v)
+		}
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func (s Summary) Quantile(q float64) float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.sorted[0]
+	}
+	if q >= 1 {
+		return s.sorted[s.N-1]
+	}
+	pos := q * float64(s.N-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p50=%.4g mean=%.4g p90=%.4g max=%.4g std=%.4g",
+		s.N, s.Min, s.P50, s.Mean, s.P90, s.Max, s.Std)
+}
+
+// KendallTau computes the Kendall rank correlation coefficient (tau-a)
+// between two equally long score vectors. It is used to grade latency
+// estimators against the true RTT ranking: 1 means identical ranking,
+// -1 fully reversed, 0 uncorrelated. Ties count as discordant-neutral.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: KendallTau length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// Histogram is a fixed-bucket linear histogram.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int
+	Over    int
+	samples int
+}
+
+// NewHistogram creates a histogram of n equal buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard against FP rounding at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including outliers.
+func (h *Histogram) Total() int { return h.samples }
+
+// Counter is a simple named event counter set.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counter) Inc(name string, delta int64) { c.counts[name] += delta }
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counter) Names() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

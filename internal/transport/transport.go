@@ -1,0 +1,87 @@
+// Package transport defines the message-oriented network abstraction all
+// P2P-MPI middleware is written against, with two interchangeable
+// implementations: real TCP (tcp.go) and the simulated Grid'5000 network
+// (package simnet). Daemons, reservation services and the MPI library see
+// only these interfaces, which is what lets the identical protocol code
+// run on localhost sockets and inside the virtual-time simulator.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Common transport errors.
+var (
+	// ErrClosed is returned by operations on a closed conn or listener.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTimeout is returned by RecvTimeout when the deadline passes.
+	ErrTimeout = errors.New("transport: timeout")
+	// ErrUnreachable is returned by Dial when the address has no listener.
+	ErrUnreachable = errors.New("transport: unreachable")
+)
+
+// Message is one framed datagram. Payload carries real bytes; Virtual, if
+// non-zero, declares an additional modelled size in bytes used by the
+// simulator to compute transfer time without allocating the data. A
+// Class-B NAS IS exchange is sent as a small header with Virtual set to
+// the would-be buffer size.
+type Message struct {
+	Payload []byte
+	Virtual int64
+}
+
+// Size returns the modelled size of the message on the wire.
+func (m Message) Size() int64 { return int64(len(m.Payload)) + m.Virtual }
+
+// Conn is a reliable, ordered, message-oriented connection.
+// Send and Recv may be used concurrently with each other; concurrent
+// Sends (or concurrent Recvs) are serialized by the implementation.
+type Conn interface {
+	// Send transmits one message.
+	Send(m Message) error
+	// Recv blocks until a message arrives or the conn closes.
+	Recv() (Message, error)
+	// RecvTimeout is Recv with a deadline; d < 0 means block forever.
+	// It returns ErrTimeout when the deadline expires first.
+	RecvTimeout(d time.Duration) (Message, error)
+	// Close tears the connection down. Pending receivers unblock with
+	// ErrClosed once the in-flight queue drains.
+	Close() error
+	// LocalAddr and RemoteAddr return the endpoint addresses.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on one address.
+type Listener interface {
+	// Accept blocks until an inbound connection arrives.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+	// Addr returns the bound address.
+	Addr() string
+}
+
+// Network is the factory for listeners and outbound connections.
+// Addresses are strings; the TCP implementation uses "host:port" resolved
+// by the OS, the simulator uses "hostID:port" resolved by the topology.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// RequestReply dials addr, sends req, waits up to timeout for a single
+// reply and closes the connection. It is the client-side idiom used by
+// most control-plane exchanges (registration, ping, reservation).
+func RequestReply(n Network, addr string, req Message, timeout time.Duration) (Message, error) {
+	c, err := n.Dial(addr)
+	if err != nil {
+		return Message{}, err
+	}
+	defer c.Close()
+	if err := c.Send(req); err != nil {
+		return Message{}, err
+	}
+	return c.RecvTimeout(timeout)
+}

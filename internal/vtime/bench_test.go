@@ -1,0 +1,56 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw discrete-event processing: one
+// actor sleeping through b.N virtual ticks.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	defer s.Shutdown()
+	s.Go("ticker", func() {
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	s.Wait()
+}
+
+// BenchmarkQueueHandoff measures producer/consumer hand-offs between two
+// actors.
+func BenchmarkQueueHandoff(b *testing.B) {
+	s := New()
+	defer s.Shutdown()
+	q := NewQueue[int](s)
+	s.Go("producer", func() {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+		}
+	})
+	s.Go("consumer", func() {
+		for i := 0; i < b.N; i++ {
+			if _, ok := q.Pop(); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	s.Wait()
+}
+
+// BenchmarkActorSpawn measures Go+exit cost for short-lived actors.
+func BenchmarkActorSpawn(b *testing.B) {
+	s := New()
+	defer s.Shutdown()
+	s.Go("spawner", func() {
+		for i := 0; i < b.N; i++ {
+			s.Go("child", func() {})
+			s.Yield()
+		}
+	})
+	b.ResetTimer()
+	s.Wait()
+}

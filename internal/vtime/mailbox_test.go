@@ -1,0 +1,111 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerMailboxFanIn(t *testing.T) {
+	s := New()
+	mb := s.NewMailbox()
+	var got []int
+	s.Go("collector", func() {
+		for i := 0; i < 5; i++ {
+			v, ok := mb.Pop()
+			if !ok {
+				t.Errorf("mailbox closed early")
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go("worker", func() {
+			s.Sleep(time.Duration(5-i) * time.Millisecond)
+			mb.Push(i)
+		})
+	}
+	s.Wait()
+	if len(got) != 5 {
+		t.Fatalf("collected %d", len(got))
+	}
+	// Workers complete in reverse sleep order: 4,3,2,1,0.
+	for i, v := range got {
+		if v != 4-i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSchedulerMailboxTimeout(t *testing.T) {
+	s := New()
+	mb := s.NewMailbox()
+	var err error
+	s.Go("popper", func() {
+		_, err = mb.PopTimeout(time.Second)
+	})
+	s.Wait()
+	if err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealMailboxBasics(t *testing.T) {
+	var r Real
+	mb := r.NewMailbox()
+	mb.Push(1)
+	mb.Push(2)
+	if mb.Len() != 2 {
+		t.Fatalf("len = %d", mb.Len())
+	}
+	if v, ok := mb.Pop(); !ok || v.(int) != 1 {
+		t.Fatalf("pop = %v %v", v, ok)
+	}
+	if _, err := mb.PopTimeout(0); err != nil && err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealMailboxTimeout(t *testing.T) {
+	var r Real
+	mb := r.NewMailbox()
+	start := time.Now()
+	_, err := mb.PopTimeout(30 * time.Millisecond)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+}
+
+func TestRealMailboxCrossGoroutine(t *testing.T) {
+	var r Real
+	mb := r.NewMailbox()
+	r.Go("pusher", func() {
+		time.Sleep(10 * time.Millisecond)
+		mb.Push("hello")
+	})
+	v, err := mb.PopTimeout(5 * time.Second)
+	if err != nil || v.(string) != "hello" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestRealMailboxClose(t *testing.T) {
+	var r Real
+	mb := r.NewMailbox()
+	mb.Push(7)
+	mb.Close()
+	if v, ok := mb.Pop(); !ok || v.(int) != 7 {
+		t.Fatal("buffered item lost on close")
+	}
+	if _, err := mb.PopTimeout(-1); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+	mb.Push(9) // no-op after close
+	if mb.Len() != 0 {
+		t.Fatal("push after close buffered")
+	}
+}

@@ -1,0 +1,153 @@
+package vtime
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrClosed is returned by Queue operations after Close.
+var ErrClosed = errors.New("vtime: queue closed")
+
+// ErrTimeout is returned by PopTimeout when the deadline expires first.
+var ErrTimeout = errors.New("vtime: timeout")
+
+// qwaiter is one actor blocked in Pop, waiting for a direct hand-off.
+type qwaiter[T any] struct {
+	a    *actor
+	item T
+	got  bool // item was handed off
+	gone bool // abandoned (timeout or close); Push must skip it
+}
+
+// Queue is an unbounded FIFO connecting actors (and event callbacks) to
+// actors. Pop blocks the calling actor in virtual time; Push never blocks.
+// Items are handed directly to the longest-waiting consumer, preserving
+// FIFO order among both items and consumers.
+type Queue[T any] struct {
+	s       *Scheduler
+	items   []T
+	waiters []*qwaiter[T]
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to s.
+func NewQueue[T any](s *Scheduler) *Queue[T] {
+	return &Queue[T]{s: s}
+}
+
+// Push appends x (or hands it to a waiting consumer). It is safe to call
+// from actors and from event callbacks. Push on a closed queue is a no-op.
+func (q *Queue[T]) Push(x T) {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.gone {
+			continue
+		}
+		w.item = x
+		w.got = true
+		q.s.WakeLocked(w.a)
+		return
+	}
+	q.items = append(q.items, x)
+}
+
+// Pop removes and returns the head item, blocking the calling actor until
+// one is available. The bool is false if the queue was closed.
+func (q *Queue[T]) Pop() (T, bool) {
+	v, err := q.PopTimeout(-1)
+	return v, err == nil
+}
+
+// PopTimeout is Pop with a virtual-time deadline. d < 0 means no deadline.
+// It returns ErrTimeout if d elapses first and ErrClosed after Close.
+func (q *Queue[T]) PopTimeout(d time.Duration) (T, error) {
+	var zero T
+	q.s.mu.Lock()
+	if len(q.items) > 0 {
+		x := q.items[0]
+		q.items = q.items[1:]
+		q.s.mu.Unlock()
+		return x, nil
+	}
+	if q.closed {
+		q.s.mu.Unlock()
+		return zero, ErrClosed
+	}
+	if d == 0 {
+		q.s.mu.Unlock()
+		return zero, ErrTimeout
+	}
+	a := q.s.curActorLocked("Queue.Pop")
+	w := &qwaiter[T]{a: a}
+	q.waiters = append(q.waiters, w)
+
+	var timer *event
+	if d > 0 {
+		timer = q.s.scheduleLocked(d, func() {
+			q.s.mu.Lock()
+			if !w.got && !w.gone {
+				w.gone = true
+				q.s.WakeLocked(a)
+			}
+			q.s.mu.Unlock()
+		})
+	}
+	q.s.parkLocked(a)
+	// Re-acquired s.mu here.
+	if timer != nil {
+		timer.canceled = true
+	}
+	defer q.s.mu.Unlock()
+	if w.got {
+		return w.item, nil
+	}
+	w.gone = true
+	if q.closed {
+		return zero, ErrClosed
+	}
+	return zero, ErrTimeout
+}
+
+// TryPop removes the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	x := q.items[0]
+	q.items = q.items[1:]
+	return x, true
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes all waiting consumers with ErrClosed and drops future
+// pushes. Buffered items remain poppable. Idempotent.
+func (q *Queue[T]) Close() {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		if !w.gone && !w.got {
+			w.gone = true
+			q.s.WakeLocked(w.a)
+		}
+	}
+	q.waiters = nil
+}

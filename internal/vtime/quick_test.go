@@ -1,0 +1,164 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickTimerOrdering: for any multiset of delays, callbacks fire in
+// nondecreasing deadline order, with FIFO order among equal deadlines.
+func TestQuickTimerOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		s := New()
+		defer s.Shutdown()
+		type fired struct {
+			at  time.Duration
+			idx int
+		}
+		var log []fired
+		s.Go("arm", func() {
+			for i, d := range raw {
+				i, dd := i, time.Duration(d)*time.Microsecond
+				s.After(dd, func() {
+					log = append(log, fired{at: s.Elapsed(), idx: i})
+				})
+			}
+			s.Sleep(time.Second) // beyond every deadline
+		})
+		s.Wait()
+		if len(log) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+			// Equal firing times must preserve arming order.
+			if log[i].at == log[i-1].at && raw[log[i].idx] == raw[log[i-1].idx] &&
+				log[i].idx < log[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSleepersWakeInOrder: N actors with random sleeps always wake
+// in sorted delay order.
+func TestQuickSleepersWakeInOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		s := New()
+		defer s.Shutdown()
+		var woke []time.Duration
+		for _, d := range raw {
+			dd := time.Duration(d) * time.Microsecond
+			s.Go("sleeper", func() {
+				s.Sleep(dd)
+				woke = append(woke, dd)
+			})
+		}
+		s.Wait()
+		if len(woke) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(woke, func(i, j int) bool { return woke[i] < woke[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQueueFIFO: any interleaving of pushes drains in push order.
+func TestQuickQueueFIFO(t *testing.T) {
+	f := func(vals []int16, seed int64) bool {
+		if len(vals) > 128 {
+			vals = vals[:128]
+		}
+		s := New()
+		defer s.Shutdown()
+		q := NewQueue[int16](s)
+		rng := rand.New(rand.NewSource(seed))
+		s.Go("producer", func() {
+			for _, v := range vals {
+				if rng.Intn(3) == 0 {
+					s.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+				}
+				q.Push(v)
+			}
+		})
+		var got []int16
+		s.Go("consumer", func() {
+			for range vals {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		s.Wait()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRunForTiling: consecutive RunFor calls advance the clock by
+// exactly their durations regardless of event load.
+func TestQuickRunForTiling(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		if len(chunks) == 0 {
+			return true
+		}
+		if len(chunks) > 16 {
+			chunks = chunks[:16]
+		}
+		s := New()
+		defer s.Shutdown()
+		s.Go("noise", func() {
+			for i := 0; i < 1000; i++ {
+				s.Sleep(777 * time.Microsecond)
+			}
+		})
+		var want time.Duration
+		for _, c := range chunks {
+			d := time.Duration(c) * time.Millisecond
+			s.RunFor(d)
+			want += d
+			if s.Elapsed() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

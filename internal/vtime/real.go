@@ -1,0 +1,20 @@
+package vtime
+
+import "time"
+
+// Real is the wall-clock Runtime: Now and Sleep delegate to package time
+// and Go starts plain goroutines. Daemons written against Runtime run
+// unchanged over real networks with this implementation.
+type Real struct{}
+
+// Now returns the wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep pauses the calling goroutine for d of wall-clock time.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Go runs fn on a new goroutine. The name is ignored.
+func (Real) Go(name string, fn func()) { go fn() }
+
+var _ Runtime = Real{}
+var _ Runtime = (*Scheduler)(nil)

@@ -1,0 +1,412 @@
+// Package vtime provides a deterministic discrete-event virtual-time
+// scheduler. It is the substrate on which the whole Grid'5000 simulation
+// runs: every daemon, every MPI process and every in-flight message is an
+// actor or an event on a single virtual clock.
+//
+// The scheduler is conservative and strictly sequential: exactly one actor
+// executes at any moment, and the clock advances only when every actor is
+// parked. Together with seeded random sources this makes large simulations
+// (hundreds of peers, hundreds of thousands of messages) reproducible
+// bit-for-bit, which the experiment harness relies on.
+//
+// Actors are ordinary goroutines registered with (*Scheduler).Go. They may
+// block only through scheduler primitives (Sleep, Queue.Pop, Timer waits).
+// Blocking through ordinary channel operations or OS calls would stall the
+// virtual clock.
+package vtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStopped is the panic value used to unwind parked actors when the
+// scheduler shuts down. Actor functions are unwound transparently; user
+// code never observes it unless it installs its own recover.
+var ErrStopped = errors.New("vtime: scheduler stopped")
+
+// Runtime is the minimal execution environment the middleware is written
+// against. The Scheduler implements it in virtual time; Real implements it
+// on the wall clock, so the very same daemon code runs in both worlds.
+type Runtime interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the calling actor (or goroutine) for d.
+	Sleep(d time.Duration)
+	// Go starts fn as a new actor (or goroutine). The name is used in
+	// diagnostics only.
+	Go(name string, fn func())
+	// NewMailbox creates a runtime-portable FIFO for blocking hand-offs.
+	NewMailbox() Mailbox
+}
+
+// actor is the scheduler-side handle for one registered goroutine.
+type actor struct {
+	name string
+	ch   chan struct{} // wake token, buffered 1
+	stop bool          // set under s.mu by Shutdown
+}
+
+// event is a scheduled callback on the virtual timeline.
+type event struct {
+	at       time.Duration
+	seq      uint64 // FIFO tie-break for equal timestamps
+	fn       func() // runs with s.mu NOT held; must not block
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a sequential discrete-event executor.
+//
+// The zero value is not usable; call New.
+type Scheduler struct {
+	mu       sync.Mutex
+	idleCond *sync.Cond // broadcast when the scheduler goes idle
+
+	epoch time.Time     // virtual time zero
+	now   time.Duration // virtual time since epoch
+
+	events eventHeap
+	seq    uint64
+
+	runq      []*actor            // runnable, not yet executing
+	cur       *actor              // the single executing actor, nil if none
+	executing bool                // true while cur runs or an event fires
+	parked    map[*actor]struct{} // actors blocked in park
+	actors    int                 // live actors
+
+	idle    bool
+	stopped bool
+
+	limited bool          // when set, events beyond limit do not fire
+	limit   time.Duration // virtual-time fence used by RunFor
+}
+
+// New returns a scheduler whose virtual clock starts at a fixed epoch
+// (2008-04-14 00:00:00 UTC, the week of IPDPS 2008) so that timestamps in
+// traces are stable across runs.
+func New() *Scheduler {
+	s := &Scheduler{
+		epoch:  time.Date(2008, 4, 14, 0, 0, 0, 0, time.UTC),
+		parked: make(map[*actor]struct{}),
+	}
+	s.idleCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch.Add(s.now)
+}
+
+// Elapsed returns the virtual time elapsed since the epoch.
+func (s *Scheduler) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go registers fn as a new actor and makes it runnable. It may be called
+// from outside the scheduler (before Wait) or from inside a running actor.
+func (s *Scheduler) Go(name string, fn func()) {
+	a := &actor{name: name, ch: make(chan struct{}, 1)}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.actors++
+	s.idle = false
+	s.runq = append(s.runq, a)
+	s.mu.Unlock()
+
+	go func() {
+		<-a.ch // wait for the token
+		if a.stop {
+			s.actorExit(a, nil)
+			return
+		}
+		defer func() {
+			r := recover()
+			if r == ErrStopped { // clean shutdown unwind
+				r = nil
+			}
+			s.actorExit(a, r)
+		}()
+		fn()
+	}()
+}
+
+// actorExit releases the token when an actor's function returns. A non-nil
+// recovered panic value is re-raised on the caller of Wait via a stored
+// fault so bugs are not swallowed.
+func (s *Scheduler) actorExit(a *actor, fault any) {
+	s.mu.Lock()
+	s.actors--
+	s.cur = nil
+	s.executing = false
+	if fault != nil {
+		// Surface actor panics loudly: stop the world and re-panic here so
+		// the test binary fails with the actor's stack in view.
+		s.mu.Unlock()
+		panic(fmt.Sprintf("vtime: actor %q panicked: %v", a.name, fault))
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// Sleep parks the calling actor for d of virtual time. d <= 0 yields the
+// token (other runnable actors execute first) without advancing the clock.
+func (s *Scheduler) Sleep(d time.Duration) {
+	s.mu.Lock()
+	a := s.cur
+	if a == nil {
+		s.mu.Unlock()
+		panic("vtime: Sleep called from a non-actor goroutine")
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.scheduleLocked(d, func() { s.WakeLocked(a) })
+	s.parkLocked(a)
+	s.mu.Unlock()
+}
+
+// Yield lets other runnable actors execute before the caller continues.
+func (s *Scheduler) Yield() { s.Sleep(0) }
+
+// After schedules fn to run at now+d as an event callback. fn runs outside
+// any actor context and must not block. The returned Timer can cancel it.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	ev := s.scheduleLocked(d, fn)
+	return &Timer{s: s, ev: ev}
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback had not yet run.
+func (t *Timer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// scheduleLocked inserts an event at now+d. Caller holds s.mu.
+func (s *Scheduler) scheduleLocked(d time.Duration, fn func()) *event {
+	s.seq++
+	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// parkLocked blocks the current actor until some event or other actor
+// wakes it with WakeLocked. Caller holds s.mu; it is released while parked
+// and re-acquired before returning. Panics with ErrStopped on shutdown.
+func (s *Scheduler) parkLocked(a *actor) {
+	s.parked[a] = struct{}{}
+	s.cur = nil
+	s.executing = false
+	s.dispatchLocked()
+	s.mu.Unlock()
+	<-a.ch
+	s.mu.Lock()
+	if a.stop {
+		s.mu.Unlock()
+		panic(ErrStopped)
+	}
+}
+
+// WakeLocked makes a parked actor runnable. It is exported for use by
+// scheduler-integrated primitives in this package and by simnet; callers
+// must hold no scheduler-visible locks of their own (the scheduler mutex
+// is taken internally when called via Wake).
+func (s *Scheduler) WakeLocked(a *actor) {
+	if _, ok := s.parked[a]; ok {
+		delete(s.parked, a)
+		s.runq = append(s.runq, a)
+	}
+}
+
+// dispatchLocked hands the execution token to the next runnable actor, or
+// advances the clock by firing events until an actor becomes runnable. If
+// neither is possible the scheduler goes idle. Caller holds s.mu.
+func (s *Scheduler) dispatchLocked() {
+	if s.executing {
+		return
+	}
+	for {
+		if len(s.runq) > 0 {
+			a := s.runq[0]
+			copy(s.runq, s.runq[1:])
+			s.runq = s.runq[:len(s.runq)-1]
+			s.cur = a
+			s.executing = true
+			a.ch <- struct{}{}
+			return
+		}
+		if s.stopped || len(s.events) == 0 ||
+			(s.limited && s.events[0].at > s.limit) {
+			s.idle = true
+			s.idleCond.Broadcast()
+			return
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		// Run the callback without the lock so it can use public APIs
+		// (Queue.Push, Wake, After). No actor executes meanwhile, so the
+		// callback is still serialized with all actor code.
+		s.executing = true
+		s.mu.Unlock()
+		ev.fn()
+		s.mu.Lock()
+		s.executing = false
+	}
+}
+
+// Wait blocks the (external, non-actor) caller until the scheduler is
+// idle: no runnable actor and no pending event. Parked actors may remain;
+// use Shutdown to unwind them.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	if !s.executing {
+		s.idle = false
+		s.dispatchLocked()
+	}
+	for !s.idle {
+		s.idleCond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// RunFor drives the simulation for d of virtual time (or until it runs
+// out of events first) and returns the amount of virtual time advanced.
+// Events scheduled beyond the fence stay pending for the next RunFor or
+// Wait. It must be called from outside the scheduler.
+func (s *Scheduler) RunFor(d time.Duration) time.Duration {
+	s.mu.Lock()
+	start := s.now
+	s.limit = s.now + d
+	s.limited = true
+	s.mu.Unlock()
+
+	s.Wait()
+
+	s.mu.Lock()
+	s.limited = false
+	if s.now < start+d {
+		// Ran out of events early: jump the clock to the fence so that
+		// consecutive RunFor calls tile the timeline predictably.
+		s.now = start + d
+	}
+	advanced := s.now - start
+	s.mu.Unlock()
+	return advanced
+}
+
+// Shutdown stops the scheduler: pending events are dropped and every
+// parked or queued actor is unwound with ErrStopped. Idempotent.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.events = nil
+	// Unwind runnable-but-not-started actors and parked actors.
+	for _, a := range s.runq {
+		a.stop = true
+		a.ch <- struct{}{}
+	}
+	s.runq = nil
+	for a := range s.parked {
+		a.stop = true
+		delete(s.parked, a)
+		a.ch <- struct{}{}
+	}
+	s.idle = true
+	s.idleCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Actors returns the number of live actors (for tests and diagnostics).
+func (s *Scheduler) Actors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.actors
+}
+
+// PendingEvents returns the number of scheduled, uncanceled events.
+func (s *Scheduler) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// cur returns the executing actor, panicking when called from outside an
+// actor. Caller holds s.mu.
+func (s *Scheduler) curActorLocked(op string) *actor {
+	if s.cur == nil {
+		s.mu.Unlock()
+		panic("vtime: " + op + " called from a non-actor goroutine")
+	}
+	return s.cur
+}

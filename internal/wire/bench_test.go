@@ -1,0 +1,49 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodeControlMessage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(64)
+		e.U8(7).String("grelon-12.nancy").String("nancy").
+			String("grelon-12.nancy:9000").String("grelon-12.nancy:9001").
+			Int(600).Duration(17167000)
+		_ = e.Bytes()
+	}
+}
+
+func BenchmarkDecodeControlMessage(b *testing.B) {
+	e := NewEncoder(64)
+	e.U8(7).String("grelon-12.nancy").String("nancy").
+		String("grelon-12.nancy:9000").String("grelon-12.nancy:9001").
+		Int(600).Duration(17167000)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		_ = d.U8()
+		_ = d.String()
+		_ = d.String()
+		_ = d.String()
+		_ = d.String()
+		_ = d.Int()
+		_ = d.Duration()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+func BenchmarkEncodeIntSlice(b *testing.B) {
+	vs := make([]int, 1024)
+	for i := range vs {
+		vs[i] = i * 3
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(4096)
+		e.IntSlice(vs)
+	}
+}

@@ -1,0 +1,233 @@
+// Package p2pmpi is a Go reproduction of P2P-MPI's co-allocation system
+// as published in "Large-Scale Experiment of Co-allocation Strategies
+// for Peer-to-Peer SuperComputing in P2P-MPI" (Genaud & Rattanapoka,
+// HPGC/IPDPS 2008).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - the co-allocation strategies (spread, concentrate, mixed) and the
+//     replica-safe rank assignment (internal/core);
+//   - the P2P middleware: supernode, MPD daemons, reservation services
+//     and the full 8-step submission protocol (internal/overlay,
+//     internal/mpd, internal/reservation);
+//   - an MPJ-like MPI library with selectable collective algorithms and
+//     transparent process replication (internal/mpi);
+//   - the NAS EP and IS kernels, both real and as calibrated
+//     virtual-time models (internal/nas);
+//   - the modelled Grid'5000 testbed and the experiment harness that
+//     regenerates every table and figure of the paper (internal/grid,
+//     internal/simnet, internal/exp).
+//
+// Everything runs in two worlds from the same code: real TCP sockets on
+// a wall clock (vtime.Real + transport.TCP), or the deterministic
+// virtual-time Grid'5000 simulation used by the evaluation.
+package p2pmpi
+
+import (
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/exp"
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/latency"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/mpi"
+	"p2pmpi/internal/nas"
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// Allocation strategies (§4.3 of the paper, plus the mixed extension).
+type Strategy = core.Strategy
+
+// The selectable strategies.
+const (
+	Spread      = core.Spread
+	Concentrate = core.Concentrate
+	Mixed       = core.Mixed
+)
+
+// ParseStrategy converts a command-line name ("spread", "concentrate",
+// "mixed") into a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Allocation core: exported for direct use of the paper's algorithms.
+type (
+	// HostSlot is one reserved host in ascending-latency order.
+	HostSlot = core.HostSlot
+	// Assignment is a computed process placement.
+	Assignment = core.Assignment
+	// Placement is one (rank, replica) pair on a host.
+	Placement = core.Placement
+)
+
+// Allocate distributes n×r processes over the selected hosts with the
+// given strategy and assigns MPI ranks such that no two replicas of a
+// rank share a host.
+func Allocate(slist []HostSlot, n, r int, s Strategy) (*Assignment, error) {
+	return core.Allocate(slist, n, r, s)
+}
+
+// Feasible checks the paper's feasibility conditions (§4.2 step 6).
+func Feasible(slist []HostSlot, n, r int) error { return core.Feasible(slist, n, r) }
+
+// Middleware types.
+type (
+	// JobSpec mirrors `p2pmpirun -n N -r R -a strategy prog args...`.
+	JobSpec = mpd.JobSpec
+	// JobResult is the submitter's view of a finished job.
+	JobResult = mpd.JobResult
+	// Program is an MPI application body run once per process.
+	Program = mpd.Program
+	// Env is the per-process execution environment.
+	Env = mpd.Env
+	// MPD is the per-host daemon.
+	MPD = mpd.MPD
+	// MPDConfig configures a daemon.
+	MPDConfig = mpd.Config
+	// HostProfile models host hardware for virtual-time runs.
+	HostProfile = mpd.HostProfile
+	// PeerInfo identifies a peer and its service addresses.
+	PeerInfo = proto.PeerInfo
+	// Supernode is the bootstrap/membership daemon.
+	Supernode = overlay.Supernode
+	// SupernodeConfig configures a supernode.
+	SupernodeConfig = overlay.SupernodeConfig
+)
+
+// NewMPD creates an MPD daemon over the given runtime and network.
+func NewMPD(rt vtime.Runtime, net transport.Network, cfg MPDConfig) *MPD {
+	return mpd.New(rt, net, cfg)
+}
+
+// NewSupernode creates a supernode daemon.
+func NewSupernode(rt vtime.Runtime, net transport.Network, cfg SupernodeConfig) *Supernode {
+	return overlay.NewSupernode(rt, net, cfg)
+}
+
+// Hostname is the paper's experiment program: each process echoes the
+// name of the host it runs on.
+func Hostname(env *Env) error { return mpd.Hostname(env) }
+
+// MPI library surface.
+type (
+	// Comm is a per-process communicator.
+	Comm = mpi.Comm
+	// CommConfig configures a process's communicator.
+	CommConfig = mpi.Config
+	// Data is a message body (bytes and/or modelled size).
+	Data = mpi.Data
+	// Slot locates one process in the application.
+	Slot = mpi.Slot
+	// Algorithms selects collective implementations.
+	Algorithms = mpi.Algorithms
+)
+
+// MPI wildcards and operators.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+	OpSum     = mpi.OpSum
+	OpMax     = mpi.OpMax
+	OpMin     = mpi.OpMin
+	OpProd    = mpi.OpProd
+)
+
+// Join brings a process into an application world.
+func Join(cfg CommConfig) (*Comm, error) { return mpi.Join(cfg) }
+
+// RunLocal executes fn as n in-process MPI ranks — the quickest way to
+// use the MPI library without the middleware.
+func RunLocal(rt vtime.Runtime, net transport.Network, host string, basePort, n int,
+	algs Algorithms, fn func(c *Comm) error) []error {
+	return mpi.RunLocal(rt, net, host, basePort, n, algs, fn)
+}
+
+// Runtimes and transports.
+type (
+	// Runtime abstracts the clock and goroutine spawning.
+	Runtime = vtime.Runtime
+	// Scheduler is the deterministic virtual-time runtime.
+	Scheduler = vtime.Scheduler
+	// Network abstracts listeners and dialing.
+	Network = transport.Network
+)
+
+// RealRuntime returns the wall-clock runtime.
+func RealRuntime() Runtime { return vtime.Real{} }
+
+// NewScheduler returns a fresh virtual-time scheduler.
+func NewScheduler() *Scheduler { return vtime.New() }
+
+// TCPNetwork returns the real TCP transport.
+func TCPNetwork() Network { return transport.TCP{} }
+
+// Grid'5000 model and experiment harness.
+type (
+	// Grid is the Table 1 testbed model.
+	Grid = grid.Grid
+	// World is a fully deployed simulated testbed.
+	World = exp.World
+	// WorldOptions tunes a simulated world.
+	WorldOptions = exp.Options
+)
+
+// Grid5000 builds the paper's Table 1 testbed model.
+func Grid5000() *Grid { return grid.Grid5000() }
+
+// NewSimulatedGrid builds (without booting) the complete simulated
+// deployment: 350 peers, supernode, submitter frontend.
+func NewSimulatedGrid(opts WorldOptions) *World { return exp.NewWorld(opts) }
+
+// DefaultWorldOptions returns the harness defaults for a seed.
+func DefaultWorldOptions(seed int64) WorldOptions { return exp.DefaultOptions(seed) }
+
+// NAS benchmark surface.
+type (
+	// EPClass and ISClass parameterize the kernels.
+	EPClass = nas.EPClass
+	ISClass = nas.ISClass
+)
+
+// NAS program constructors (real kernels, verified against NPB).
+func EPProgram(cls EPClass) Program { return nas.EPProgram(cls) }
+
+// ISProgram returns the real IS benchmark program.
+func ISProgram(cls ISClass) Program { return nas.ISProgram(cls) }
+
+// NAS classes evaluated by the paper.
+var (
+	EPClassS = nas.EPClassS
+	EPClassW = nas.EPClassW
+	EPClassA = nas.EPClassA
+	EPClassB = nas.EPClassB
+	ISClassS = nas.ISClassS
+	ISClassW = nas.ISClassW
+	ISClassA = nas.ISClassA
+	ISClassB = nas.ISClassB
+)
+
+// Latency estimators (the paper's future-work study).
+type LatencyEstimator = latency.Estimator
+
+// Estimator kinds.
+const (
+	EstimatorLast   = latency.KindLast
+	EstimatorMean   = latency.KindMean
+	EstimatorEWMA   = latency.KindEWMA
+	EstimatorMedian = latency.KindMedian
+	EstimatorMin    = latency.KindMin
+)
+
+// NewLatencyEstimator constructs an estimator of the given kind.
+func NewLatencyEstimator(kind latency.Kind, window int) (LatencyEstimator, error) {
+	return latency.New(kind, window)
+}
+
+// Version is the release tag of this reproduction.
+const Version = "1.0.0"
+
+// DefaultJobTimeout bounds a submission when JobSpec.Timeout is zero.
+const DefaultJobTimeout = 5 * time.Minute
