@@ -78,7 +78,7 @@ func BenchmarkFig3Spread(b *testing.B) {
 func BenchmarkFig4EP(b *testing.B) {
 	var last []exp.TimePoint
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.Fig4EP(exp.DefaultOptions(42), nil)
+		pts, err := exp.Fig4EP(exp.DefaultOptions(42), nil, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func BenchmarkFig4EP(b *testing.B) {
 func BenchmarkFig4IS(b *testing.B) {
 	var last []exp.TimePoint
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.Fig4IS(exp.DefaultOptions(42), nil)
+		pts, err := exp.Fig4IS(exp.DefaultOptions(42), nil, 2)
 		if err != nil {
 			b.Fatal(err)
 		}

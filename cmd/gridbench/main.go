@@ -6,7 +6,19 @@
 //	gridbench -exp fig3              # Figure 3, spread allocation
 //	gridbench -exp fig4ep            # Figure 4 left, NAS EP times
 //	gridbench -exp fig4is            # Figure 4 right, NAS IS times
-//	gridbench -exp all               # everything
+//	gridbench -exp all               # everything above
+//	gridbench -exp conc              # beyond the paper: K concurrent jobs
+//
+// The conc experiment family submits K identical jobs simultaneously
+// through the multi-job scheduler and reports, per strategy, the mean
+// allocation footprint (sites/hosts used), completion time and the
+// reservation-conflict rate — contention the paper's one-job-at-a-time
+// harness never exercises. Tune it with -jobs (K axis), -n, -r.
+//
+// Experiments built from independent worlds (fig4's two strategy
+// worlds, every conc sweep point) run across a -workers wide pool;
+// outputs are byte-identical whatever the worker count. fig2 and fig3
+// are inherently sequential — their points share one world.
 //
 // The -seed flag changes the stochastic elements (latency jitter, key
 // generation); the published numbers in EXPERIMENTS.md use seed 42.
@@ -16,15 +28,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all")
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|estimators")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	format := flag.String("format", "table", "output format: table|csv")
+	jobs := flag.String("jobs", "1,2,4,8,16", "conc: comma-separated K values (concurrent jobs per point)")
+	n := flag.Int("n", 32, "conc: processes per job")
+	r := flag.Int("r", 1, "conc: replication degree per job")
+	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4 and conc sweeps (independent worlds)")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -79,7 +98,7 @@ func main() {
 	}
 	if all || *which == "fig4ep" {
 		run("fig4ep", func() error {
-			pts, err := exp.Fig4EP(opts, nil)
+			pts, err := exp.Fig4EP(opts, nil, *workers)
 			if err != nil {
 				return err
 			}
@@ -93,7 +112,7 @@ func main() {
 	}
 	if all || *which == "fig4is" {
 		run("fig4is", func() error {
-			pts, err := exp.Fig4IS(opts, nil)
+			pts, err := exp.Fig4IS(opts, nil, *workers)
 			if err != nil {
 				return err
 			}
@@ -104,6 +123,31 @@ func main() {
 			}
 			return nil
 		})
+	}
+	if *which == "conc" {
+		ks, err := parseKs(*jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -jobs: %v\n", err)
+			os.Exit(2)
+		}
+		cfg := exp.ConcurrentConfig{N: *n, R: *r}
+		for _, strategy := range []core.Strategy{core.Concentrate, core.Spread, core.Mixed} {
+			strategy := strategy
+			run("conc/"+strategy.String(), func() error {
+				pts, err := exp.ConcurrentSweep(opts, strategy, ks, cfg, *workers)
+				if err != nil {
+					return err
+				}
+				if csv {
+					fmt.Print(exp.ConcurrentPointsCSV(pts))
+				} else {
+					fmt.Print(exp.RenderConcurrentPoints(
+						fmt.Sprintf("Concurrent jobs — %s, n=%d r=%d", strategy, *n, *r), pts))
+				}
+				return nil
+			})
+		}
+		return
 	}
 	if *which == "estimators" {
 		run("estimators", func() error {
@@ -122,7 +166,27 @@ func main() {
 	}
 	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
 		*which != "fig4ep" && *which != "fig4is" {
-		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: estimators)\n", *which)
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, estimators)\n", *which)
 		os.Exit(2)
 	}
+}
+
+// parseKs parses the -jobs axis ("1,2,4,8").
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, err := strconv.Atoi(f)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad K value %q", f)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no K values")
+	}
+	return ks, nil
 }

@@ -9,6 +9,11 @@
 //     runs the program and prints every process's output;
 //   - -sim: deploys the modelled Grid'5000 testbed in virtual time and
 //     submits there (useful to explore allocations without a cluster).
+//
+// With -jobs K (K > 1) the same job is submitted K times concurrently
+// through the multi-job scheduler: the copies contend for host slots,
+// lose reservation races, back off and retry — printing one summary per
+// job plus aggregate contention counters.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"p2pmpi/internal/mpd"
 	"p2pmpi/internal/nas"
 	"p2pmpi/internal/proto"
+	"p2pmpi/internal/sched"
 	"p2pmpi/internal/transport"
 	"p2pmpi/internal/vtime"
 )
@@ -37,6 +43,7 @@ func main() {
 	mpdAddr := flag.String("mpd", "127.0.0.1:9050", "ephemeral submitter MPD address (real mode)")
 	rsAddr := flag.String("rs", "127.0.0.1:9051", "ephemeral submitter RS address (real mode)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "job timeout")
+	jobs := flag.Int("jobs", 1, "number of concurrent copies of the job")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -57,6 +64,11 @@ func main() {
 		Timeout:  *timeout,
 	}
 
+	if *jobs > 1 {
+		runConcurrent(spec, *jobs, *sim, *seed, *snAddr, *mpdAddr, *rsAddr)
+		return
+	}
+
 	var res *mpd.JobResult
 	if *sim {
 		res, err = runSim(spec, *seed)
@@ -71,6 +83,82 @@ func main() {
 	if res.Failures() > 0 {
 		os.Exit(1)
 	}
+}
+
+// runConcurrent pushes K copies of the job through the multi-job
+// scheduler and prints per-job summaries plus contention totals.
+func runConcurrent(spec mpd.JobSpec, k int, sim bool, seed int64, snAddr, mpdAddr, rsAddr string) {
+	var completed []*sched.Job
+	var err error
+	if sim {
+		completed, err = concurrentSim(spec, k, seed)
+	} else {
+		completed, err = concurrentReal(spec, k, snAddr, mpdAddr, rsAddr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pmpirun: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, j := range completed {
+		if j.Err != nil {
+			failed++
+			fmt.Printf("job #%d FAILED after %d attempt(s): %v\n", j.ID, j.Attempts, j.Err)
+			continue
+		}
+		sites := len(j.Result.Assignment.HostsBySite())
+		fmt.Printf("job #%d ok: %d procs on %d hosts across %d site(s), %v (attempts %d, lost races %d)\n",
+			j.ID, j.Result.Assignment.TotalProcs(), j.Result.Assignment.UsedHosts(),
+			sites, j.Latency().Round(time.Millisecond), j.Attempts, j.Conflicts)
+	}
+	fmt.Printf("%d/%d jobs completed\n", k-failed, k)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// concurrentSim boots the modelled grid and drives the scheduler in
+// virtual time through the experiment harness's shared pump.
+func concurrentSim(spec mpd.JobSpec, k int, seed int64) ([]*sched.Job, error) {
+	w := exp.NewWorld(exp.DefaultOptions(seed))
+	defer w.Close()
+	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated Grid'5000 (350 peers)...\n")
+	if err := w.Boot(); err != nil {
+		return nil, err
+	}
+	jobs, _, err := exp.RunJobs(w, spec, k, sched.Config{Seed: seed})
+	return jobs, err
+}
+
+// concurrentReal drives the scheduler on the wall clock through an
+// ephemeral submitter MPD. Host capacities are unknown in advance, so
+// the ledger is unconstrained and contention resolves purely through
+// reservation races and backoff.
+func concurrentReal(spec mpd.JobSpec, k int, snAddr, mpdAddr, rsAddr string) ([]*sched.Job, error) {
+	submitter := mpd.New(vtime.Real{}, transport.TCP{}, mpd.Config{
+		Self: proto.PeerInfo{
+			ID: "p2pmpirun-submitter", Site: "local",
+			MPDAddr: mpdAddr, RSAddr: rsAddr,
+		},
+		SupernodeAddr: snAddr,
+		P:             0,
+		Programs:      submitterRegistry(),
+		PingInterval:  2 * time.Second,
+		Seed:          int64(os.Getpid()),
+	})
+	if err := submitter.Start(); err != nil {
+		return nil, err
+	}
+	defer submitter.Close()
+	time.Sleep(3 * time.Second) // let registration and a ping round settle
+	sc := sched.New(vtime.Real{}, submitter, nil, sched.Config{Workers: k, Seed: int64(os.Getpid())})
+	sc.Start()
+	for i := 0; i < k; i++ {
+		sc.Enqueue(spec)
+	}
+	jobs := sc.Wait(k)
+	sc.Close()
+	return jobs, nil
 }
 
 func runSim(spec mpd.JobSpec, seed int64) (*mpd.JobResult, error) {

@@ -1,0 +1,3 @@
+module p2pmpi
+
+go 1.24

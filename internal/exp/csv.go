@@ -27,6 +27,21 @@ func SitePointsCSV(pts []SitePoint) string {
 	return b.String()
 }
 
+// ConcurrentPointsCSV renders a concurrent-jobs sweep as CSV, one row
+// per (strategy, K) point.
+func ConcurrentPointsCSV(pts []ConcurrentPoint) string {
+	var b strings.Builder
+	b.WriteString("strategy,k,n,r,completed,failed,attempts,sched_conflicts," +
+		"reserve_ok,reserve_nok,conflict_rate,mean_sites,mean_hosts,mean_job_s,makespan_s\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.2f,%.2f,%.3f,%.3f\n",
+			p.Strategy, p.K, p.N, p.R, p.Completed, p.Failed, p.Attempts, p.SchedConflicts,
+			p.ReserveOK, p.ReserveNOK, p.ConflictRate, p.MeanSites, p.MeanHosts,
+			p.MeanJobSeconds, p.MakespanSeconds)
+	}
+	return b.String()
+}
+
 // TimePointsCSV renders Figure 4 data as CSV with one column per
 // strategy.
 func TimePointsCSV(pts []TimePoint) string {

@@ -124,35 +124,49 @@ func Fig3(opts Options, ns []int) ([]SitePoint, error) {
 	return CoAllocationSweep(w, core.Spread, ns)
 }
 
-// Fig4EP runs both strategies of the EP benchmark (Figure 4, left).
-func Fig4EP(opts Options, ns []int) ([]TimePoint, error) {
+// Fig4EP runs both strategies of the EP benchmark (Figure 4, left)
+// across a pool of up to `workers` OS threads (one world per strategy).
+func Fig4EP(opts Options, ns []int, workers int) ([]TimePoint, error) {
 	if ns == nil {
 		ns = DefaultFig4EPNs()
 	}
-	return fig4("ep-model-B", opts, ns)
+	return fig4("ep-model-B", opts, ns, workers)
 }
 
 // Fig4IS runs both strategies of the IS benchmark (Figure 4, right).
-func Fig4IS(opts Options, ns []int) ([]TimePoint, error) {
+func Fig4IS(opts Options, ns []int, workers int) ([]TimePoint, error) {
 	if ns == nil {
 		ns = DefaultFig4ISNs()
 	}
-	return fig4("is-model-B", opts, ns)
+	return fig4("is-model-B", opts, ns, workers)
 }
 
-func fig4(program string, opts Options, ns []int) ([]TimePoint, error) {
-	var out []TimePoint
-	for _, strategy := range []core.Strategy{core.Concentrate, core.Spread} {
+// fig4 measures both strategy curves. Each strategy owns an independent
+// world, so the two can run in parallel on separate OS threads; the
+// output is assembled in fixed strategy order and is byte-identical to
+// a sequential (workers = 1) run.
+func fig4(program string, opts Options, ns []int, workers int) ([]TimePoint, error) {
+	strategies := []core.Strategy{core.Concentrate, core.Spread}
+	results := make([][]TimePoint, len(strategies))
+	err := runPool(len(strategies), workers, func(i int) error {
 		w := NewWorld(opts)
 		if err := w.Boot(); err != nil {
 			w.Close()
-			return nil, err
+			return err
 		}
-		pts, err := NASSweep(w, program, strategy, ns)
+		pts, err := NASSweep(w, program, strategies[i], ns)
 		w.Close()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []TimePoint
+	for _, pts := range results {
 		out = append(out, pts...)
 	}
 	return out, nil

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/mpd"
+)
+
+// DefaultWorkers returns the default parallelism of the sweep pool.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// runPool runs fn(i) for every i in [0, n) on at most workers OS
+// goroutines and returns the first error. Each task owns an independent
+// virtual-time world, so OS-level parallelism cannot perturb results:
+// outputs are written into index i of the caller's slice and are
+// byte-identical whatever the worker count.
+func runPool(n, workers int, fn func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SitePointAt boots a fresh world and records the per-site allocation of
+// a single n-process submission — the unit of work of the parallel
+// Figure 2/3 sweep.
+func SitePointAt(opts Options, strategy core.Strategy, n int) (SitePoint, error) {
+	w := NewWorld(opts)
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		return SitePoint{}, err
+	}
+	pts, err := CoAllocationSweep(w, strategy, []int{n})
+	if err != nil {
+		return SitePoint{}, err
+	}
+	return pts[0], nil
+}
+
+// CoAllocationSweepParallel runs every point of a Figure 2/3-style sweep
+// in its own independent world, across a bounded worker pool.
+//
+// Unlike CoAllocationSweep — where the points share one world and each
+// submission observes the latency-ranking noise accumulated by its
+// predecessors — every point here starts from an identical freshly
+// booted deployment. Results are therefore fully determined by (opts,
+// strategy, n) alone and independent of the worker count: the CSV
+// rendering of a workers=1 run and a workers=N run are byte-identical.
+func CoAllocationSweepParallel(opts Options, strategy core.Strategy, ns []int, workers int) ([]SitePoint, error) {
+	if ns == nil {
+		ns = DefaultFig23Ns()
+	}
+	out := make([]SitePoint, len(ns))
+	err := runPool(len(ns), workers, func(i int) error {
+		p, err := SitePointAt(opts, strategy, ns[i])
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TimePointAt boots a fresh world and measures one NAS model run — the
+// unit of work of the parallel Figure 4 sweep.
+func TimePointAt(opts Options, program string, strategy core.Strategy, n int) (TimePoint, error) {
+	w := NewWorld(opts)
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		return TimePoint{}, err
+	}
+	pts, err := NASSweep(w, program, strategy, []int{n})
+	if err != nil {
+		return TimePoint{}, err
+	}
+	return pts[0], nil
+}
+
+// NASSweepParallel is the per-point-world, pool-parallel variant of
+// NASSweep, with the same determinism guarantee as
+// CoAllocationSweepParallel.
+func NASSweepParallel(opts Options, program string, strategy core.Strategy, ns []int, workers int) ([]TimePoint, error) {
+	out := make([]TimePoint, len(ns))
+	err := runPool(len(ns), workers, func(i int) error {
+		p, err := TimePointAt(opts, program, strategy, ns[i])
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// submitPumped runs fn as an actor on the world's scheduler and pumps
+// the virtual clock one second at a time until fn finishes or the
+// budget of virtual seconds is exhausted.
+func submitPumped[T any](w *World, budget int, name string, fn func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	w.S.Go(name, func() {
+		v, err := fn()
+		ch <- outcome{v, err}
+	})
+	for i := 0; i < budget; i++ {
+		w.S.RunFor(time.Second)
+		select {
+		case o := <-ch:
+			return o.v, o.err
+		default:
+		}
+	}
+	var zero T
+	return zero, ErrPumpExhausted
+}
+
+// Compile-time check that *mpd.MPD keeps satisfying the scheduler's
+// submitter contract used by the concurrent experiments.
+var _ interface {
+	Submit(mpd.JobSpec) (*mpd.JobResult, error)
+} = (*mpd.MPD)(nil)

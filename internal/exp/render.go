@@ -55,6 +55,23 @@ func abbrev(site string) string {
 	return site
 }
 
+// RenderConcurrentPoints prints a concurrent-jobs sweep: one row per K,
+// with per-strategy allocation footprint, completion time and
+// reservation-conflict rate.
+func RenderConcurrentPoints(title string, pts []ConcurrentPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%4s %5s %5s %9s %9s %9s %10s %11s %10s\n",
+		"k", "done", "fail", "sites", "hosts", "job(s)", "makespan", "rsv ok/nok", "conflicts")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%4d %5d %5d %9.2f %9.2f %9.3f %10.3f %5d/%-5d %9.1f%%\n",
+			p.K, p.Completed, p.Failed, p.MeanSites, p.MeanHosts,
+			p.MeanJobSeconds, p.MakespanSeconds, p.ReserveOK, p.ReserveNOK,
+			100*p.ConflictRate)
+	}
+	return b.String()
+}
+
 // RenderTimePoints prints a Figure 4 data table: one row per process
 // count, one column per strategy.
 func RenderTimePoints(title string, pts []TimePoint) string {

@@ -28,6 +28,24 @@ type JobSpec struct {
 	// job's communicators (zero value = library defaults). Used by the
 	// collective-algorithm ablations.
 	Algorithms mpi.Algorithms
+	// Exclude lists host IDs skipped during booking. The multi-job
+	// scheduler feeds its live view of saturated hosts through here, so
+	// concurrent submissions do not burn brokering round-trips on hosts
+	// guaranteed to answer NOK.
+	Exclude []string
+	// ReserveRetries enables backoff-retry brokering rounds: when the
+	// gathered offers cannot host the request, previously refused peers
+	// are re-asked up to this many times before the submission fails.
+	// Zero keeps the paper's one-shot §4.2 behaviour.
+	ReserveRetries int
+	// ReserveBackoff is the base pause before a brokering retry, doubled
+	// each round (default 2s).
+	ReserveBackoff time.Duration
+	// OnAllocated, when set, is invoked with the computed assignment
+	// right after allocation succeeds and before the launch phases. The
+	// multi-job scheduler uses it to charge the placement to its slot
+	// ledger for the lifetime of the job.
+	OnAllocated func(*core.Assignment)
 }
 
 // JobResult is the submitter's view of a completed job.
@@ -40,6 +58,9 @@ type JobResult struct {
 	Results []proto.SlotResult
 	// Duration is the wall/virtual time from Submit to the last report.
 	Duration time.Duration
+	// Reserve aggregates the brokering outcomes (offers, refusals, dead
+	// peers, rounds) — the raw material of conflict-rate accounting.
+	Reserve reservation.Conflicts
 }
 
 // OutputOf returns the captured output of (rank, replica).
@@ -96,16 +117,24 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		}
 	}
 
-	// Sort by ascending latency and overbook.
+	// Sort by ascending latency and overbook, skipping hosts the caller
+	// excluded (the scheduler's live view of saturated hosts).
+	excluded := make(map[string]bool, len(spec.Exclude))
+	for _, id := range spec.Exclude {
+		excluded[id] = true
+	}
 	ranked := m.cache.Ranked()
 	candidates := make([]proto.PeerInfo, 0, len(ranked)+1)
 	lats := make(map[string]time.Duration, len(ranked)+1)
-	if m.cfg.P > 0 {
+	if m.cfg.P > 0 && !excluded[m.cfg.Self.ID] {
 		// The submitter's own machine is a peer too, at zero latency.
 		candidates = append(candidates, m.cfg.Self)
 		lats[m.cfg.Self.ID] = 0
 	}
 	for _, rp := range ranked {
+		if excluded[rp.Info.ID] {
+			continue
+		}
 		candidates = append(candidates, rp.Info)
 		lats[rp.Info.ID] = rp.Latency
 	}
@@ -115,15 +144,38 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 	}
 	candidates = candidates[:book]
 
-	// Step 3 (RS-RS brokering) with a unique hash key.
+	// Step 3 (RS-RS brokering) with a unique hash key: an atomic
+	// multi-host acquisition that keeps the n×r closest offers, cancels
+	// the surplus, and — when the spec allows retries — re-asks refused
+	// peers after a backoff instead of failing outright.
 	key := m.newKey()
 	jobID := m.newKey()[:16]
 	m.mu.Lock()
 	m.stats.JobsSubmitted++
 	m.mu.Unlock()
-	res := reservation.Broker(m.rt, m.net, candidates, proto.Reserve{
-		Key: key, JobID: jobID, Submitter: m.cfg.Self, N: spec.N,
-	}, m.cfg.ReserveTimeout)
+	var enough func([]reservation.Offer) bool
+	if spec.ReserveRetries > 0 {
+		// Retry until the offers pass the §4.2 step 6 feasibility bar:
+		// at least r hosts and Σ min(P_i, n) ≥ n×r processes.
+		enough = func(offers []reservation.Offer) bool {
+			if len(offers) < spec.R {
+				return false
+			}
+			total := 0
+			for _, o := range offers {
+				total += core.Capacity(o.P, spec.N)
+			}
+			return total >= need
+		}
+	}
+	res, conflicts, acqErr := reservation.Acquire(m.rt, m.net, candidates, reservation.AcquireSpec{
+		Req:     proto.Reserve{Key: key, JobID: jobID, Submitter: m.cfg.Self, N: spec.N},
+		Timeout: m.cfg.ReserveTimeout,
+		Need:    need,
+		Enough:  enough,
+		Retries: spec.ReserveRetries,
+		Backoff: spec.ReserveBackoff,
+	})
 
 	// Step 5: mark silent peers dead in the cache.
 	for _, d := range res.Dead {
@@ -131,18 +183,13 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 			m.cache.MarkDead(d.ID)
 		}
 	}
+	if acqErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotEnoughPeers, acqErr)
+	}
 
-	// Step 6 (allocation): slist = first min(|rlist|, n×r) reserved
-	// hosts; cancel every reservation beyond it.
-	rlist := res.Offers
-	cut := need
-	if cut > len(rlist) {
-		cut = len(rlist)
-	}
-	slist, surplus := rlist[:cut], rlist[cut:]
-	for _, o := range surplus {
-		m.cancelReservation(o.Peer, key)
-	}
+	// Step 6 (allocation): slist is the kept offer list, in ascending
+	// latency order (Acquire already cancelled everything beyond n×r).
+	slist := res.Offers
 
 	hostSlots := make([]core.HostSlot, 0, len(slist))
 	for _, o := range slist {
@@ -159,6 +206,9 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 			m.cancelReservation(o.Peer, key)
 		}
 		return nil, fmt.Errorf("%w: %v", ErrNotEnoughPeers, err)
+	}
+	if spec.OnAllocated != nil {
+		spec.OnAllocated(asg)
 	}
 
 	// Build the slot table; process g listens on ProcBasePort+g at its
@@ -242,6 +292,7 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		Key:        key,
 		Assignment: asg,
 		Duration:   m.rt.Now().Sub(started),
+		Reserve:    conflicts,
 	}
 	for _, s := range table {
 		if sr, ok := resultBySlot[[2]int{s.Rank, s.Replica}]; ok {

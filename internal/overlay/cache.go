@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -80,7 +81,12 @@ func (c *Cache) Latency(id string) time.Duration {
 	return c.lat.Estimate(id)
 }
 
-// IDs returns the cached peer IDs in unspecified order.
+// IDs returns the cached peer IDs sorted by ID. The order matters for
+// reproducibility: the ping loop issues probes in this order, and each
+// probe consumes draws from the seeded nonce and network-jitter
+// sources — map-iteration order here would leak the runtime's map
+// randomization into virtual timelines and break bit-for-bit
+// simulation replay.
 func (c *Cache) IDs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -88,6 +94,7 @@ func (c *Cache) IDs() []string {
 	for id := range c.peers {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 

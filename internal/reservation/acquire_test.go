@@ -1,0 +1,208 @@
+package reservation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/proto"
+)
+
+func peerInfo(h string) proto.PeerInfo {
+	return proto.PeerInfo{ID: h, Site: "site-" + h, MPDAddr: h + ":9000", RSAddr: h + ":9001"}
+}
+
+// atLeast returns an Enough predicate demanding k offers.
+func atLeast(k int) func([]Offer) bool {
+	return func(offers []Offer) bool { return len(offers) >= k }
+}
+
+func TestAcquireCancelsSurplusBeyondNeed(t *testing.T) {
+	hosts := []string{"frontal", "h1", "h2", "h3"}
+	s, n := world(t, hosts...)
+	var services []*Service
+	for _, h := range hosts[1:] {
+		services = append(services, New(s, n.Node(h), Config{Addr: h + ":9001", J: 1, P: 2}))
+	}
+	s.Go("main", func() {
+		for _, rs := range services {
+			rs.Start()
+		}
+		var cands []proto.PeerInfo
+		for _, h := range hosts[1:] {
+			cands = append(cands, peerInfo(h))
+		}
+		res, stats, err := Acquire(s, n.Node("frontal"), cands, AcquireSpec{
+			Req:     proto.Reserve{Key: "k", JobID: "j", Submitter: submitter()},
+			Timeout: time.Second,
+			Need:    2,
+		})
+		if err != nil {
+			t.Errorf("acquire: %v", err)
+		}
+		if len(res.Offers) != 2 || res.Offers[0].Peer.ID != "h1" || res.Offers[1].Peer.ID != "h2" {
+			t.Errorf("offers = %+v", res.Offers)
+		}
+		if stats.OK != 3 || stats.NOK != 0 || stats.Rounds != 1 {
+			t.Errorf("stats = %+v", stats)
+		}
+		// The surplus host h3 must have had its hold cancelled.
+		if services[2].Held() != 0 {
+			t.Errorf("h3 still holds %d reservations", services[2].Held())
+		}
+		if services[0].Held() != 1 || services[1].Held() != 1 {
+			t.Errorf("kept hosts holds = %d/%d", services[0].Held(), services[1].Held())
+		}
+		for _, rs := range services {
+			rs.Close()
+		}
+	})
+	s.Wait()
+}
+
+func TestAcquireRetriesRefusedPeersAfterBackoff(t *testing.T) {
+	hosts := []string{"frontal", "h1", "h2"}
+	s, n := world(t, hosts...)
+	rs1 := New(s, n.Node("h1"), Config{Addr: "h1:9001", J: 1, P: 2})
+	rs2 := New(s, n.Node("h2"), Config{Addr: "h2:9001", J: 1, P: 2})
+	s.Go("main", func() {
+		rs1.Start()
+		rs2.Start()
+		// A competing job occupies h2's only J slot...
+		reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "other", Submitter: submitter()}, "h2:9001")
+		// ...and releases it 3 seconds from now, while Acquire is in its
+		// first backoff pause.
+		s.Go("competitor", func() {
+			s.Sleep(3 * time.Second)
+			rs2.CancelKey("other")
+		})
+		res, stats, err := Acquire(s, n.Node("frontal"), []proto.PeerInfo{peerInfo("h1"), peerInfo("h2")},
+			AcquireSpec{
+				Req:     proto.Reserve{Key: "k", JobID: "j", Submitter: submitter()},
+				Timeout: time.Second,
+				Need:    2,
+				Enough:  atLeast(2),
+				Retries: 2,
+				Backoff: 4 * time.Second,
+			})
+		if err != nil {
+			t.Errorf("acquire: %v", err)
+		}
+		if len(res.Offers) != 2 {
+			t.Errorf("offers = %+v", res.Offers)
+		}
+		if stats.Rounds != 2 || stats.NOK != 1 || stats.OK != 2 {
+			t.Errorf("stats = %+v", stats)
+		}
+		rs1.Close()
+		rs2.Close()
+	})
+	s.Wait()
+}
+
+// TestAcquireRetryPreservesLatencyOrder makes the NEAREST candidate
+// lose round one and win on retry: the returned offers must still come
+// back in candidate (ascending latency) order, or the Need cut would
+// keep a farther host over a nearer one.
+func TestAcquireRetryPreservesLatencyOrder(t *testing.T) {
+	hosts := []string{"frontal", "h1", "h2", "h3"}
+	s, n := world(t, hosts...)
+	var services []*Service
+	for _, h := range hosts[1:] {
+		services = append(services, New(s, n.Node(h), Config{Addr: h + ":9001", J: 1, P: 2}))
+	}
+	rs1 := services[0]
+	s.Go("main", func() {
+		for _, rs := range services {
+			rs.Start()
+		}
+		// h1 — the closest candidate — is busy during round one only.
+		reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "other", Submitter: submitter()}, "h1:9001")
+		s.Go("competitor", func() {
+			s.Sleep(3 * time.Second)
+			rs1.CancelKey("other")
+		})
+		res, _, err := Acquire(s, n.Node("frontal"),
+			[]proto.PeerInfo{peerInfo("h1"), peerInfo("h2"), peerInfo("h3")},
+			AcquireSpec{
+				Req:     proto.Reserve{Key: "k", JobID: "j", Submitter: submitter()},
+				Timeout: time.Second,
+				Need:    2,
+				Enough:  atLeast(3),
+				Retries: 2,
+				Backoff: 4 * time.Second,
+			})
+		if err != nil {
+			t.Errorf("acquire: %v", err)
+		}
+		// The cut must keep h1 and h2 — not h2 and h3, the round-one
+		// winners.
+		if len(res.Offers) != 2 || res.Offers[0].Peer.ID != "h1" || res.Offers[1].Peer.ID != "h2" {
+			t.Errorf("offers = %+v, want [h1 h2]", res.Offers)
+		}
+		if services[2].Held() != 0 {
+			t.Errorf("h3 still holds %d reservations", services[2].Held())
+		}
+		for _, rs := range services {
+			rs.Close()
+		}
+	})
+	s.Wait()
+}
+
+func TestAcquireAtomicFailureReleasesEverything(t *testing.T) {
+	hosts := []string{"frontal", "h1", "h2"}
+	s, n := world(t, hosts...)
+	rs1 := New(s, n.Node("h1"), Config{Addr: "h1:9001", J: 1, P: 2})
+	rs2 := New(s, n.Node("h2"), Config{Addr: "h2:9001", J: 1, P: 2})
+	s.Go("main", func() {
+		rs1.Start()
+		rs2.Start()
+		// h2 is permanently busy: the acquisition can never reach 2 offers.
+		reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "other", Submitter: submitter()}, "h2:9001")
+		_, stats, err := Acquire(s, n.Node("frontal"), []proto.PeerInfo{peerInfo("h1"), peerInfo("h2")},
+			AcquireSpec{
+				Req:     proto.Reserve{Key: "k", JobID: "j", Submitter: submitter()},
+				Timeout: time.Second,
+				Need:    2,
+				Enough:  atLeast(2),
+				Retries: 1,
+				Backoff: time.Second,
+			})
+		if !errors.Is(err, ErrContended) {
+			t.Errorf("err = %v, want ErrContended", err)
+		}
+		if stats.Rounds != 2 || stats.NOK != 2 {
+			t.Errorf("stats = %+v", stats)
+		}
+		// All-or-nothing: h1's obtained hold was released again.
+		if rs1.Held() != 0 {
+			t.Errorf("h1 still holds %d reservations after failed acquire", rs1.Held())
+		}
+		// Only the competitor's hold remains at h2.
+		if rs2.Held() != 1 {
+			t.Errorf("h2 holds = %d, want the competitor's 1", rs2.Held())
+		}
+		rs1.Close()
+		rs2.Close()
+	})
+	s.Wait()
+}
+
+func TestConflictsRate(t *testing.T) {
+	c := Conflicts{OK: 6, NOK: 3, Dead: 1}
+	if got := c.Attempts(); got != 10 {
+		t.Fatalf("attempts = %d", got)
+	}
+	if got := c.Rate(); got != 0.3 {
+		t.Fatalf("rate = %v", got)
+	}
+	var zero Conflicts
+	if zero.Rate() != 0 {
+		t.Fatal("zero rate")
+	}
+	zero.Add(c)
+	if zero.NOK != 3 || zero.OK != 6 {
+		t.Fatalf("add = %+v", zero)
+	}
+}

@@ -1,13 +1,3 @@
-// Package reservation implements the Reservation Service (RS) introduced
-// for co-allocation (§3.2, §4.2): the per-peer daemon that negotiates
-// resource holds between submitters and hosts.
-//
-// The host-side RS enforces the owner's preferences (§4.1): the number J
-// of simultaneous applications, and a deny list of submitter IDs. It
-// answers Reserve with OK (carrying the host's P setting) or NOK, holds
-// the reservation under its unique hash key until it is started,
-// cancelled or expired, and later validates the key presented by the
-// launch request (§4.2 step 7).
 package reservation
 
 import (

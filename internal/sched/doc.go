@@ -1,0 +1,30 @@
+// Package sched is the multi-job co-allocation scheduler: it runs many
+// simultaneous JobSpec submissions against one P2P-MPI deployment, where
+// the paper's harness (§5) only ever submits one job at a time.
+//
+// Concurrent jobs contend for the same host slots — every peer's owner
+// allows J simultaneous applications (J = 1 in the experiments), so two
+// brokering rounds racing for the same host resolve with one ReserveOK
+// and one ReserveNOK. The scheduler manages that contention at three
+// levels:
+//
+//   - a live slot ledger (core.Ledger): each worker charges the
+//     assignment of its in-flight job to a shared, mutating view of host
+//     capacities, and the next submission excludes saturated hosts from
+//     booking instead of discovering the conflict through NOK
+//     round-trips. core.Allocate therefore runs against a view that
+//     reflects the scheduler's own concurrent placements, not a one-shot
+//     snapshot;
+//   - admission control: a job whose n×r demand exceeds the ledger's
+//     residual capacity backs off without generating any network
+//     traffic;
+//   - backoff-retry: a submission that still loses the race (peers
+//     outside the ledger's knowledge, or capacity freed between
+//     snapshot and brokering) is retried after an exponentially growing,
+//     deterministically jittered pause.
+//
+// The scheduler is written against vtime.Runtime and mailboxes, so the
+// same code drives real deployments on the wall clock (vtime.Real) and
+// the deterministic virtual-time Grid'5000 worlds of the experiment
+// harness, where it powers the K-concurrent-jobs experiment family.
+package sched

@@ -1,0 +1,316 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/vtime"
+)
+
+// ErrSaturated is returned for a job whose demand never fit the ledger's
+// residual capacity within its retry budget: the scheduler refused to
+// spend brokering traffic on a request that could not be placed.
+var ErrSaturated = errors.New("sched: not enough free slots for the job")
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Submitter runs one job to completion — *mpd.MPD is the production
+// implementation; tests substitute fakes.
+type Submitter interface {
+	Submit(spec mpd.JobSpec) (*mpd.JobResult, error)
+}
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Workers bounds the number of jobs in flight at once (default 4).
+	Workers int
+	// Retries is the per-job contention retry budget (default 3): a
+	// submission that fails for lack of hosts is re-run after a backoff
+	// this many times before the job is failed. Set -1 to disable
+	// retrying.
+	Retries int
+	// Backoff is the base pause before a retry, doubled every attempt
+	// and stretched by a deterministic jitter (default 2s).
+	Backoff time.Duration
+	// JPerHost is the owner J limit assumed by the live ledger view
+	// (default 1, the experiments' setting).
+	JPerHost int
+	// Seed drives the backoff jitter.
+	Seed int64
+	// IsContention classifies a Submit error as retryable contention.
+	// The default treats mpd.ErrNotEnoughPeers — the "lost the
+	// reservation race" outcome — as contention and everything else
+	// (unknown program, launch failure) as final.
+	IsContention func(error) bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 2 * time.Second
+	}
+	if c.JPerHost <= 0 {
+		c.JPerHost = 1
+	}
+	if c.IsContention == nil {
+		c.IsContention = func(err error) bool {
+			return errors.Is(err, mpd.ErrNotEnoughPeers) || errors.Is(err, ErrSaturated)
+		}
+	}
+}
+
+// Job is the scheduler's handle for one queued submission. Its fields
+// are written by the worker that runs it and must only be read after the
+// job came back through Wait.
+type Job struct {
+	// ID numbers jobs in enqueue order, starting at 0.
+	ID int
+	// Spec is the submission as enqueued.
+	Spec mpd.JobSpec
+	// Result and Err record the terminal outcome.
+	Result *mpd.JobResult
+	Err    error
+	// Attempts counts Submit calls (plus admission checks that backed
+	// off); Conflicts counts the attempts lost to contention.
+	Attempts  int
+	Conflicts int
+	// Enqueued, Started and Finished are runtime timestamps; Started is
+	// the first attempt's begin.
+	Enqueued, Started, Finished time.Time
+}
+
+// Wait returns the job's completion-to-enqueue latency.
+func (j *Job) Latency() time.Duration { return j.Finished.Sub(j.Enqueued) }
+
+// Stats aggregates scheduler counters.
+type Stats struct {
+	Enqueued  int
+	Completed int // jobs finished successfully
+	Failed    int // jobs finished with an error
+	Attempts  int // Submit calls plus admission backoffs
+	Conflicts int // attempts lost to slot contention
+}
+
+// Scheduler drives concurrent job submissions through a bounded worker
+// pool over a shared live view of host slots.
+type Scheduler struct {
+	rt     vtime.Runtime
+	sub    Submitter
+	ledger *core.Ledger
+	cfg    Config
+
+	queue vtime.Mailbox // *Job, pending
+	done  vtime.Mailbox // *Job, terminal
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	stats   Stats
+	nextID  int
+	started bool
+	closed  bool
+	live    int // running workers
+}
+
+// New builds a scheduler over the given hosts (nil hosts = unconstrained
+// ledger, used when capacities are unknown). Call Start to spawn the
+// workers.
+func New(rt vtime.Runtime, sub Submitter, hosts []core.HostSlot, cfg Config) *Scheduler {
+	cfg.fillDefaults()
+	return &Scheduler{
+		rt:     rt,
+		sub:    sub,
+		ledger: core.NewLedger(hosts, cfg.JPerHost),
+		cfg:    cfg,
+		queue:  rt.NewMailbox(),
+		done:   rt.NewMailbox(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Ledger exposes the live slot view (experiments and tests).
+func (s *Scheduler) Ledger() *core.Ledger { return s.ledger }
+
+// Stats returns a copy of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Start spawns the worker pool. Idempotent.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.live = s.cfg.Workers
+	for i := 0; i < s.cfg.Workers; i++ {
+		i := i
+		s.rt.Go(fmt.Sprintf("sched.worker.%d", i), func() { s.worker() })
+	}
+}
+
+// Enqueue queues a job for execution and returns its handle, or nil
+// after Close. It never blocks and may be called from any goroutine.
+func (s *Scheduler) Enqueue(spec mpd.JobSpec) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	job := &Job{ID: s.nextID, Spec: spec, Enqueued: s.rt.Now()}
+	s.nextID++
+	s.stats.Enqueued++
+	// Push under the mutex: Close also takes it, so a handle is only
+	// ever returned for a job that reached the queue before it closed
+	// (Push on a closed mailbox would silently drop the job).
+	s.queue.Push(job)
+	return job
+}
+
+// Close stops admission. Queued jobs still run to completion; workers
+// exit once the queue drains, after which Wait unblocks.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.queue.Close()
+}
+
+// Wait pops k completed jobs (blocking; must run on a runtime actor or
+// goroutine). It returns fewer than k only when the scheduler was closed
+// and every queued job already completed.
+func (s *Scheduler) Wait(k int) []*Job {
+	jobs, _ := s.WaitTimeout(k, -1)
+	return jobs
+}
+
+// WaitTimeout is Wait bounded by a total deadline; d < 0 waits forever.
+func (s *Scheduler) WaitTimeout(k int, d time.Duration) ([]*Job, error) {
+	var deadline time.Time
+	if d >= 0 {
+		deadline = s.rt.Now().Add(d)
+	}
+	var out []*Job
+	for len(out) < k {
+		wait := time.Duration(-1)
+		if d >= 0 {
+			if wait = deadline.Sub(s.rt.Now()); wait < 0 {
+				return out, vtime.ErrTimeout
+			}
+		}
+		v, err := s.done.PopTimeout(wait)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v.(*Job))
+	}
+	return out, nil
+}
+
+func (s *Scheduler) worker() {
+	defer func() {
+		s.mu.Lock()
+		s.live--
+		last := s.live == 0
+		s.mu.Unlock()
+		if last {
+			s.done.Close()
+		}
+	}()
+	for {
+		v, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		job := v.(*Job)
+		s.runJob(job)
+		job.Finished = s.rt.Now()
+		s.mu.Lock()
+		if job.Err == nil {
+			s.stats.Completed++
+		} else {
+			s.stats.Failed++
+		}
+		s.mu.Unlock()
+		s.done.Push(job)
+	}
+}
+
+// runJob executes one job with admission control against the live
+// ledger and backoff-retry on contention.
+func (s *Scheduler) runJob(job *Job) {
+	need := job.Spec.N * job.Spec.R
+	job.Started = s.rt.Now()
+	for attempt := 0; ; attempt++ {
+		job.Attempts++
+		s.mu.Lock()
+		s.stats.Attempts++
+		s.mu.Unlock()
+
+		var err error
+		var res *mpd.JobResult
+		if free := s.ledger.FreeProcs(); free >= 0 && free < need {
+			// Admission control: the live view cannot place this job, so
+			// back off without brokering.
+			err = fmt.Errorf("%w: need %d processes, %d free", ErrSaturated, need, free)
+		} else {
+			res, err = s.attempt(job)
+		}
+		if err == nil || !s.cfg.IsContention(err) || attempt >= s.cfg.Retries {
+			job.Result, job.Err = res, err
+			return
+		}
+		job.Conflicts++
+		s.mu.Lock()
+		s.stats.Conflicts++
+		d := s.cfg.Backoff << uint(attempt)
+		d += time.Duration(s.rng.Int63n(int64(d)/2 + 1)) // deterministic jitter
+		s.mu.Unlock()
+		s.rt.Sleep(d)
+	}
+}
+
+// attempt runs one Submit with the ledger charged for the job's
+// lifetime: busy hosts are excluded from booking, the assignment is
+// acquired the moment allocation succeeds, and released when the job
+// finishes — successfully or not.
+func (s *Scheduler) attempt(job *Job) (*mpd.JobResult, error) {
+	spec := job.Spec
+	if busy := s.ledger.Busy(); len(busy) > 0 {
+		spec.Exclude = append(append([]string(nil), spec.Exclude...), busy...)
+	}
+	var acquired *core.Assignment
+	userHook := spec.OnAllocated
+	spec.OnAllocated = func(a *core.Assignment) {
+		acquired = a
+		s.ledger.Acquire(a)
+		if userHook != nil {
+			userHook(a)
+		}
+	}
+	res, err := s.sub.Submit(spec)
+	if acquired != nil {
+		s.ledger.Release(acquired)
+	}
+	return res, err
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/vtime"
+)
+
+// fakeCluster implements Submitter over a private ground-truth ledger:
+// Submit allocates against the truly free slots, holds them for the job
+// duration, and fails with mpd.ErrNotEnoughPeers when allocation is
+// infeasible — the same outcome a lost RS brokering race produces.
+type fakeCluster struct {
+	rt    vtime.Runtime
+	truth *core.Ledger
+	dur   time.Duration // virtual run time per job
+	fail  error         // when set, Submit fails after allocation (launch failure)
+
+	mu          sync.Mutex
+	submits     int // Submit calls
+	lost        int // calls that found no feasible allocation
+	inFlight    int
+	maxInFlight int
+}
+
+func newFakeCluster(rt vtime.Runtime, hosts []core.HostSlot, dur time.Duration) *fakeCluster {
+	return &fakeCluster{rt: rt, truth: core.NewLedger(hosts, 1), dur: dur}
+}
+
+func (f *fakeCluster) Submit(spec mpd.JobSpec) (*mpd.JobResult, error) {
+	f.mu.Lock()
+	f.submits++
+	f.mu.Unlock()
+	// In virtual time this section is atomic: the actor does not yield
+	// between snapshot and acquire, exactly like the RS daemons resolve
+	// a brokering race with a single winner.
+	slist := f.truth.Snapshot()
+	asg, err := core.Allocate(slist, spec.N, spec.R, spec.Strategy)
+	if err != nil {
+		f.mu.Lock()
+		f.lost++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", mpd.ErrNotEnoughPeers, err)
+	}
+	f.truth.Acquire(asg)
+	if spec.OnAllocated != nil {
+		spec.OnAllocated(asg)
+	}
+	f.mu.Lock()
+	f.inFlight++
+	if f.inFlight > f.maxInFlight {
+		f.maxInFlight = f.inFlight
+	}
+	f.mu.Unlock()
+	f.rt.Sleep(f.dur)
+	f.mu.Lock()
+	f.inFlight--
+	f.mu.Unlock()
+	f.truth.Release(asg)
+	if f.fail != nil {
+		return nil, f.fail
+	}
+	return &mpd.JobResult{Assignment: asg}, nil
+}
+
+func scarceHosts() []core.HostSlot {
+	return []core.HostSlot{
+		{ID: "h1", Site: "s1", P: 2},
+		{ID: "h2", Site: "s1", P: 2},
+		{ID: "h3", Site: "s2", P: 2},
+	}
+}
+
+func jobSpec(n int) mpd.JobSpec {
+	return mpd.JobSpec{Program: "hostname", N: n, R: 1, Strategy: core.Concentrate}
+}
+
+// runK enqueues k identical jobs and returns them after completion.
+func runK(t *testing.T, s *vtime.Scheduler, sc *Scheduler, k, n int) []*Job {
+	t.Helper()
+	var jobs []*Job
+	s.Go("test.main", func() {
+		sc.Start()
+		for i := 0; i < k; i++ {
+			if j := sc.Enqueue(jobSpec(n)); j == nil {
+				t.Error("enqueue returned nil")
+			}
+		}
+		jobs = sc.Wait(k)
+		sc.Close()
+	})
+	s.Wait()
+	return jobs
+}
+
+// TestContentionOverScarceSlots races 6 two-process jobs for 3 hosts
+// with one application slot each. The scheduler runs with an
+// unconstrained ledger, so every collision is discovered the expensive
+// way — through failed submissions — and resolved by backoff-retry.
+func TestContentionOverScarceSlots(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	fake := newFakeCluster(s, scarceHosts(), 10*time.Second)
+	sc := New(s, fake, nil, Config{Workers: 6, Retries: 6, Backoff: time.Second, Seed: 7})
+
+	jobs := runK(t, s, sc, 6, 2)
+
+	if len(jobs) != 6 {
+		t.Fatalf("completed %d jobs, want 6", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Err != nil {
+			t.Errorf("job %d failed: %v", j.ID, j.Err)
+		}
+	}
+	st := sc.Stats()
+	if st.Completed != 6 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Only 3 jobs fit at once; the other 3 must have lost at least one
+	// race each.
+	if fake.maxInFlight != 3 {
+		t.Errorf("max in flight = %d, want 3", fake.maxInFlight)
+	}
+	if st.Conflicts < 3 {
+		t.Errorf("conflicts = %d, want >= 3", st.Conflicts)
+	}
+	if fake.lost != st.Conflicts {
+		t.Errorf("cluster saw %d lost races, scheduler counted %d", fake.lost, st.Conflicts)
+	}
+}
+
+// TestLiveViewAvoidsConflictTraffic runs the same race with the ledger
+// tracking the real capacities: admission control holds jobs back while
+// the view is saturated, so no submission ever reaches the cluster just
+// to lose.
+func TestLiveViewAvoidsConflictTraffic(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	fake := newFakeCluster(s, scarceHosts(), 10*time.Second)
+	sc := New(s, fake, scarceHosts(), Config{Workers: 6, Retries: 8, Backoff: time.Second, Seed: 7})
+
+	jobs := runK(t, s, sc, 6, 2)
+
+	for _, j := range jobs {
+		if j.Err != nil {
+			t.Errorf("job %d failed: %v", j.ID, j.Err)
+		}
+	}
+	if fake.lost != 0 {
+		t.Errorf("cluster saw %d lost submissions, want 0 (live view should gate them)", fake.lost)
+	}
+	if fake.submits != 6 {
+		t.Errorf("cluster saw %d submissions, want exactly 6", fake.submits)
+	}
+	// The contention still happened — it was just absorbed by admission
+	// control instead of network round-trips.
+	if st := sc.Stats(); st.Conflicts < 3 {
+		t.Errorf("conflicts = %d, want >= 3", st.Conflicts)
+	}
+}
+
+// TestSlotsReleasedOnJobFailure verifies the ledger view is handed back
+// when a job dies after allocation (launch failure): subsequent jobs
+// must see the full capacity again.
+func TestSlotsReleasedOnJobFailure(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	fake := newFakeCluster(s, scarceHosts(), time.Second)
+	fake.fail = errors.New("launch failed: host rebooted")
+	sc := New(s, fake, scarceHosts(), Config{Workers: 2, Retries: -1, Seed: 1})
+
+	jobs := runK(t, s, sc, 4, 2)
+
+	for _, j := range jobs {
+		if j.Err == nil {
+			t.Errorf("job %d unexpectedly succeeded", j.ID)
+		}
+		if j.Result != nil {
+			t.Errorf("job %d has a result despite failing", j.ID)
+		}
+	}
+	if st := sc.Stats(); st.Failed != 4 {
+		t.Fatalf("stats = %+v, want 4 failures", sc.Stats())
+	}
+	// Every failed job must have released its acquired slots.
+	if got := sc.Ledger().InFlight(); got != 0 {
+		t.Errorf("ledger still tracks %d in-flight applications", got)
+	}
+	if got := sc.Ledger().FreeProcs(); got != 6 {
+		t.Errorf("ledger free procs = %d, want all 6 back", got)
+	}
+	if fake.truth.InFlight() != 0 {
+		t.Errorf("cluster truth still tracks in-flight applications")
+	}
+}
+
+// TestSaturatedJobFailsAfterRetries submits a job that can never fit:
+// it must fail with ErrSaturated without one Submit reaching the
+// cluster.
+func TestSaturatedJobFailsAfterRetries(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	fake := newFakeCluster(s, scarceHosts(), time.Second)
+	sc := New(s, fake, scarceHosts(), Config{Workers: 1, Retries: 2, Backoff: time.Second, Seed: 1})
+
+	jobs := runK(t, s, sc, 1, 100)
+
+	if len(jobs) != 1 || !errors.Is(jobs[0].Err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", jobs[0].Err)
+	}
+	if jobs[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", jobs[0].Attempts)
+	}
+	if fake.submits != 0 {
+		t.Errorf("cluster saw %d submissions, want 0", fake.submits)
+	}
+}
+
+// TestEnqueueAfterClose verifies admission stops at Close while queued
+// jobs still drain.
+func TestEnqueueAfterClose(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	fake := newFakeCluster(s, scarceHosts(), time.Second)
+	sc := New(s, fake, scarceHosts(), Config{Workers: 1, Seed: 1})
+	s.Go("test.main", func() {
+		sc.Start()
+		j := sc.Enqueue(jobSpec(2))
+		sc.Close()
+		if late := sc.Enqueue(jobSpec(2)); late != nil {
+			t.Error("enqueue after close should return nil")
+		}
+		jobs := sc.Wait(2) // asks for more than exists: returns after drain
+		if len(jobs) != 1 || jobs[0] != j {
+			t.Errorf("drained %d jobs", len(jobs))
+		}
+		if jobs[0].Err != nil {
+			t.Errorf("queued job failed: %v", jobs[0].Err)
+		}
+	})
+	s.Wait()
+}
+
+// TestDeterministicUnderVirtualTime runs the contention scenario twice
+// with the same seed and expects identical schedules: same attempt
+// counts and identical virtual completion times per job.
+func TestDeterministicUnderVirtualTime(t *testing.T) {
+	type trace struct {
+		attempts  int
+		conflicts int
+		finished  time.Time
+	}
+	run := func() []trace {
+		s := vtime.New()
+		defer s.Shutdown()
+		fake := newFakeCluster(s, scarceHosts(), 10*time.Second)
+		sc := New(s, fake, nil, Config{Workers: 6, Retries: 6, Backoff: time.Second, Seed: 42})
+		jobs := runK(t, s, sc, 6, 2)
+		out := make([]trace, len(jobs))
+		for _, j := range jobs {
+			out[j.ID] = trace{j.Attempts, j.Conflicts, j.Finished}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package simnet simulates the Grid'5000 wide-area network on top of the
+// virtual-time scheduler. It implements the transport interfaces, so all
+// middleware and MPI code runs unchanged inside it.
+//
+// The model, kept deliberately close to what shapes the paper's results:
+//
+//   - one-way propagation latency between sites (half the measured RTT),
+//   - Gaussian jitter on every message, modelling the CPU and TCP load
+//     variations the paper blames for its latency-ranking noise (§5.1),
+//   - per-host NIC capacity (1 Gb/s GigE) and a shared inter-site pipe
+//     (10 Gb/s backbone, 1 Gb/s toward bordeaux) with cut-through
+//     queueing: a transfer occupies every resource on its path from its
+//     start time, and a busy resource delays the transfer,
+//   - strict FIFO per connection direction (TCP ordering).
+//
+// A Net is bound to one vtime.Scheduler and is fully deterministic under
+// its seed; independent Nets (one per experiment world) never share
+// state, which is what lets the parallel sweep harness run many worlds
+// on separate OS threads with reproducible results.
+package simnet

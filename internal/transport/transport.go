@@ -1,9 +1,3 @@
-// Package transport defines the message-oriented network abstraction all
-// P2P-MPI middleware is written against, with two interchangeable
-// implementations: real TCP (tcp.go) and the simulated Grid'5000 network
-// (package simnet). Daemons, reservation services and the MPI library see
-// only these interfaces, which is what lets the identical protocol code
-// run on localhost sockets and inside the virtual-time simulator.
 package transport
 
 import (

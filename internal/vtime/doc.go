@@ -1,0 +1,24 @@
+// Package vtime provides a deterministic discrete-event virtual-time
+// scheduler. It is the substrate on which the whole Grid'5000 simulation
+// runs: every daemon, every MPI process and every in-flight message is an
+// actor or an event on a single virtual clock.
+//
+// The scheduler is conservative and strictly sequential: exactly one actor
+// executes at any moment, and the clock advances only when every actor is
+// parked. Together with seeded random sources this makes large simulations
+// (hundreds of peers, hundreds of thousands of messages) reproducible
+// bit-for-bit, which the experiment harness relies on — including its
+// parallel sweep mode, where independent worlds run on separate OS
+// threads without perturbing each other's timelines.
+//
+// Actors are ordinary goroutines registered with (*Scheduler).Go. They may
+// block only through scheduler primitives (Sleep, Queue.Pop, Timer waits).
+// Blocking through ordinary channel operations or OS calls would stall the
+// virtual clock.
+//
+// The Runtime interface is the portable subset middleware is written
+// against: Scheduler implements it in virtual time, Real implements it
+// on the wall clock, and the identical daemon code runs in both worlds.
+// Mailbox is the portable blocking FIFO used wherever concurrent
+// results are gathered.
+package vtime

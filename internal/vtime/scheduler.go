@@ -1,18 +1,3 @@
-// Package vtime provides a deterministic discrete-event virtual-time
-// scheduler. It is the substrate on which the whole Grid'5000 simulation
-// runs: every daemon, every MPI process and every in-flight message is an
-// actor or an event on a single virtual clock.
-//
-// The scheduler is conservative and strictly sequential: exactly one actor
-// executes at any moment, and the clock advances only when every actor is
-// parked. Together with seeded random sources this makes large simulations
-// (hundreds of peers, hundreds of thousands of messages) reproducible
-// bit-for-bit, which the experiment harness relies on.
-//
-// Actors are ordinary goroutines registered with (*Scheduler).Go. They may
-// block only through scheduler primitives (Sleep, Queue.Pop, Timer waits).
-// Blocking through ordinary channel operations or OS calls would stall the
-// virtual clock.
 package vtime
 
 import (
