@@ -8,12 +8,22 @@
 //	gridbench -exp fig4is            # Figure 4 right, NAS IS times
 //	gridbench -exp all               # everything above
 //	gridbench -exp conc              # beyond the paper: K concurrent jobs
+//	gridbench -exp scale -grid synth:S=10,H=100   # beyond the paper: world-size sweep
 //
 // The conc experiment family submits K identical jobs simultaneously
 // through the multi-job scheduler and reports, per strategy, the mean
 // allocation footprint (sites/hosts used), completion time and the
 // reservation-conflict rate — contention the paper's one-job-at-a-time
 // harness never exercises. Tune it with -jobs (K axis), -n, -r.
+//
+// The scale experiment family frees the evaluation from Table 1: it
+// boots synthetic worlds described by -grid (site count, hosts per
+// site, seeded inter-site RTT distribution; see grid.ParseTopologySpec)
+// and measures every registered placement strategy at every -hosts world
+// size, reporting completion time, allocation footprint and
+// reservation-conflict rate per (strategy, size) point as CSV with
+// -format csv. -a selects a strategy subset ("all" by default; any
+// comma-separated registered names, e.g. -a comm-aware,minsites).
 //
 // Experiments built from independent worlds (fig4's two strategy
 // worlds, every conc sweep point) run across a -workers wide pool;
@@ -34,20 +44,43 @@ import (
 
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
+	"p2pmpi/internal/grid"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|estimators")
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|estimators")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	format := flag.String("format", "table", "output format: table|csv")
 	jobs := flag.String("jobs", "1,2,4,8,16", "conc: comma-separated K values (concurrent jobs per point)")
-	n := flag.Int("n", 32, "conc: processes per job")
-	r := flag.Int("r", 1, "conc: replication degree per job")
-	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4 and conc sweeps (independent worlds)")
+	n := flag.Int("n", 32, "conc/scale: processes per job")
+	r := flag.Int("r", 1, "conc/scale: replication degree per job")
+	gridSpec := flag.String("grid", "grid5000", "topology: grid5000 or synth:S=12,H=400,C=2,seed=7,rttmin=5ms,rttmax=25ms")
+	alloc := flag.String("a", "all", "conc/scale: strategies, \"all\" or comma-separated names from: "+strings.Join(core.Names(), "|"))
+	hosts := flag.String("hosts", "", "scale: comma-separated world sizes (hosts); default: the -grid spec's own size")
+	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4, conc and scale sweeps (independent worlds)")
 	flag.Parse()
 	csv := *format == "csv"
 
+	topo, err := grid.ParseTopologySpec(*gridSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench: -grid: %v\n", err)
+		os.Exit(2)
+	}
+	strategies, err := parseStrategies(*alloc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench: -a: %v\n", err)
+		os.Exit(2)
+	}
+	if topo.IsSynthetic() && *which != "scale" && *which != "conc" {
+		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale and -exp conc; the paper figures are pinned to grid5000\n", topo)
+		os.Exit(2)
+	}
+
+	// The paper's figures stay pinned to the Grid5000 inventory; -grid
+	// steers the beyond-the-paper families (conc, scale).
 	opts := exp.DefaultOptions(*seed)
+	topoOpts := opts
+	topoOpts.Topology = topo
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		if err := fn(); err != nil {
@@ -131,10 +164,10 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := exp.ConcurrentConfig{N: *n, R: *r}
-		for _, strategy := range []core.Strategy{core.Concentrate, core.Spread, core.Mixed} {
+		for _, strategy := range strategies {
 			strategy := strategy
 			run("conc/"+strategy.String(), func() error {
-				pts, err := exp.ConcurrentSweep(opts, strategy, ks, cfg, *workers)
+				pts, err := exp.ConcurrentSweep(topoOpts, strategy, ks, cfg, *workers)
 				if err != nil {
 					return err
 				}
@@ -147,6 +180,36 @@ func main() {
 				return nil
 			})
 		}
+		return
+	}
+	if *which == "scale" {
+		var hostCounts []int
+		if *hosts != "" {
+			var err error
+			if hostCounts, err = parseKs(*hosts); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -hosts: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		run("scale", func() error {
+			pts, err := exp.ScaleSweep(opts, exp.ScaleConfig{
+				Base:       topo,
+				Strategies: strategies,
+				HostCounts: hostCounts,
+				N:          *n,
+				R:          *r,
+			}, *workers)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.ScalePointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderScalePoints(
+					fmt.Sprintf("Scale sweep — %s, n=%d r=%d", topo, *n, *r), pts))
+			}
+			return nil
+		})
 		return
 	}
 	if *which == "estimators" {
@@ -166,9 +229,35 @@ func main() {
 	}
 	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
 		*which != "fig4ep" && *which != "fig4is" {
-		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, estimators)\n", *which)
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, estimators)\n", *which)
 		os.Exit(2)
 	}
+}
+
+// parseStrategies resolves the -a flag: "all" (or empty) expands to
+// every registered strategy; otherwise each comma-separated name must be
+// registered.
+func parseStrategies(s string) ([]core.Strategy, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return core.Strategies(), nil
+	}
+	var out []core.Strategy
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		st, err := core.ParseStrategy(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no strategies")
+	}
+	return out, nil
 }
 
 // parseKs parses the -jobs axis ("1,2,4,8").

@@ -7,8 +7,14 @@
 //   - real (default): spins up an ephemeral submitter MPD on TCP, books
 //     peers previously started with mpiboot through the given supernode,
 //     runs the program and prints every process's output;
-//   - -sim: deploys the modelled Grid'5000 testbed in virtual time and
-//     submits there (useful to explore allocations without a cluster).
+//   - -sim: deploys a modelled testbed in virtual time and submits there
+//     (useful to explore allocations without a cluster). -grid selects
+//     the testbed: the paper's Grid'5000 by default, or a synthetic
+//     topology ("synth:S=12,H=400") scaling to thousands of hosts.
+//
+// The -a strategy accepts any name in the placement registry — the
+// paper's spread/concentrate plus mixed, random, minsites, comm-aware
+// and anything registered by embedding programs.
 //
 // With -jobs K (K > 1) the same job is submitted K times concurrently
 // through the multi-job scheduler: the copies contend for host slots,
@@ -21,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
+	"p2pmpi/internal/grid"
 	"p2pmpi/internal/mpd"
 	"p2pmpi/internal/nas"
 	"p2pmpi/internal/proto"
@@ -36,8 +44,9 @@ import (
 func main() {
 	n := flag.Int("n", 1, "number of MPI processes")
 	r := flag.Int("r", 1, "replication degree")
-	alloc := flag.String("a", "concentrate", "allocation strategy: spread|concentrate|mixed")
-	sim := flag.Bool("sim", false, "run against the simulated Grid'5000 testbed")
+	alloc := flag.String("a", "concentrate", "allocation strategy: "+strings.Join(core.Names(), "|"))
+	sim := flag.Bool("sim", false, "run against a simulated testbed (see -grid)")
+	gridSpec := flag.String("grid", "grid5000", "simulated testbed (with -sim): grid5000 or synth:S=12,H=400,...")
 	seed := flag.Int64("seed", 42, "simulation seed (with -sim)")
 	snAddr := flag.String("supernode", "127.0.0.1:8800", "supernode address (real mode)")
 	mpdAddr := flag.String("mpd", "127.0.0.1:9050", "ephemeral submitter MPD address (real mode)")
@@ -55,6 +64,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pmpirun: %v\n", err)
 		os.Exit(2)
 	}
+	topo, err := grid.ParseTopologySpec(*gridSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pmpirun: -grid: %v\n", err)
+		os.Exit(2)
+	}
+	if topo.IsSynthetic() && !*sim {
+		fmt.Fprintln(os.Stderr, "p2pmpirun: -grid selects a simulated testbed and requires -sim")
+		os.Exit(2)
+	}
+	opts := exp.DefaultOptions(*seed)
+	opts.Topology = topo
 	spec := mpd.JobSpec{
 		Program:  flag.Arg(0),
 		Args:     flag.Args()[1:],
@@ -65,13 +85,13 @@ func main() {
 	}
 
 	if *jobs > 1 {
-		runConcurrent(spec, *jobs, *sim, *seed, *snAddr, *mpdAddr, *rsAddr)
+		runConcurrent(spec, *jobs, *sim, opts, *snAddr, *mpdAddr, *rsAddr)
 		return
 	}
 
 	var res *mpd.JobResult
 	if *sim {
-		res, err = runSim(spec, *seed)
+		res, err = runSim(spec, opts)
 	} else {
 		res, err = runReal(spec, *snAddr, *mpdAddr, *rsAddr)
 	}
@@ -87,11 +107,11 @@ func main() {
 
 // runConcurrent pushes K copies of the job through the multi-job
 // scheduler and prints per-job summaries plus contention totals.
-func runConcurrent(spec mpd.JobSpec, k int, sim bool, seed int64, snAddr, mpdAddr, rsAddr string) {
+func runConcurrent(spec mpd.JobSpec, k int, sim bool, opts exp.Options, snAddr, mpdAddr, rsAddr string) {
 	var completed []*sched.Job
 	var err error
 	if sim {
-		completed, err = concurrentSim(spec, k, seed)
+		completed, err = concurrentSim(spec, k, opts)
 	} else {
 		completed, err = concurrentReal(spec, k, snAddr, mpdAddr, rsAddr)
 	}
@@ -119,14 +139,15 @@ func runConcurrent(spec mpd.JobSpec, k int, sim bool, seed int64, snAddr, mpdAdd
 
 // concurrentSim boots the modelled grid and drives the scheduler in
 // virtual time through the experiment harness's shared pump.
-func concurrentSim(spec mpd.JobSpec, k int, seed int64) ([]*sched.Job, error) {
-	w := exp.NewWorld(exp.DefaultOptions(seed))
+func concurrentSim(spec mpd.JobSpec, k int, opts exp.Options) ([]*sched.Job, error) {
+	w := exp.NewWorld(opts)
 	defer w.Close()
-	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated Grid'5000 (350 peers)...\n")
+	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated %s testbed (%d peers)...\n",
+		opts.Topology, len(w.Peers))
 	if err := w.Boot(); err != nil {
 		return nil, err
 	}
-	jobs, _, err := exp.RunJobs(w, spec, k, sched.Config{Seed: seed})
+	jobs, _, err := exp.RunJobs(w, spec, k, sched.Config{Seed: opts.Seed})
 	return jobs, err
 }
 
@@ -161,10 +182,11 @@ func concurrentReal(spec mpd.JobSpec, k int, snAddr, mpdAddr, rsAddr string) ([]
 	return jobs, nil
 }
 
-func runSim(spec mpd.JobSpec, seed int64) (*mpd.JobResult, error) {
-	w := exp.NewWorld(exp.DefaultOptions(seed))
+func runSim(spec mpd.JobSpec, opts exp.Options) (*mpd.JobResult, error) {
+	w := exp.NewWorld(opts)
 	defer w.Close()
-	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated Grid'5000 (350 peers)...\n")
+	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated %s testbed (%d peers)...\n",
+		opts.Topology, len(w.Peers))
 	if err := w.Boot(); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,10 @@
 // receives, subject to the capacity rule c_i = min(P_i, n), and MPI ranks
 // are then numbered so that no two replicas of one rank share a host.
 //
+// Placement policies are open: the paper's strategies and any number of
+// extensions register themselves as Placement implementations in a
+// package-level registry (see registry.go) and are selected by name.
+//
 // Two strategies come from the paper:
 //
 //   - spread: round-robin one process per host, maximising the memory
@@ -16,7 +20,10 @@
 //
 // A third strategy, mixed, implements the paper's "future work" idea:
 // hosts are filled to capacity (locality within a host) but sites are
-// visited round-robin (spreading across sites).
+// visited round-robin (spreading across sites). Beyond the paper, the
+// registry also ships random (a seeded baseline), minsites (pack into
+// the fewest sites) and comm-aware (grow a low-RTT cluster of hosts,
+// after Bender et al.'s communication-aware processor allocation).
 package core
 
 import (
@@ -25,48 +32,53 @@ import (
 	"time"
 )
 
-// Strategy selects a process-placement policy.
-type Strategy int
+// Strategy names a process-placement policy. It is the registry key:
+// JobSpecs, experiment points and CSV rows all carry the strategy by
+// name, so new policies travel through the middleware without any enum
+// plumbing. The zero value selects Spread (the historical default).
+type Strategy string
 
-// The available allocation strategies.
+// The built-in allocation strategies (registered in strategies.go).
 const (
 	// Spread maps one process per host in latency order, wrapping around
 	// while capacity remains (paper §4.3, first algorithm).
-	Spread Strategy = iota
+	Spread Strategy = "spread"
 	// Concentrate fills each host up to its capacity in latency order
 	// (paper §4.3, second algorithm).
-	Concentrate
+	Concentrate Strategy = "concentrate"
 	// Mixed is the extension strategy: round-robin across sites,
 	// concentrate within a host.
-	Mixed
+	Mixed Strategy = "mixed"
+	// Random permutes the slist with a seeded generator and spreads over
+	// the permuted order — the baseline that ignores latency entirely.
+	Random Strategy = "random"
+	// MinSites packs the job into the fewest sites that can hold it,
+	// concentrating within each chosen site.
+	MinSites Strategy = "minsites"
+	// CommAware greedily grows a cluster of hosts with minimal estimated
+	// pairwise RTT to the already-chosen set.
+	CommAware Strategy = "comm-aware"
 )
 
 // String returns the command-line name of the strategy.
 func (s Strategy) String() string {
-	switch s {
-	case Spread:
-		return "spread"
-	case Concentrate:
-		return "concentrate"
-	case Mixed:
-		return "mixed"
-	default:
-		return fmt.Sprintf("strategy(%d)", int(s))
+	if s == "" {
+		return string(Spread)
 	}
+	return string(s)
 }
 
-// ParseStrategy converts a -a command-line value to a Strategy.
+// ParseStrategy converts a -a command-line value to a Strategy. It
+// accepts exactly the names registered in the placement registry, so
+// ParseStrategy, Lookup and Names always agree.
 func ParseStrategy(name string) (Strategy, error) {
-	switch name {
-	case "spread":
-		return Spread, nil
-	case "concentrate":
-		return Concentrate, nil
-	case "mixed":
-		return Mixed, nil
-	default:
-		return 0, fmt.Errorf("core: unknown allocation strategy %q", name)
+	if _, err := Lookup(name); err != nil {
+		return "", err
 	}
+	if name == "" {
+		return Spread, nil
+	}
+	return Strategy(name), nil
 }
 
 // HostSlot is one reserved host, in the latency order of slist.
@@ -127,8 +139,8 @@ func Feasible(slist []HostSlot, n, r int) error {
 	return nil
 }
 
-// Placement is one mapped process: MPI rank plus replica number.
-type Placement struct {
+// Proc is one mapped process: MPI rank plus replica number.
+type Proc struct {
 	Rank    int
 	Replica int
 }
@@ -143,134 +155,90 @@ type Assignment struct {
 	U []int
 	// Procs[i] lists the placements on Hosts[i], in rank-assignment
 	// order.
-	Procs [][]Placement
+	Procs [][]Proc
 	// N and R echo the request.
 	N, R int
 	// Strategy echoes the policy used.
 	Strategy Strategy
 }
 
-// Allocate distributes n×r processes over slist with the given strategy
-// and numbers their ranks. The slist order is significant: it must be the
+// Allocate distributes n×r processes over slist with the named strategy
+// and numbers their ranks: the compatibility entry point over the
+// placement registry. The slist order is significant: it must be the
 // ascending-latency order produced by the reservation step.
+//
+// Beyond dispatching, Allocate is the safety chokepoint the middleware
+// submits through: it re-checks feasibility and validates the returned
+// assignment, so a registered third-party policy that forgets Feasible
+// or overfills a host cannot smuggle a replica-unsafe placement into a
+// launch.
 func Allocate(slist []HostSlot, n, r int, strategy Strategy) (*Assignment, error) {
 	if err := Feasible(slist, n, r); err != nil {
 		return nil, err
 	}
-	caps := make([]int, len(slist))
-	for i, h := range slist {
-		caps[i] = Capacity(h.P, n)
+	p, err := Lookup(string(strategy))
+	if err != nil {
+		return nil, err
 	}
-
-	var u []int
-	switch strategy {
-	case Spread:
-		u = spread(caps, n*r)
-	case Concentrate:
-		u = concentrate(caps, n*r)
-	case Mixed:
-		u = mixed(slist, caps, n*r)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	a, err := p.Allocate(slist, n, r)
+	if err != nil {
+		return nil, err
 	}
-
-	a := &Assignment{
-		Hosts:    append([]HostSlot(nil), slist...),
-		U:        u,
-		Procs:    assignRanks(u, n),
-		N:        n,
-		R:        r,
-		Strategy: strategy,
+	if err := a.checkSafety(slist, n, r); err != nil {
+		return nil, fmt.Errorf("core: strategy %q produced an invalid assignment: %w", p.Name(), err)
 	}
 	return a, nil
 }
 
-// spread is the paper's first algorithm: visit hosts in slist order
-// repeatedly, placing one process per visit while the host has remaining
-// capacity, until d = n×r processes are placed.
-func spread(caps []int, total int) []int {
-	u := make([]int, len(caps))
-	d := 0
-	for d < total {
-		progress := false
-		for i := 0; i < len(caps) && d < total; i++ {
-			if u[i] < caps[i] {
-				u[i]++
-				d++
-				progress = true
-			}
-		}
-		if !progress { // unreachable when Feasible passed; defensive
-			panic("core: spread allocation stuck")
+// checkSafety verifies the structural invariants every placement must
+// uphold: Hosts echoes slist (same hosts, same order — the launch path
+// resolves placements through a.Hosts, so a permuted or duplicated
+// Hosts slice would defeat the per-index checks below), one U entry per
+// host, u_i ≤ min(P_i, n), exactly n×r processes, and no host carrying
+// two replicas of one rank (the §4.2 criterion (b)). Built-in policies
+// satisfy this by construction; the check guards registry extensions.
+func (a *Assignment) checkSafety(slist []HostSlot, n, r int) error {
+	if len(a.U) != len(slist) || len(a.Procs) != len(slist) || len(a.Hosts) != len(slist) {
+		return errors.New("U/Procs/Hosts length does not match slist")
+	}
+	for i := range slist {
+		if a.Hosts[i].ID != slist[i].ID {
+			return fmt.Errorf("Hosts[%d] = %q does not echo slist (%q)", i, a.Hosts[i].ID, slist[i].ID)
 		}
 	}
-	return u
-}
-
-// concentrate is the paper's second algorithm: give each host
-// min(c_i, remaining) processes in slist order.
-func concentrate(caps []int, total int) []int {
-	u := make([]int, len(caps))
-	d := 0
-	for i := 0; i < len(caps) && d < total; i++ {
-		take := caps[i]
-		if take > total-d {
-			take = total - d
+	total := 0
+	pairs := make(map[[2]int]bool, n*r)
+	for i, u := range a.U {
+		if u < 0 || u > Capacity(slist[i].P, n) {
+			return fmt.Errorf("host %d assigned %d processes, capacity %d", i, u, Capacity(slist[i].P, n))
 		}
-		u[i] = take
-		d += take
-	}
-	if d < total {
-		panic("core: concentrate allocation stuck")
-	}
-	return u
-}
-
-// mixed visits sites round-robin (in order of each site's first, i.e.
-// lowest-latency, host) and fills one whole host per visit.
-func mixed(slist []HostSlot, caps []int, total int) []int {
-	u := make([]int, len(slist))
-	// Per-site queues of host indices, preserving latency order.
-	var siteOrder []string
-	hostsOf := make(map[string][]int)
-	for i, h := range slist {
-		if _, ok := hostsOf[h.Site]; !ok {
-			siteOrder = append(siteOrder, h.Site)
+		if len(a.Procs[i]) != u {
+			return fmt.Errorf("host %d has %d placements for u=%d", i, len(a.Procs[i]), u)
 		}
-		hostsOf[h.Site] = append(hostsOf[h.Site], i)
-	}
-	d := 0
-	for d < total {
-		progress := false
-		for _, site := range siteOrder {
-			if d >= total {
-				break
+		seen := make(map[int]bool, u)
+		for _, pl := range a.Procs[i] {
+			if pl.Rank < 0 || pl.Rank >= n || pl.Replica < 0 || pl.Replica >= r {
+				return fmt.Errorf("host %d placement %+v out of range", i, pl)
 			}
-			q := hostsOf[site]
-			// Pop saturated hosts at the front of this site's queue.
-			for len(q) > 0 && u[q[0]] >= caps[q[0]] {
-				q = q[1:]
+			if seen[pl.Rank] {
+				return fmt.Errorf("host %d carries two replicas of rank %d", i, pl.Rank)
 			}
-			hostsOf[site] = q
-			if len(q) == 0 {
-				continue
+			seen[pl.Rank] = true
+			// Globally, every (rank, replica) pair must appear exactly
+			// once; with total == n×r and the range checks above, this
+			// forces all n×r pairs to be present.
+			key := [2]int{pl.Rank, pl.Replica}
+			if pairs[key] {
+				return fmt.Errorf("(rank %d, replica %d) placed twice", pl.Rank, pl.Replica)
 			}
-			i := q[0]
-			take := caps[i] - u[i]
-			if take > total-d {
-				take = total - d
-			}
-			u[i] += take
-			d += take
-			if take > 0 {
-				progress = true
-			}
+			pairs[key] = true
 		}
-		if !progress {
-			panic("core: mixed allocation stuck")
-		}
+		total += u
 	}
-	return u
+	if total != n*r {
+		return fmt.Errorf("placed %d processes, want %d", total, n*r)
+	}
+	return nil
 }
 
 // assignRanks numbers the placed processes with the paper's §4.3
@@ -278,17 +246,17 @@ func mixed(slist []HostSlot, caps []int, total int) []int {
 // across hosts. Because u_i ≤ c_i ≤ n, a host can never receive the same
 // rank twice, which is exactly criterion (b): replicas of a rank always
 // land on distinct hosts.
-func assignRanks(u []int, n int) [][]Placement {
-	procs := make([][]Placement, len(u))
+func assignRanks(u []int, n int) [][]Proc {
+	procs := make([][]Proc, len(u))
 	rank := 0
 	copies := make([]int, n) // replica counter per rank
 	for i, ui := range u {
 		if ui == 0 {
 			continue // reservation cancelled for this host
 		}
-		procs[i] = make([]Placement, 0, ui)
+		procs[i] = make([]Proc, 0, ui)
 		for l := 0; l < ui; l++ {
-			procs[i] = append(procs[i], Placement{Rank: rank, Replica: copies[rank]})
+			procs[i] = append(procs[i], Proc{Rank: rank, Replica: copies[rank]})
 			copies[rank]++
 			rank++
 			if rank >= n {

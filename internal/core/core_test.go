@@ -356,7 +356,7 @@ func TestAllocateZeroCapacityHostCancelled(t *testing.T) {
 }
 
 func TestStrategyStringRoundTrip(t *testing.T) {
-	for _, st := range []Strategy{Spread, Concentrate, Mixed} {
+	for _, st := range []Strategy{Spread, Concentrate, Mixed, Random, MinSites, CommAware} {
 		got, err := ParseStrategy(st.String())
 		if err != nil || got != st {
 			t.Fatalf("round trip %v: got %v err %v", st, got, err)
@@ -365,8 +365,12 @@ func TestStrategyStringRoundTrip(t *testing.T) {
 	if _, err := ParseStrategy("bogus"); err == nil {
 		t.Fatal("bogus strategy accepted")
 	}
-	if s := Strategy(42).String(); s != "strategy(42)" {
-		t.Fatalf("unknown strategy string = %q", s)
+	if _, err := Allocate(mkSlist(4, 2), 2, 1, Strategy("bogus")); err == nil {
+		t.Fatal("Allocate accepted an unregistered strategy")
+	}
+	// The zero value keeps the historical default: spread.
+	if st, err := ParseStrategy(""); err != nil || st != Spread {
+		t.Fatalf("empty name: got %v err %v", st, err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"p2pmpi/internal/core"
 	"p2pmpi/internal/grid"
 )
 
@@ -58,10 +59,11 @@ func TimePointsCSV(pts []TimePoint) string {
 			rows[p.N] = r
 			ns = append(ns, p.N)
 		}
-		switch p.Strategy.String() {
-		case "concentrate":
+		// Figure 4 plots exactly the paper's two curves. String()
+		// normalizes the zero-value Strategy to spread.
+		if name := p.Strategy.String(); name == core.Concentrate.String() {
 			r.conc, r.hasC = p.Seconds, true
-		case "spread":
+		} else if name == core.Spread.String() {
 			r.spread, r.hasS = p.Seconds, true
 		}
 	}

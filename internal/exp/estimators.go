@@ -65,7 +65,7 @@ func rankingTau(w *World) float64 {
 		if e == latency.Unknown {
 			continue
 		}
-		truth = append(truth, float64(w.Net.BaseOneWay(FrontalHost, id)))
+		truth = append(truth, float64(w.Net.BaseOneWay(w.FrontalID, id)))
 		est = append(est, float64(e))
 	}
 	if len(truth) < 2 {

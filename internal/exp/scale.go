@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/mpd"
+)
+
+// The scale experiment family goes past the paper's fixed 350-host
+// testbed: it boots synthetic worlds of growing host counts and submits
+// one job per registered placement strategy on each, recording how
+// completion time, allocation footprint and reservation-conflict rate
+// behave as the platform grows — the axis Table 1 pinned that a
+// production co-allocation service must sweep.
+
+// ScalePoint is one (strategy, world size) measurement.
+type ScalePoint struct {
+	Strategy core.Strategy
+	// Hosts, Cores and Sites describe the booted world.
+	Hosts, Cores, Sites int
+	// N and R echo the submitted job.
+	N, R int
+	// Seconds is the submit-to-completion virtual time.
+	Seconds float64
+	// HostsUsed and SitesUsed are the allocation footprint.
+	HostsUsed, SitesUsed int
+	// ReserveOK and ReserveNOK count the reservation requests this
+	// submission's brokering produced across every host RS; ConflictRate
+	// is NOK / (OK + NOK).
+	ReserveOK, ReserveNOK int
+	ConflictRate          float64
+}
+
+// ScaleConfig tunes a scale sweep.
+type ScaleConfig struct {
+	// Base is the synthetic topology template; HostCounts rescale its
+	// HostsPerSite while keeping the site count, RTT distribution and
+	// seed fixed. Base must be synthetic (grid5000 cannot grow).
+	Base grid.TopologySpec
+	// Strategies lists the policies to compare (default: every
+	// registered strategy, in Names order).
+	Strategies []core.Strategy
+	// HostCounts is the world-size axis (default: the base spec's own
+	// size). Counts are rounded up to a multiple of the site count.
+	HostCounts []int
+	// N and R shape the per-strategy job (defaults 128 / 1).
+	N, R int
+	// Timeout bounds each submission in virtual time (default 10m).
+	Timeout time.Duration
+}
+
+func (c *ScaleConfig) fillDefaults() error {
+	if !c.Base.IsSynthetic() {
+		return fmt.Errorf("exp: scale sweep needs a synthetic topology (-grid synth:...), got %q", c.Base.String())
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = core.Strategies()
+	}
+	if len(c.HostCounts) == 0 {
+		c.HostCounts = []int{c.Base.TotalHosts()}
+	}
+	if c.N <= 0 {
+		c.N = 128
+	}
+	if c.R <= 0 {
+		c.R = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+	return nil
+}
+
+// ReserveStats sums the accepted/rejected reservation counters over
+// every compute peer's RS daemon.
+func (w *World) ReserveStats() (ok, nok int) {
+	for _, p := range w.Peers {
+		a, r := p.RS().Stats()
+		ok += int(a)
+		nok += int(r)
+	}
+	return ok, nok
+}
+
+// specForHosts rescales the base topology to approximately the given
+// host count by adjusting HostsPerSite (rounding up).
+func specForHosts(base grid.TopologySpec, hosts int) grid.TopologySpec {
+	spec := base
+	sites := base.Defaulted().Sites
+	spec.HostsPerSite = (hosts + sites - 1) / sites
+	return spec
+}
+
+// ScaleSweep measures every configured strategy at every world size.
+// Each world size owns an independent, freshly booted world (runnable in
+// parallel across the pool); within one world the strategies submit
+// sequentially, each charged only the reservation traffic of its own
+// brokering. Results are ordered (host count, strategy) and independent
+// of the worker count.
+func ScaleSweep(opts Options, cfg ScaleConfig, workers int) ([]ScalePoint, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	perWorld := make([][]ScalePoint, len(cfg.HostCounts))
+	err := runPool(len(cfg.HostCounts), workers, func(i int) error {
+		pts, err := scaleAt(opts, cfg, cfg.HostCounts[i])
+		if err != nil {
+			return fmt.Errorf("hosts=%d: %w", cfg.HostCounts[i], err)
+		}
+		perWorld[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for _, pts := range perWorld {
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// scaleAt boots one world of ~hosts hosts and runs every strategy on it.
+func scaleAt(opts Options, cfg ScaleConfig, hosts int) ([]ScalePoint, error) {
+	o := opts
+	o.Topology = specForHosts(cfg.Base, hosts)
+	w := NewWorld(o)
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for _, strategy := range cfg.Strategies {
+		ok0, nok0 := w.ReserveStats()
+		res, err := w.Submit(mpd.JobSpec{
+			Program:  "hostname",
+			N:        cfg.N,
+			R:        cfg.R,
+			Strategy: strategy,
+			Timeout:  cfg.Timeout,
+		})
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", strategy, err)
+		}
+		if f := res.Failures(); f > 0 {
+			return out, fmt.Errorf("%s: %d slots failed", strategy, f)
+		}
+		ok1, nok1 := w.ReserveStats()
+		pt := ScalePoint{
+			Strategy:   strategy,
+			Hosts:      w.Grid.TotalHosts(),
+			Cores:      w.Grid.TotalCores(),
+			Sites:      len(w.Grid.SiteOrder),
+			N:          cfg.N,
+			R:          cfg.R,
+			Seconds:    res.Duration.Seconds(),
+			HostsUsed:  res.Assignment.UsedHosts(),
+			SitesUsed:  len(res.Assignment.HostsBySite()),
+			ReserveOK:  ok1 - ok0,
+			ReserveNOK: nok1 - nok0,
+		}
+		if total := pt.ReserveOK + pt.ReserveNOK; total > 0 {
+			pt.ConflictRate = float64(pt.ReserveNOK) / float64(total)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ScalePointsCSV renders a scale sweep as CSV, one row per (host count,
+// strategy) point — the per-strategy figure data of the scale family.
+func ScalePointsCSV(pts []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString("strategy,hosts,cores,sites,n,r,seconds,hosts_used,sites_used," +
+		"reserve_ok,reserve_nok,conflict_rate\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%.4f\n",
+			p.Strategy, p.Hosts, p.Cores, p.Sites, p.N, p.R, p.Seconds,
+			p.HostsUsed, p.SitesUsed, p.ReserveOK, p.ReserveNOK, p.ConflictRate)
+	}
+	return b.String()
+}
+
+// RenderScalePoints prints a scale sweep as a table grouped by world
+// size.
+func RenderScalePoints(title string, pts []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%6s %-12s %10s %10s %10s %11s %10s\n",
+		"hosts", "strategy", "n", "time(s)", "hosts-used", "sites-used", "conflicts")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6d %-12s %10d %10.3f %10d %11d %9.1f%%\n",
+			p.Hosts, p.Strategy, p.N, p.Seconds, p.HostsUsed, p.SitesUsed,
+			100*p.ConflictRate)
+	}
+	return b.String()
+}

@@ -66,14 +66,28 @@ type Host struct {
 }
 
 // Grid is the full testbed: sites, clusters and the expanded host list.
+// Both the Table 1 inventory (Grid5000) and generated testbeds
+// (Synthetic) produce this same shape, so everything downstream — the
+// simulated network, the experiment harness, the CSV renderers — works
+// on either.
 type Grid struct {
 	Origin   string
 	SiteInfo map[string]*Site
 	Clusters []*Cluster
 	Hosts    []*Host
 
+	// SiteOrder lists the sites in ascending RTT from the origin — the
+	// order the paper's figure legends use. For Grid5000 it equals the
+	// package-level Sites slice.
+	SiteOrder []string
+	// LocalRTT is the intra-site round-trip time.
+	LocalRTT time.Duration
+
 	hostByID map[string]*Host
 }
+
+// SiteNames returns the grid's sites in legend (ascending-RTT) order.
+func (g *Grid) SiteNames() []string { return g.SiteOrder }
 
 const (
 	gbps  = int64(1_000_000_000)
@@ -85,7 +99,9 @@ const (
 // (sophia 70 hosts/216 cores, grenoble 20/64, ...) fall out of it.
 func Grid5000() *Grid {
 	g := &Grid{
-		Origin: Nancy,
+		Origin:    Nancy,
+		SiteOrder: append([]string(nil), Sites...),
+		LocalRTT:  87 * time.Microsecond,
 		SiteInfo: map[string]*Site{
 			Nancy:    {Name: Nancy, RTTFromOrigin: 87 * time.Microsecond, BandwidthBps: tenGb},
 			Lyon:     {Name: Lyon, RTTFromOrigin: 10576 * time.Microsecond, BandwidthBps: tenGb},
@@ -175,14 +191,14 @@ func (g *Grid) TotalCores() int {
 }
 
 // SiteRTT returns the base round-trip time between two sites. Within a
-// site it is the local RTT printed for nancy (0.087 ms). Between the
-// origin and a remote site it is the legend value. Between two remote
-// sites (which the paper does not report) it uses the star approximation
-// through the backbone: half the sum of the two legs' one-way times,
-// doubled — i.e. (rtt(a)+rtt(b))/2.
+// site it is the grid's local RTT (0.087 ms for Grid5000, the value
+// printed for nancy). Between the origin and a remote site it is the
+// legend value. Between two remote sites (which the paper does not
+// report) it uses the star approximation through the backbone: half the
+// sum of the two legs' one-way times, doubled — i.e. (rtt(a)+rtt(b))/2.
 func (g *Grid) SiteRTT(a, b string) time.Duration {
 	if a == b {
-		return g.SiteInfo[Nancy].RTTFromOrigin // local-site RTT
+		return g.LocalRTT
 	}
 	sa, sb := g.SiteInfo[a], g.SiteInfo[b]
 	if sa == nil || sb == nil {

@@ -1,0 +1,288 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TopologySpec describes a testbed to build: either the paper's Table 1
+// inventory or a generated grid of configurable size, so experiments can
+// scale worlds far past the 350 hosts of Grid'5000.
+//
+// The zero value builds Grid5000, which keeps every pre-existing caller
+// byte-compatible.
+type TopologySpec struct {
+	// Kind selects the family: "" or "grid5000" for Table 1, "synth" for
+	// a generated grid.
+	Kind string
+
+	// Sites is the number of generated sites (synth; default 6).
+	Sites int
+	// HostsPerSite is the number of hosts per generated site (default 60).
+	HostsPerSite int
+	// CoresPerHost is the per-host core count (default 2).
+	CoresPerHost int
+	// Seed drives the inter-site RTT draws (default 1).
+	Seed int64
+	// RTTMin and RTTMax bound the uniform origin-to-site RTT distribution
+	// (defaults 5ms and 25ms, bracketing the paper's 10.5–17.2 ms legend
+	// values). The origin site itself sits at LocalRTT.
+	RTTMin, RTTMax time.Duration
+	// LocalRTT is the intra-site RTT (default 87µs, the nancy value).
+	LocalRTT time.Duration
+	// BandwidthBps is every site's backbone uplink (default 10 Gb/s).
+	BandwidthBps int64
+	// CoreGFLOPS and HostMemBWGBs calibrate the virtual-time compute
+	// model of every generated host (defaults 2.0 and 6.0, the modal
+	// Table 1 values).
+	CoreGFLOPS   float64
+	HostMemBWGBs float64
+}
+
+// IsSynthetic reports whether the spec builds a generated grid.
+func (s TopologySpec) IsSynthetic() bool { return s.Kind == "synth" }
+
+func (s *TopologySpec) fillDefaults() {
+	if s.Sites <= 0 {
+		s.Sites = 6
+	}
+	if s.HostsPerSite <= 0 {
+		s.HostsPerSite = 60
+	}
+	if s.CoresPerHost <= 0 {
+		s.CoresPerHost = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.RTTMin <= 0 {
+		s.RTTMin = 5 * time.Millisecond
+	}
+	if s.RTTMax <= 0 {
+		// The documented default, independent of RTTMin: a caller who
+		// raises only rttmin keeps the 25ms ceiling (or a point
+		// distribution at rttmin when that exceeds the ceiling).
+		s.RTTMax = 25 * time.Millisecond
+		if s.RTTMax < s.RTTMin {
+			s.RTTMax = s.RTTMin
+		}
+	}
+	if s.RTTMax < s.RTTMin {
+		// An explicit max below the (possibly defaulted) min wins: the
+		// distribution degenerates to a point rather than silently
+		// discarding the caller's bound.
+		s.RTTMin = s.RTTMax
+	}
+	if s.LocalRTT <= 0 {
+		s.LocalRTT = 87 * time.Microsecond
+	}
+	if s.BandwidthBps <= 0 {
+		s.BandwidthBps = tenGb
+	}
+	if s.CoreGFLOPS <= 0 {
+		s.CoreGFLOPS = 2.0
+	}
+	if s.HostMemBWGBs <= 0 {
+		s.HostMemBWGBs = 6.0
+	}
+}
+
+// Defaulted returns the spec with every unset field resolved to its
+// default — the single source of truth for what a partial spec builds.
+func (s TopologySpec) Defaulted() TopologySpec {
+	s.fillDefaults()
+	return s
+}
+
+// TotalHosts returns the host count the spec expands to.
+func (s TopologySpec) TotalHosts() int {
+	if !s.IsSynthetic() {
+		return 350 // Table 1
+	}
+	s.fillDefaults()
+	return s.Sites * s.HostsPerSite
+}
+
+// Build expands the spec into a Grid.
+func (s TopologySpec) Build() *Grid {
+	if !s.IsSynthetic() {
+		return Grid5000()
+	}
+	return Synthetic(s)
+}
+
+// String renders the spec in the canonical -grid flag syntax; feeding
+// the result back through ParseTopologySpec rebuilds the same world.
+func (s TopologySpec) String() string {
+	if !s.IsSynthetic() {
+		return "grid5000"
+	}
+	s.fillDefaults()
+	out := fmt.Sprintf("synth:S=%d,H=%d,C=%d,seed=%d,rttmin=%s,rttmax=%s",
+		s.Sites, s.HostsPerSite, s.CoresPerHost, s.Seed, s.RTTMin, s.RTTMax)
+	// Secondary knobs appear only when they differ from the defaults, so
+	// the common case stays short; the comparison derives the defaults
+	// from fillDefaults itself rather than restating them.
+	def := TopologySpec{Kind: "synth"}.Defaulted()
+	if s.BandwidthBps != def.BandwidthBps {
+		out += fmt.Sprintf(",bw=%d", s.BandwidthBps)
+	}
+	if s.LocalRTT != def.LocalRTT {
+		out += fmt.Sprintf(",local=%s", s.LocalRTT)
+	}
+	if s.CoreGFLOPS != def.CoreGFLOPS {
+		out += fmt.Sprintf(",gflops=%g", s.CoreGFLOPS)
+	}
+	if s.HostMemBWGBs != def.HostMemBWGBs {
+		out += fmt.Sprintf(",membw=%g", s.HostMemBWGBs)
+	}
+	return out
+}
+
+// Synthetic generates a testbed: spec.Sites sites of spec.HostsPerSite
+// uniform hosts each, one cluster per site, with origin-to-site RTTs
+// drawn uniformly from [RTTMin, RTTMax] by a seeded generator. Sites are
+// named s01, s02, ... in ascending-RTT order (the figure-legend
+// convention), with s01 the origin at LocalRTT; inter-remote-site RTTs
+// fall out of the same star approximation Grid5000 uses. The generation
+// is fully determined by the spec, so worlds built from equal specs are
+// identical.
+func Synthetic(spec TopologySpec) *Grid {
+	spec.fillDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	rtts := make([]time.Duration, spec.Sites-1)
+	span := int64(spec.RTTMax - spec.RTTMin)
+	for i := range rtts {
+		rtts[i] = spec.RTTMin
+		if span > 0 {
+			rtts[i] += time.Duration(rng.Int63n(span + 1))
+		}
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+
+	width := len(strconv.Itoa(spec.Sites))
+	g := &Grid{
+		Origin:   fmt.Sprintf("s%0*d", width, 1),
+		LocalRTT: spec.LocalRTT,
+		SiteInfo: make(map[string]*Site),
+		hostByID: make(map[string]*Host),
+	}
+	for i := 0; i < spec.Sites; i++ {
+		name := fmt.Sprintf("s%0*d", width, i+1)
+		rtt := spec.LocalRTT
+		if i > 0 {
+			rtt = rtts[i-1]
+		}
+		g.SiteOrder = append(g.SiteOrder, name)
+		g.SiteInfo[name] = &Site{Name: name, RTTFromOrigin: rtt, BandwidthBps: spec.BandwidthBps}
+		c := &Cluster{
+			Site:         name,
+			Name:         "c" + name[1:],
+			CPU:          "synthetic",
+			Nodes:        spec.HostsPerSite,
+			CPUs:         spec.HostsPerSite,
+			Cores:        spec.HostsPerSite * spec.CoresPerHost,
+			CoresPerHost: spec.CoresPerHost,
+			CoreGFLOPS:   spec.CoreGFLOPS,
+			HostMemBWGBs: spec.HostMemBWGBs,
+		}
+		g.Clusters = append(g.Clusters, c)
+		for j := 0; j < spec.HostsPerSite; j++ {
+			h := &Host{
+				ID:      fmt.Sprintf("%s-%d.%s", c.Name, j+1, name),
+				Site:    name,
+				Cluster: c.Name,
+				Cores:   spec.CoresPerHost,
+				Index:   j,
+			}
+			g.Hosts = append(g.Hosts, h)
+			g.hostByID[h.ID] = h
+		}
+	}
+	return g
+}
+
+// ParseTopologySpec parses a -grid flag value:
+//
+//	grid5000
+//	synth
+//	synth:S=12,H=400,C=2,seed=7,rttmin=5ms,rttmax=25ms
+//
+// Keys (case-insensitive): S/sites, H/hosts (hosts per site), C/cores
+// (cores per host), seed, rttmin, rttmax, local (intra-site RTT), bw
+// (bits per second), gflops, membw. Omitted keys take the TopologySpec
+// defaults.
+func ParseTopologySpec(s string) (TopologySpec, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "", "grid5000":
+		return TopologySpec{Kind: "grid5000"}, nil
+	case "synth":
+		return TopologySpec{Kind: "synth"}, nil
+	}
+	rest, ok := strings.CutPrefix(s, "synth:")
+	if !ok {
+		return TopologySpec{}, fmt.Errorf("grid: unknown topology %q (want grid5000 or synth:S=...,H=...)", s)
+	}
+	spec := TopologySpec{Kind: "synth"}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return TopologySpec{}, fmt.Errorf("grid: topology field %q is not key=value", kv)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "s", "sites":
+			spec.Sites, err = parsePositiveInt(val)
+		case "h", "hosts":
+			spec.HostsPerSite, err = parsePositiveInt(val)
+		case "c", "cores":
+			spec.CoresPerHost, err = parsePositiveInt(val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err == nil && spec.Seed == 0 {
+				err = fmt.Errorf("seed 0 is reserved as the unset default (it would alias seed 1); pick a non-zero seed")
+			}
+		case "rttmin":
+			spec.RTTMin, err = time.ParseDuration(strings.TrimSpace(val))
+		case "rttmax":
+			spec.RTTMax, err = time.ParseDuration(strings.TrimSpace(val))
+		case "local":
+			spec.LocalRTT, err = time.ParseDuration(strings.TrimSpace(val))
+		case "bw":
+			spec.BandwidthBps, err = strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		case "gflops":
+			spec.CoreGFLOPS, err = strconv.ParseFloat(strings.TrimSpace(val), 64)
+		case "membw":
+			spec.HostMemBWGBs, err = strconv.ParseFloat(strings.TrimSpace(val), 64)
+		default:
+			return TopologySpec{}, fmt.Errorf("grid: unknown topology key %q", key)
+		}
+		if err != nil {
+			return TopologySpec{}, fmt.Errorf("grid: topology field %q: %v", kv, err)
+		}
+	}
+	if spec.RTTMin > 0 && spec.RTTMax > 0 && spec.RTTMax < spec.RTTMin {
+		return TopologySpec{}, fmt.Errorf("grid: rttmax %v < rttmin %v", spec.RTTMax, spec.RTTMin)
+	}
+	return spec, nil
+}
+
+func parsePositiveInt(s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("value %d out of range", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,150 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSyntheticSizes(t *testing.T) {
+	g := Synthetic(TopologySpec{Kind: "synth", Sites: 12, HostsPerSite: 400, CoresPerHost: 2, Seed: 7})
+	if got := g.TotalHosts(); got != 4800 {
+		t.Fatalf("hosts = %d, want 4800", got)
+	}
+	if got := g.TotalCores(); got != 9600 {
+		t.Fatalf("cores = %d, want 9600", got)
+	}
+	if len(g.SiteOrder) != 12 || len(g.Clusters) != 12 {
+		t.Fatalf("sites = %d, clusters = %d", len(g.SiteOrder), len(g.Clusters))
+	}
+	perSite := g.HostsBySite()
+	for _, s := range g.SiteOrder {
+		if perSite[s] != 400 {
+			t.Fatalf("site %s has %d hosts", s, perSite[s])
+		}
+	}
+	// Every host resolves through the ID table and back to its cluster.
+	h := g.Hosts[1234]
+	if g.HostByID(h.ID) != h {
+		t.Fatalf("HostByID(%q) broken", h.ID)
+	}
+	if c := g.ClusterOf(h); c == nil || c.CoresPerHost != 2 {
+		t.Fatalf("ClusterOf(%q) = %+v", h.ID, c)
+	}
+}
+
+func TestSyntheticRTTOrderingAndStar(t *testing.T) {
+	g := Synthetic(TopologySpec{Kind: "synth", Sites: 8, HostsPerSite: 4, Seed: 3,
+		RTTMin: 5 * time.Millisecond, RTTMax: 25 * time.Millisecond})
+	if g.Origin != g.SiteOrder[0] {
+		t.Fatalf("origin %q is not the first site %q", g.Origin, g.SiteOrder[0])
+	}
+	prev := time.Duration(-1)
+	for _, s := range g.SiteOrder {
+		rtt := g.SiteInfo[s].RTTFromOrigin
+		if rtt < prev {
+			t.Fatalf("SiteOrder not ascending: %s at %v after %v", s, rtt, prev)
+		}
+		prev = rtt
+		if s != g.Origin && (rtt < 5*time.Millisecond || rtt > 25*time.Millisecond) {
+			t.Fatalf("site %s RTT %v outside [5ms, 25ms]", s, rtt)
+		}
+	}
+	// Intra-site, origin-leg and star-approximated RTTs behave like
+	// Grid5000's.
+	a, b := g.SiteOrder[2], g.SiteOrder[5]
+	if got := g.SiteRTT(a, a); got != g.LocalRTT {
+		t.Fatalf("local RTT = %v", got)
+	}
+	if got := g.SiteRTT(g.Origin, b); got != g.SiteInfo[b].RTTFromOrigin {
+		t.Fatalf("origin leg = %v", got)
+	}
+	want := (g.SiteInfo[a].RTTFromOrigin + g.SiteInfo[b].RTTFromOrigin) / 2
+	if got := g.SiteRTT(a, b); got != want {
+		t.Fatalf("star RTT = %v, want %v", got, want)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := TopologySpec{Kind: "synth", Sites: 5, HostsPerSite: 3, Seed: 42}
+	g1, g2 := Synthetic(spec), Synthetic(spec)
+	if !reflect.DeepEqual(g1.SiteOrder, g2.SiteOrder) {
+		t.Fatal("site order differs between identical specs")
+	}
+	for _, s := range g1.SiteOrder {
+		if g1.SiteInfo[s].RTTFromOrigin != g2.SiteInfo[s].RTTFromOrigin {
+			t.Fatalf("site %s RTT differs", s)
+		}
+	}
+	g3 := Synthetic(TopologySpec{Kind: "synth", Sites: 5, HostsPerSite: 3, Seed: 43})
+	same := true
+	for i, s := range g1.SiteOrder {
+		if g3.SiteInfo[g3.SiteOrder[i]].RTTFromOrigin != g1.SiteInfo[s].RTTFromOrigin {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical RTT draws")
+	}
+}
+
+func TestTopologySpecBuildDefaultsToGrid5000(t *testing.T) {
+	var zero TopologySpec
+	g := zero.Build()
+	if g.TotalHosts() != 350 || g.Origin != Nancy {
+		t.Fatalf("zero spec built %d hosts origin %q", g.TotalHosts(), g.Origin)
+	}
+	if !reflect.DeepEqual(g.SiteOrder, Sites) {
+		t.Fatalf("Grid5000 SiteOrder = %v", g.SiteOrder)
+	}
+	if zero.TotalHosts() != 350 {
+		t.Fatalf("zero spec TotalHosts = %d", zero.TotalHosts())
+	}
+}
+
+func TestParseTopologySpec(t *testing.T) {
+	spec, err := ParseTopologySpec("synth:S=12,H=400,C=4,seed=9,rttmin=2ms,rttmax=30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TopologySpec{Kind: "synth", Sites: 12, HostsPerSite: 400, CoresPerHost: 4,
+		Seed: 9, RTTMin: 2 * time.Millisecond, RTTMax: 30 * time.Millisecond}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	if spec.TotalHosts() != 4800 {
+		t.Fatalf("TotalHosts = %d", spec.TotalHosts())
+	}
+	if _, err := ParseTopologySpec("grid5000"); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := ParseTopologySpec("synth"); err != nil || !s.IsSynthetic() {
+		t.Fatalf("bare synth: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"mesh", "synth:S", "synth:S=0", "synth:bogus=1", "synth:H=x",
+		"synth:rttmin=10ms,rttmax=3ms", "synth:seed=0"} {
+		if _, err := ParseTopologySpec(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	// An explicit max below the default min is honoured, not discarded:
+	// the draw degenerates to exactly that bound.
+	tight, err := ParseTopologySpec("synth:S=4,H=2,rttmax=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Synthetic(tight)
+	for _, s := range g.SiteOrder[1:] {
+		if got := g.SiteInfo[s].RTTFromOrigin; got != 3*time.Millisecond {
+			t.Fatalf("site %s RTT %v, want the explicit 3ms cap", s, got)
+		}
+	}
+	// Canonical String round-trips through the parser.
+	rt, err := ParseTopologySpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Sites != spec.Sites || rt.HostsPerSite != spec.HostsPerSite || rt.Seed != spec.Seed {
+		t.Fatalf("round trip %+v -> %+v", spec, rt)
+	}
+}

@@ -133,6 +133,12 @@ type Config struct {
 	ProcBasePort int
 	// Seed makes key generation deterministic.
 	Seed int64
+	// NoBootPing skips the immediate ping round after registration. Boot
+	// probing is all-pairs across the deployment, which the large-world
+	// harness cannot afford for compute peers whose own latency view is
+	// never consulted (only the submitter's ordering matters); the
+	// periodic ping loop still runs at PingInterval.
+	NoBootPing bool
 }
 
 func (c *Config) fillDefaults() {
@@ -258,7 +264,9 @@ func (m *MPD) Start() error {
 		if peers, err := m.registerAny(); err == nil {
 			m.cache.Update(peers)
 		}
-		m.pingRound() // measure latencies right away
+		if !m.cfg.NoBootPing {
+			m.pingRound() // measure latencies right away
+		}
 	})
 	m.rt.Go("mpd.alive."+m.cfg.Self.ID, m.aliveLoop)
 	m.rt.Go("mpd.refresh."+m.cfg.Self.ID, m.refreshLoop)

@@ -110,10 +110,28 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 	need := spec.N * spec.R
 
 	// Step 2 (booking): make sure we know enough nodes; refresh the
-	// cached list from the supernode if not.
-	if m.cache.Size() < need {
-		if peers, err := m.fetchAny(); err == nil {
-			m.cache.Update(peers)
+	// cached list from the supernode if not. A supernode with bounded
+	// replies (MaxPeersReturned) ships one rotating window per fetch, so
+	// keep fetching while the cache grows toward the overbooked booking
+	// target (not the bare demand — stopping at need would strip the
+	// overbook margin that absorbs refusals and dead peers). A single
+	// refresh would cap the candidate list at one window regardless of
+	// how many hosts the overlay actually has. The loop ends when the
+	// target is reached or two consecutive windows teach nothing (the
+	// overlay has no more hosts to offer); the iteration cap scales with
+	// the target and only backstops a pathological supernode.
+	fetchTarget := mathCeil(float64(need)*m.cfg.Overbook) + 2
+	for stalls, i := 0, 0; i < 2*fetchTarget+8 && stalls < 2 && m.cache.Size() < fetchTarget; i++ {
+		prev := m.cache.Size()
+		peers, err := m.fetchAny()
+		if err != nil {
+			break
+		}
+		m.cache.Update(peers)
+		if m.cache.Size() > prev {
+			stalls = 0
+		} else {
+			stalls++
 		}
 	}
 

@@ -18,6 +18,14 @@ type Cache struct {
 	peers  map[string]proto.PeerInfo
 	lat    *latency.Table
 	dead   map[string]bool // peers marked dead; ignored until re-learned
+
+	// ranked memoizes the ascending-latency ordering. Submissions call
+	// Ranked far more often than pings and snapshots mutate the cache,
+	// so the O(n log n) sort (whose comparator does two estimator
+	// lookups per comparison) runs only when the flag says the cached
+	// slice went stale — every Observe/Update/MarkDead clears it.
+	ranked      []RankedPeer
+	rankedValid bool
 }
 
 // NewCache creates a cache for the peer with the given identity. The
@@ -42,6 +50,9 @@ func (c *Cache) Update(list []proto.PeerInfo) {
 		if p.ID == c.selfID {
 			continue
 		}
+		if old, known := c.peers[p.ID]; !known || old != p {
+			c.rankedValid = false
+		}
 		c.peers[p.ID] = p
 		delete(c.dead, p.ID)
 	}
@@ -53,6 +64,7 @@ func (c *Cache) Observe(id string, rtt time.Duration) {
 	defer c.mu.Unlock()
 	if _, ok := c.peers[id]; ok {
 		c.lat.Observe(id, rtt)
+		c.rankedValid = false
 	}
 }
 
@@ -62,6 +74,9 @@ func (c *Cache) Observe(id string, rtt time.Duration) {
 func (c *Cache) MarkDead(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.peers[id]; ok {
+		c.rankedValid = false
+	}
 	delete(c.peers, id)
 	c.lat.Forget(id)
 	c.dead[id] = true
@@ -108,21 +123,30 @@ func (c *Cache) Peer(id string) (proto.PeerInfo, bool) {
 
 // Ranked returns all cached peers sorted by ascending measured latency;
 // unmeasured peers sort last (the booking step may still probe them).
+// The ordering is memoized: a call that follows no cache mutation costs
+// one O(n) copy instead of a full re-sort. The returned slice is the
+// caller's to keep.
 func (c *Cache) Ranked() []RankedPeer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids := make([]string, 0, len(c.peers))
-	for id := range c.peers {
-		ids = append(ids, id)
+	if !c.rankedValid {
+		ids := make([]string, 0, len(c.peers))
+		for id := range c.peers {
+			ids = append(ids, id)
+		}
+		sorted := c.lat.Rank(ids)
+		ranked := make([]RankedPeer, 0, len(sorted))
+		for _, id := range sorted {
+			ranked = append(ranked, RankedPeer{
+				Info:    c.peers[id],
+				Latency: c.lat.Estimate(id),
+			})
+		}
+		c.ranked = ranked
+		c.rankedValid = true
 	}
-	sorted := c.lat.Rank(ids)
-	out := make([]RankedPeer, 0, len(sorted))
-	for _, id := range sorted {
-		out = append(out, RankedPeer{
-			Info:    c.peers[id],
-			Latency: c.lat.Estimate(id),
-		})
-	}
+	out := make([]RankedPeer, len(c.ranked))
+	copy(out, c.ranked)
 	return out
 }
 

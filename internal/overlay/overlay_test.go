@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -198,4 +199,171 @@ func TestCacheObserveUnknownPeerIgnored(t *testing.T) {
 	if c.Latency("ghost") != latency.Unknown {
 		t.Fatal("observation for unknown peer recorded")
 	}
+}
+
+func TestSupernodeMaxPeersReturned(t *testing.T) {
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{Addr: "sn:8800", MaxPeersReturned: 2})
+	s.Go("main", func() {
+		sn.Start()
+		var lastReply []proto.PeerInfo
+		for _, id := range []string{"p1", "p2", "p3"} {
+			list, err := RegisterWith(n.Node(id), "sn:8800", peer(id), time.Second)
+			if err != nil {
+				t.Errorf("register %s: %v", id, err)
+			}
+			lastReply = list
+		}
+		if len(lastReply) != 2 {
+			t.Errorf("register reply carried %d peers, want 2", len(lastReply))
+		}
+		// Every reply is bounded, and window starts are fresh seeded
+		// draws, so repeated refreshes cover the whole membership — no
+		// host is permanently hidden behind the cap.
+		covered := map[string]bool{}
+		for i := 0; i < 12; i++ {
+			list, err := FetchFrom(n.Node("p1"), "sn:8800", time.Second)
+			if err != nil {
+				t.Errorf("fetch %d: %v", i, err)
+				continue
+			}
+			if len(list) != 2 {
+				t.Errorf("fetch %d returned %d peers, want 2", i, len(list))
+			}
+			for _, p := range list {
+				covered[p.ID] = true
+			}
+		}
+		if len(covered) != 3 {
+			t.Errorf("rotating window covered %v, want all 3 peers", covered)
+		}
+		// The supernode still tracks everyone; only replies are bounded.
+		if sn.PeerCount() != 3 {
+			t.Errorf("peer count = %d, want 3", sn.PeerCount())
+		}
+		if got := sn.Snapshot(); len(got) != 3 {
+			t.Errorf("snapshot = %d peers, want full table", len(got))
+		}
+		sn.Close()
+	})
+	s.Wait()
+}
+
+func TestSupernodeBoundedRepliesNoLockstepAliasing(t *testing.T) {
+	// Clients fetching in strict lockstep must each still cover the
+	// whole membership. Any deterministic cursor stride aliases to a
+	// fixed window whenever clients × stride ≡ 0 mod table size (here 2
+	// clients over a 4-peer table); the seeded per-reply random window
+	// start has no cadence to resonate with.
+	s, n := simWorld(t)
+	sn := NewSupernode(s, n.Node("sn"), SupernodeConfig{Addr: "sn:8800", MaxPeersReturned: 2, Seed: 11})
+	s.Go("main", func() {
+		sn.Start()
+		for _, id := range []string{"a1", "a2", "a3", "a4"} {
+			if _, err := RegisterWith(n.Node("p1"), "sn:8800", peer(id), time.Second); err != nil {
+				t.Errorf("register %s: %v", id, err)
+			}
+		}
+		covered := map[string]map[string]bool{"p1": {}, "p2": {}}
+		for round := 0; round < 16; round++ {
+			for _, client := range []string{"p1", "p2"} {
+				list, err := FetchFrom(n.Node(client), "sn:8800", time.Second)
+				if err != nil {
+					t.Errorf("fetch %s: %v", client, err)
+					continue
+				}
+				for _, p := range list {
+					covered[client][p.ID] = true
+				}
+			}
+		}
+		for client, ids := range covered {
+			if len(ids) != 4 {
+				t.Errorf("client %s only ever saw %v", client, ids)
+			}
+		}
+		sn.Close()
+	})
+	s.Wait()
+}
+
+func TestCacheRankedMemoizedAcrossMutations(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Update([]proto.PeerInfo{peer("a"), peer("b"), peer("c")})
+	c.Observe("a", 3*time.Millisecond)
+	c.Observe("b", time.Millisecond)
+	c.Observe("c", 2*time.Millisecond)
+	r1 := c.Ranked()
+	// A repeated call returns the same ordering from the memo, in a
+	// slice the caller owns.
+	r2 := c.Ranked()
+	r2[0] = RankedPeer{} // must not corrupt the cache's copy
+	r3 := c.Ranked()
+	if ids(r1)[0] != "b" || ids(r3)[0] != "b" {
+		t.Fatalf("memoized ranking broken: %v then %v", ids(r1), ids(r3))
+	}
+	// Every mutation kind invalidates: a new observation...
+	c.Observe("a", 100*time.Microsecond)
+	if got := ids(c.Ranked()); got[0] != "a" {
+		t.Fatalf("after re-observe, ranking = %v", got)
+	}
+	// ...a death...
+	c.MarkDead("a")
+	if got := ids(c.Ranked()); len(got) != 2 || got[0] != "b" {
+		t.Fatalf("after death, ranking = %v", got)
+	}
+	// ...and a snapshot that teaches a new peer.
+	c.Update([]proto.PeerInfo{peer("d")})
+	if got := ids(c.Ranked()); len(got) != 3 || got[2] != "d" {
+		t.Fatalf("after update, ranking = %v", got)
+	}
+	// A snapshot that changes nothing keeps the memo warm (observable
+	// only through the benchmark, but it must at least stay correct).
+	c.Update([]proto.PeerInfo{peer("d")})
+	if got := ids(c.Ranked()); len(got) != 3 {
+		t.Fatalf("after no-op update, ranking = %v", got)
+	}
+}
+
+// benchCache builds a cache holding k measured peers.
+func benchCache(k int) *Cache {
+	c := NewCache("me", latency.KindLast, 0)
+	peers := make([]proto.PeerInfo, k)
+	for i := range peers {
+		peers[i] = peer(fmt.Sprintf("peer%05d", i))
+	}
+	c.Update(peers)
+	for i, p := range peers {
+		c.Observe(p.ID, time.Duration(1+(i*7919)%5000)*time.Microsecond)
+	}
+	return c
+}
+
+// BenchmarkCacheRanked5k measures the satellite win: Submit re-ranks the
+// cached peer list on every call, and at 5k peers the memoized path
+// (warm: no mutation between calls) must beat the re-sorting path
+// (invalidated: a ping lands between calls) by a wide margin.
+func BenchmarkCacheRanked5k(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		c := benchCache(5000)
+		c.Ranked() // prime the memo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := c.Ranked(); len(r) != 5000 {
+				b.Fatal("bad ranking")
+			}
+		}
+	})
+	b.Run("invalidated", func(b *testing.B) {
+		c := benchCache(5000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Observe("peer00000", time.Duration(1+i%100)*time.Microsecond)
+			if r := c.Ranked(); len(r) != 5000 {
+				b.Fatal("bad ranking")
+			}
+		}
+	})
 }

@@ -9,6 +9,8 @@
 package overlay
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +27,28 @@ type SupernodeConfig struct {
 	TTL time.Duration
 	// SweepInterval is how often expired peers are purged.
 	SweepInterval time.Duration
+	// MaxPeersReturned bounds the host list shipped in Register and
+	// FetchPeers replies; 0 (the default) returns the full table, the
+	// historical behaviour. On worlds of thousands of hosts an unbounded
+	// reply makes every cache refresh an O(world) message — capping it
+	// keeps membership traffic flat while the supernode still tracks
+	// everyone (PeerCount and the TTL sweep are unaffected). Each reply
+	// is a window of the ID-ordered table whose start is drawn from the
+	// seeded Seed generator, so a client that keeps refreshing samples
+	// independent windows and covers the whole membership regardless of
+	// how its fetch cadence interleaves with other clients' (any
+	// deterministic cursor stride aliases to a fixed subset whenever
+	// clients × stride ≡ 0 mod table size — the steady state of a world
+	// where every peer refreshes in lockstep). Replies stay a pure
+	// function of (Seed, request sequence), keeping simulated worlds
+	// replayable. Submitters accumulate windows across refreshes (the
+	// MPD booking step keeps fetching while its cache grows toward the
+	// demand), but a cap well above the largest expected n×r×overbook
+	// keeps bookings to a single refresh.
+	MaxPeersReturned int
+	// Seed drives the bounded-reply window draws (used only when
+	// MaxPeersReturned > 0).
+	Seed int64
 }
 
 // Supernode is the bootstrap/membership daemon.
@@ -37,6 +61,13 @@ type Supernode struct {
 	peers  map[string]*peerEntry
 	ln     transport.Listener
 	closed bool
+	// rng draws the bounded-reply window starts (MaxPeersReturned > 0).
+	rng *rand.Rand
+	// listCache memoizes the ID-sorted table; replies on large worlds
+	// route every Register/Fetch through it, so it must not re-sort per
+	// reply. Invalidated whenever membership or peer info changes.
+	listCache []proto.PeerInfo
+	listValid bool
 }
 
 type peerEntry struct {
@@ -52,7 +83,11 @@ func NewSupernode(rt vtime.Runtime, net transport.Network, cfg SupernodeConfig) 
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = cfg.TTL / 3
 	}
-	return &Supernode{rt: rt, net: net, cfg: cfg, peers: make(map[string]*peerEntry)}
+	return &Supernode{
+		rt: rt, net: net, cfg: cfg,
+		peers: make(map[string]*peerEntry),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
 }
 
 // Start binds the listener and spawns the accept and sweep loops.
@@ -105,21 +140,45 @@ func (s *Supernode) PeerCount() int {
 func (s *Supernode) Snapshot() []proto.PeerInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.listLocked()
+	return append([]proto.PeerInfo(nil), s.sortedLocked()...)
 }
 
-func (s *Supernode) listLocked() []proto.PeerInfo {
-	out := make([]proto.PeerInfo, 0, len(s.peers))
-	for _, e := range s.peers {
-		out = append(out, e.info)
+// peerList is the host list as shipped to peers: the full table, or —
+// when MaxPeersReturned bounds it — a window over the ID-ordered table
+// whose start is drawn from the seeded generator. Independent draws per
+// reply mean no client can get pinned to a fixed subset by an unlucky
+// congruence between its fetch cadence and the table size; repeated
+// refreshes cover the membership with probability approaching one
+// (coupon-collector over table/limit windows).
+func (s *Supernode) peerList() []proto.PeerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.sortedLocked()
+	limit := s.cfg.MaxPeersReturned
+	if limit <= 0 || len(list) <= limit {
+		return append([]proto.PeerInfo(nil), list...)
 	}
-	// Deterministic order: by peer ID.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	start := s.rng.Intn(len(list))
+	out := make([]proto.PeerInfo, 0, limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, list[(start+i)%len(list)])
 	}
 	return out
+}
+
+// sortedLocked returns the memoized ID-sorted table; the returned slice
+// is the cache itself — callers must copy before handing it out.
+func (s *Supernode) sortedLocked() []proto.PeerInfo {
+	if !s.listValid {
+		out := make([]proto.PeerInfo, 0, len(s.peers))
+		for _, e := range s.peers {
+			out = append(out, e.info)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		s.listCache = out
+		s.listValid = true
+	}
+	return s.listCache
 }
 
 func (s *Supernode) acceptLoop() {
@@ -148,12 +207,12 @@ func (s *Supernode) serveConn(c transport.Conn) {
 		switch r := req.(type) {
 		case *proto.Register:
 			s.register(r.Peer)
-			reply = &proto.PeerList{Peers: s.Snapshot()}
+			reply = &proto.PeerList{Peers: s.peerList()}
 		case *proto.Alive:
 			s.touch(r.ID)
 			reply = &proto.AliveAck{}
 		case *proto.FetchPeers:
-			reply = &proto.PeerList{Peers: s.Snapshot()}
+			reply = &proto.PeerList{Peers: s.peerList()}
 		default:
 			return // protocol violation: drop the connection
 		}
@@ -166,6 +225,9 @@ func (s *Supernode) serveConn(c transport.Conn) {
 func (s *Supernode) register(p proto.PeerInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.peers[p.ID]; !ok || old.info != p {
+		s.listValid = false
+	}
 	s.peers[p.ID] = &peerEntry{info: p, lastSeen: s.rt.Now()}
 }
 
@@ -189,6 +251,7 @@ func (s *Supernode) sweepLoop() {
 		for id, e := range s.peers {
 			if e.lastSeen.Before(cutoff) {
 				delete(s.peers, id)
+				s.listValid = false
 			}
 		}
 		s.mu.Unlock()

@@ -5,8 +5,10 @@
 //
 // The package is a facade over the internal subsystems:
 //
-//   - the co-allocation strategies (spread, concentrate, mixed) and the
-//     replica-safe rank assignment (internal/core);
+//   - the open placement-strategy registry — the paper's co-allocation
+//     strategies (spread, concentrate), the mixed extension and the
+//     random/minsites/comm-aware policies — plus the replica-safe rank
+//     assignment (internal/core);
 //   - the P2P middleware: supernode, MPD daemons, reservation services
 //     and the full 8-step submission protocol (internal/overlay,
 //     internal/mpd, internal/reservation);
@@ -14,8 +16,10 @@
 //     transparent process replication (internal/mpi);
 //   - the NAS EP and IS kernels, both real and as calibrated
 //     virtual-time models (internal/nas);
-//   - the modelled Grid'5000 testbed and the experiment harness that
-//     regenerates every table and figure of the paper (internal/grid,
+//   - the modelled Grid'5000 testbed, synthetic grid topologies that
+//     scale worlds to thousands of hosts, and the experiment harness
+//     that regenerates every table and figure of the paper plus the
+//     beyond-the-paper concurrency and scale sweeps (internal/grid,
 //     internal/simnet, internal/exp).
 //
 // Everything runs in two worlds from the same code: real TCP sockets on
@@ -39,19 +43,42 @@ import (
 	"p2pmpi/internal/vtime"
 )
 
-// Allocation strategies (§4.3 of the paper, plus the mixed extension).
+// Strategy names an allocation policy (§4.3 of the paper plus the
+// registered extensions); it is the key of the placement registry.
 type Strategy = core.Strategy
 
-// The selectable strategies.
+// The built-in strategies.
 const (
 	Spread      = core.Spread
 	Concentrate = core.Concentrate
 	Mixed       = core.Mixed
+	Random      = core.Random
+	MinSites    = core.MinSites
+	CommAware   = core.CommAware
 )
 
-// ParseStrategy converts a command-line name ("spread", "concentrate",
-// "mixed") into a Strategy.
+// ParseStrategy converts a command-line name into a Strategy; it accepts
+// exactly the registered names (see PlacementNames).
 func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Placement is the open placement-policy interface: implement Name and
+// Allocate, register the policy, and it becomes selectable by name in
+// JobSpec, the scheduler and both CLIs.
+type Placement = core.Placement
+
+// RegisterPlacement adds (or replaces) a placement policy in the
+// registry under p.Name().
+func RegisterPlacement(p Placement) { core.Register(p) }
+
+// LookupPlacement resolves a strategy name to its registered policy.
+func LookupPlacement(name string) (Placement, error) { return core.Lookup(name) }
+
+// PlacementNames lists every registered strategy name in sorted order.
+func PlacementNames() []string { return core.Names() }
+
+// Strategies returns every registered strategy, for ranging in
+// experiments and tools.
+func Strategies() []Strategy { return core.Strategies() }
 
 // Allocation core: exported for direct use of the paper's algorithms.
 type (
@@ -59,8 +86,8 @@ type (
 	HostSlot = core.HostSlot
 	// Assignment is a computed process placement.
 	Assignment = core.Assignment
-	// Placement is one (rank, replica) pair on a host.
-	Placement = core.Placement
+	// Proc is one (rank, replica) pair on a host.
+	Proc = core.Proc
 )
 
 // Allocate distributes n×r processes over the selected hosts with the
@@ -164,21 +191,34 @@ func NewScheduler() *Scheduler { return vtime.New() }
 // TCPNetwork returns the real TCP transport.
 func TCPNetwork() Network { return transport.TCP{} }
 
-// Grid'5000 model and experiment harness.
+// Grid'5000 model, synthetic topologies and the experiment harness.
 type (
-	// Grid is the Table 1 testbed model.
+	// Grid is a testbed model: Table 1 or a generated topology.
 	Grid = grid.Grid
+	// TopologySpec describes a testbed to build; the zero value is the
+	// paper's Grid'5000, synthetic specs scale to thousands of hosts.
+	TopologySpec = grid.TopologySpec
 	// World is a fully deployed simulated testbed.
 	World = exp.World
-	// WorldOptions tunes a simulated world.
+	// WorldOptions tunes a simulated world (WorldOptions.Topology
+	// selects the testbed).
 	WorldOptions = exp.Options
 )
 
 // Grid5000 builds the paper's Table 1 testbed model.
 func Grid5000() *Grid { return grid.Grid5000() }
 
+// SyntheticGrid generates a testbed from a synthetic topology spec.
+func SyntheticGrid(spec TopologySpec) *Grid { return grid.Synthetic(spec) }
+
+// ParseTopologySpec parses a -grid style topology string ("grid5000" or
+// "synth:S=12,H=400,C=2,seed=7").
+func ParseTopologySpec(s string) (TopologySpec, error) { return grid.ParseTopologySpec(s) }
+
 // NewSimulatedGrid builds (without booting) the complete simulated
-// deployment: 350 peers, supernode, submitter frontend.
+// deployment described by opts.Topology — one compute peer per grid
+// host (350 for the default Grid'5000), a supernode and a submitter
+// frontend.
 func NewSimulatedGrid(opts WorldOptions) *World { return exp.NewWorld(opts) }
 
 // DefaultWorldOptions returns the harness defaults for a seed.
