@@ -9,12 +9,25 @@
 //	gridbench -exp all               # everything above
 //	gridbench -exp conc              # beyond the paper: K concurrent jobs
 //	gridbench -exp scale -grid synth:S=10,H=100   # beyond the paper: world-size sweep
+//	gridbench -exp churn -grid synth:S=12,H=400 -mtbf 600,1800,3600 -R 1,2,3
+//	                                 # beyond the paper: survivability under host churn
+//	gridbench -exp estimators        # beyond the paper: latency-estimator ablation
 //
 // The conc experiment family submits K identical jobs simultaneously
 // through the multi-job scheduler and reports, per strategy, the mean
 // allocation footprint (sites/hosts used), completion time and the
 // reservation-conflict rate — contention the paper's one-job-at-a-time
 // harness never exercises. Tune it with -jobs (K axis), -n, -r.
+//
+// The churn experiment family injects seeded host failures (exponential
+// or Weibull MTBF/MTTR per host via -mtbf/-mttr/-dist, optionally
+// correlated whole-site outages via -sitemtbf) while a batch of
+// fixed-duration jobs (-cjobs, -dur) runs with the mid-run failure
+// detector armed, and reports per (strategy, MTBF, replication degree)
+// point the job success rate, completion-time inflation, replica
+// failovers, re-booked attempts and wasted slot-hours. -R sets the
+// replication axis. Identical seeds replay identical failures, whatever
+// -workers is.
 //
 // The scale experiment family frees the evaluation from Table 1: it
 // boots synthetic worlds described by -grid (site count, hosts per
@@ -42,22 +55,35 @@ import (
 	"strings"
 	"time"
 
+	"p2pmpi/internal/churn"
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
 	"p2pmpi/internal/grid"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|estimators")
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|churn|estimators")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	format := flag.String("format", "table", "output format: table|csv")
 	jobs := flag.String("jobs", "1,2,4,8,16", "conc: comma-separated K values (concurrent jobs per point)")
-	n := flag.Int("n", 32, "conc/scale: processes per job")
+	n := flag.Int("n", 32, "conc/scale/churn: processes per job")
 	r := flag.Int("r", 1, "conc/scale: replication degree per job")
 	gridSpec := flag.String("grid", "grid5000", "topology: grid5000 or synth:S=12,H=400,C=2,seed=7,rttmin=5ms,rttmax=25ms")
-	alloc := flag.String("a", "all", "conc/scale: strategies, \"all\" or comma-separated names from: "+strings.Join(core.Names(), "|"))
+	alloc := flag.String("a", "all", "conc/scale/churn: strategies, \"all\" or comma-separated names from: "+strings.Join(core.Names(), "|"))
 	hosts := flag.String("hosts", "", "scale: comma-separated world sizes (hosts); default: the -grid spec's own size")
-	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4, conc and scale sweeps (independent worlds)")
+	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4, conc, scale and churn sweeps (independent worlds)")
+	// The churn duration flags all accept bare seconds ("600") or Go
+	// durations ("10m"), matching the -mtbf axis syntax.
+	mtbf := flag.String("mtbf", "", "churn: comma-separated per-host MTBF axis (seconds or Go durations, e.g. 600,1800 or 10m,30m)")
+	mttr := flag.String("mttr", "60", "churn: mean per-host repair time (seconds or Go duration)")
+	rAxis := flag.String("R", "1,2", "churn: comma-separated replication-degree axis")
+	cjobs := flag.Int("cjobs", 8, "churn: jobs per sweep point")
+	dur := flag.Float64("dur", 120, "churn: per-job spin duration (virtual seconds, the failure-free baseline)")
+	detect := flag.String("detect", "10", "churn: failure-detector probe period (seconds or Go duration)")
+	dist := flag.String("dist", "exp", "churn: lifetime distribution, exp|weibull")
+	shape := flag.Float64("shape", 0.7, "churn: Weibull shape (with -dist weibull)")
+	siteMTBF := flag.String("sitemtbf", "0", "churn: mean time between correlated whole-site outages (seconds or Go duration; 0 disables)")
+	siteMTTR := flag.String("sitemttr", "0", "churn: mean whole-site outage duration (seconds or Go duration; default sitemtbf/20)")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -71,8 +97,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gridbench: -a: %v\n", err)
 		os.Exit(2)
 	}
-	if topo.IsSynthetic() && *which != "scale" && *which != "conc" {
-		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale and -exp conc; the paper figures are pinned to grid5000\n", topo)
+	if topo.IsSynthetic() && *which != "scale" && *which != "conc" && *which != "churn" {
+		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale, conc and churn; the paper figures are pinned to grid5000\n", topo)
 		os.Exit(2)
 	}
 
@@ -212,6 +238,64 @@ func main() {
 		})
 		return
 	}
+	if *which == "churn" {
+		mtbfs, err := parseDurations(*mtbf)
+		if err != nil || len(mtbfs) == 0 {
+			fmt.Fprintf(os.Stderr, "gridbench: -mtbf: need a comma-separated axis like 600,1800,3600 (%v)\n", err)
+			os.Exit(2)
+		}
+		rs, err := parseKs(*rAxis)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -R: %v\n", err)
+			os.Exit(2)
+		}
+		distKind, err := churn.ParseDistKind(*dist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -dist: %v\n", err)
+			os.Exit(2)
+		}
+		durFlag := func(name, v string) time.Duration {
+			d, err := parseDuration1(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -%s: %v\n", name, err)
+				os.Exit(2)
+			}
+			return d
+		}
+		mttrD := durFlag("mttr", *mttr)
+		detectD := durFlag("detect", *detect)
+		siteMTBFD := durFlag("sitemtbf", *siteMTBF)
+		siteMTTRD := durFlag("sitemttr", *siteMTTR)
+		run("churn", func() error {
+			pts, err := exp.ChurnSweep(opts, exp.ChurnConfig{
+				Base:         topo,
+				Strategies:   strategies,
+				MTBFs:        mtbfs,
+				Rs:           rs,
+				N:            *n,
+				Jobs:         *cjobs,
+				JobSeconds:   *dur,
+				MTTR:         mttrD,
+				Dist:         distKind,
+				WeibullShape: *shape,
+				SiteMTBF:     siteMTBFD,
+				SiteMTTR:     siteMTTRD,
+				Detect:       detectD,
+			}, *workers)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.ChurnPointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderChurnPoints(
+					fmt.Sprintf("Churn sweep — %s, n=%d, %d jobs/point, %gs jobs, mttr=%s",
+						topo, *n, *cjobs, *dur, mttrD), pts))
+			}
+			return nil
+		})
+		return
+	}
 	if *which == "estimators" {
 		run("estimators", func() error {
 			pts, err := exp.EstimatorStudy(opts, nil, 4)
@@ -229,9 +313,44 @@ func main() {
 	}
 	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
 		*which != "fig4ep" && *which != "fig4is" {
-		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, estimators)\n", *which)
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, churn, estimators)\n", *which)
 		os.Exit(2)
 	}
+}
+
+// parseDuration1 parses one duration value; bare numbers are seconds
+// ("600"), Go durations work too ("10m").
+func parseDuration1(s string) (time.Duration, error) {
+	out, err := parseDurations(s)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("want one duration, got %q", s)
+	}
+	return out[0], nil
+}
+
+// parseDurations parses a comma-separated duration axis; bare numbers
+// are seconds ("600,1800"), Go durations work too ("10m,30m").
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if secs, err := strconv.ParseFloat(f, 64); err == nil {
+			out = append(out, time.Duration(secs*float64(time.Second)))
+			continue
+		}
+		d, err := time.ParseDuration(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q", f)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // parseStrategies resolves the -a flag: "all" (or empty) expands to

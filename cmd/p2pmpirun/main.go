@@ -20,6 +20,15 @@
 // through the multi-job scheduler: the copies contend for host slots,
 // lose reservation races, back off and retry — printing one summary per
 // job plus aggregate contention counters.
+//
+// With -mtbf (simulated modes only) seeded host churn runs underneath:
+// hosts fail and recover with the given mean time between failures
+// (-mttr tunes repair time), the submission runs with the mid-run
+// failure detector armed (-detect), and a replication degree -r 2 or
+// higher lets the job survive hosts dying under it — the quickest way
+// to watch P2P-MPI's replica failover engage:
+//
+//	p2pmpirun -sim -grid synth:S=4,H=24 -n 4 -r 2 -mtbf 240s -seed 7 spin 60
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"p2pmpi/internal/churn"
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
 	"p2pmpi/internal/grid"
@@ -53,6 +63,9 @@ func main() {
 	rsAddr := flag.String("rs", "127.0.0.1:9051", "ephemeral submitter RS address (real mode)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "job timeout")
 	jobs := flag.Int("jobs", 1, "number of concurrent copies of the job")
+	mtbf := flag.Duration("mtbf", 0, "inject seeded host churn with this mean time between failures (with -sim; 0 disables)")
+	mttr := flag.Duration("mttr", time.Minute, "mean host repair time (with -mtbf)")
+	detect := flag.Duration("detect", 10*time.Second, "mid-run failure-detector probe period (with -mtbf)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -73,6 +86,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p2pmpirun: -grid selects a simulated testbed and requires -sim")
 		os.Exit(2)
 	}
+	if *mtbf > 0 && !*sim {
+		fmt.Fprintln(os.Stderr, "p2pmpirun: -mtbf (seeded churn injection) requires -sim")
+		os.Exit(2)
+	}
 	opts := exp.DefaultOptions(*seed)
 	opts.Topology = topo
 	spec := mpd.JobSpec{
@@ -83,15 +100,20 @@ func main() {
 		Strategy: strategy,
 		Timeout:  *timeout,
 	}
+	faults := churn.Config{Seed: *seed, MTBF: *mtbf, MTTR: *mttr,
+		Horizon: *timeout + 30*time.Minute}
+	if *mtbf > 0 {
+		spec.FailureDetect = *detect
+	}
 
 	if *jobs > 1 {
-		runConcurrent(spec, *jobs, *sim, opts, *snAddr, *mpdAddr, *rsAddr)
+		runConcurrent(spec, *jobs, *sim, opts, faults, *snAddr, *mpdAddr, *rsAddr)
 		return
 	}
 
 	var res *mpd.JobResult
 	if *sim {
-		res, err = runSim(spec, opts)
+		res, err = runSim(spec, opts, faults)
 	} else {
 		res, err = runReal(spec, *snAddr, *mpdAddr, *rsAddr)
 	}
@@ -100,18 +122,22 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
-	if res.Failures() > 0 {
+	// Exit status follows the replication criterion: the job delivered
+	// iff every rank completed through at least one replica. Individual
+	// replica losses print as FAIL lines but do not fail a run the
+	// replication degree absorbed (with R=1 the two criteria coincide).
+	if res.LostRanks() > 0 {
 		os.Exit(1)
 	}
 }
 
 // runConcurrent pushes K copies of the job through the multi-job
 // scheduler and prints per-job summaries plus contention totals.
-func runConcurrent(spec mpd.JobSpec, k int, sim bool, opts exp.Options, snAddr, mpdAddr, rsAddr string) {
+func runConcurrent(spec mpd.JobSpec, k int, sim bool, opts exp.Options, faults churn.Config, snAddr, mpdAddr, rsAddr string) {
 	var completed []*sched.Job
 	var err error
 	if sim {
-		completed, err = concurrentSim(spec, k, opts)
+		completed, err = concurrentSim(spec, k, opts, faults)
 	} else {
 		completed, err = concurrentReal(spec, k, snAddr, mpdAddr, rsAddr)
 	}
@@ -139,7 +165,7 @@ func runConcurrent(spec mpd.JobSpec, k int, sim bool, opts exp.Options, snAddr, 
 
 // concurrentSim boots the modelled grid and drives the scheduler in
 // virtual time through the experiment harness's shared pump.
-func concurrentSim(spec mpd.JobSpec, k int, opts exp.Options) ([]*sched.Job, error) {
+func concurrentSim(spec mpd.JobSpec, k int, opts exp.Options, faults churn.Config) ([]*sched.Job, error) {
 	w := exp.NewWorld(opts)
 	defer w.Close()
 	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated %s testbed (%d peers)...\n",
@@ -147,8 +173,37 @@ func concurrentSim(spec mpd.JobSpec, k int, opts exp.Options) ([]*sched.Job, err
 	if err := w.Boot(); err != nil {
 		return nil, err
 	}
-	jobs, _, err := exp.RunJobs(w, spec, k, sched.Config{Seed: opts.Seed})
+	driver := startChurn(w, faults)
+	cfg := sched.Config{Seed: opts.Seed}
+	if faults.MTBF > 0 {
+		// Under churn, failure outcomes (a host dying between Acquire
+		// and launch, a rank losing every replica) are re-booked like
+		// contention — the same classifier the churn sweep uses.
+		cfg.IsContention = exp.ChurnRetryable
+	}
+	jobs, _, err := exp.RunJobs(w, spec, k, cfg)
+	reportChurn(driver)
 	return jobs, err
+}
+
+// startChurn arms fault injection on a booted world when -mtbf asks
+// for it.
+func startChurn(w *exp.World, faults churn.Config) *churn.Driver {
+	if faults.MTBF <= 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "p2pmpirun: injecting churn (mtbf %s, mttr %s)\n", faults.MTBF, faults.MTTR)
+	return w.StartChurn(faults)
+}
+
+// reportChurn prints what the injection actually did.
+func reportChurn(d *churn.Driver) {
+	if d == nil {
+		return
+	}
+	st := d.Stop()
+	fmt.Fprintf(os.Stderr, "p2pmpirun: churn injected %d host failures (%.1f%% host-time down)\n",
+		st.Failures, 100*st.DownFraction())
 }
 
 // concurrentReal drives the scheduler on the wall clock through an
@@ -182,7 +237,7 @@ func concurrentReal(spec mpd.JobSpec, k int, snAddr, mpdAddr, rsAddr string) ([]
 	return jobs, nil
 }
 
-func runSim(spec mpd.JobSpec, opts exp.Options) (*mpd.JobResult, error) {
+func runSim(spec mpd.JobSpec, opts exp.Options, faults churn.Config) (*mpd.JobResult, error) {
 	w := exp.NewWorld(opts)
 	defer w.Close()
 	fmt.Fprintf(os.Stderr, "p2pmpirun: booting the simulated %s testbed (%d peers)...\n",
@@ -190,7 +245,10 @@ func runSim(spec mpd.JobSpec, opts exp.Options) (*mpd.JobResult, error) {
 	if err := w.Boot(); err != nil {
 		return nil, err
 	}
-	return w.Submit(spec)
+	driver := startChurn(w, faults)
+	res, err := w.Submit(spec)
+	reportChurn(driver)
+	return res, err
 }
 
 func runReal(spec mpd.JobSpec, snAddr, mpdAddr, rsAddr string) (*mpd.JobResult, error) {
@@ -218,7 +276,7 @@ func runReal(spec mpd.JobSpec, snAddr, mpdAddr, rsAddr string) (*mpd.JobResult, 
 // submitterRegistry mirrors mpiboot's registry so Submit accepts the
 // same program names (the submitter itself never runs them with P=0).
 func submitterRegistry() map[string]mpd.Program {
-	progs := map[string]mpd.Program{"hostname": mpd.Hostname}
+	progs := map[string]mpd.Program{"hostname": mpd.Hostname, "spin": mpd.Spin}
 	for _, cls := range []nas.EPClass{nas.EPClassS, nas.EPClassW, nas.EPClassA, nas.EPClassB} {
 		progs["ep-"+cls.Name] = nas.EPProgram(cls)
 	}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+
+	"p2pmpi/internal/core"
+)
+
+// oddHosts is a toy placement policy: spread over the odd-indexed
+// hosts of slist first. It exists to show the registry contract — a
+// real policy would implement a scheduling idea.
+type oddHosts struct{}
+
+func (oddHosts) Name() string { return "odd-hosts" }
+
+func (oddHosts) Allocate(slist []core.HostSlot, n, r int) (*core.Assignment, error) {
+	// Delegate the actual placement to a built-in: a thin wrapper is
+	// all the registry needs to see.
+	p, err := core.Lookup(string(core.Spread))
+	if err != nil {
+		return nil, err
+	}
+	reordered := make([]core.HostSlot, 0, len(slist))
+	for i := 1; i < len(slist); i += 2 {
+		reordered = append(reordered, slist[i])
+	}
+	for i := 0; i < len(slist); i += 2 {
+		reordered = append(reordered, slist[i])
+	}
+	a, err := p.Allocate(reordered, n, r)
+	if err != nil {
+		return nil, err
+	}
+	// Echo the caller's slist order, as the safety check requires.
+	byID := make(map[string]int, len(reordered))
+	for i, h := range reordered {
+		byID[h.ID] = i
+	}
+	out := &core.Assignment{Hosts: slist, N: n, R: r, Strategy: "odd-hosts",
+		U: make([]int, len(slist)), Procs: make([][]core.Proc, len(slist))}
+	for i, h := range slist {
+		j := byID[h.ID]
+		out.U[i] = a.U[j]
+		out.Procs[i] = a.Procs[j]
+	}
+	return out, nil
+}
+
+// ExampleRegister registers a custom placement policy and selects it
+// by name through the same entry point the middleware submits through.
+func ExampleRegister() {
+	core.Register(oddHosts{})
+
+	slist := []core.HostSlot{
+		{ID: "a", Site: "east", P: 2},
+		{ID: "b", Site: "east", P: 2},
+		{ID: "c", Site: "west", P: 2},
+		{ID: "d", Site: "west", P: 2},
+	}
+	asg, err := core.Allocate(slist, 2, 1, core.Strategy("odd-hosts"))
+	if err != nil {
+		fmt.Println("allocate:", err)
+		return
+	}
+	for i, u := range asg.U {
+		if u > 0 {
+			fmt.Printf("%s: %d process(es)\n", asg.Hosts[i].ID, u)
+		}
+	}
+	// Output:
+	// b: 1 process(es)
+	// d: 1 process(es)
+}

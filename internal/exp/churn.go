@@ -1,0 +1,348 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"p2pmpi/internal/churn"
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/sched"
+)
+
+// The churn experiment family measures survivability — the axis the
+// paper's failure-free Grid'5000 snapshot never exercised, although
+// replication is P2P-MPI's founding feature. Each point boots a fresh
+// world, lets a seeded fault-injection driver cycle hosts down and up
+// (churn.Trace over MTBF/MTTR distributions, optionally with
+// correlated site outages), and pushes a batch of fixed-duration jobs
+// through the multi-job scheduler with the mid-run failure detector
+// armed. What comes out, per (strategy, MTBF, replication degree R):
+// the job success rate, the completion-time inflation over the
+// failure-free baseline, replica failovers per job, and the wasted
+// (re-booked) slot-hours — the experimental story for the replication
+// degree of the original P2P-MPI system.
+
+// ChurnPoint is one (strategy, MTBF, R) measurement.
+type ChurnPoint struct {
+	Strategy core.Strategy
+	// MTBFSeconds and MTTRSeconds echo the injected failure model.
+	MTBFSeconds, MTTRSeconds float64
+	// N, R and Jobs echo the submitted batch.
+	N, R, Jobs int
+	// Hosts is the booted world size.
+	Hosts int
+	// Succeeded and Failed partition the batch by outcome.
+	Succeeded, Failed int
+	// SuccessRate is Succeeded / Jobs.
+	SuccessRate float64
+	// MeanSeconds averages the enqueue-to-finish virtual time of
+	// succeeded jobs; Inflation divides it by the failure-free job
+	// duration (queueing, detection and re-booking included).
+	MeanSeconds float64
+	Inflation   float64
+	// Failovers counts ranks rescued by a backup replica, summed over
+	// succeeded jobs; HostsLostMidRun counts hosts the detectors wrote
+	// off, summed over all final attempts.
+	Failovers       int
+	HostsLostMidRun int
+	// Rebooks counts extra submission attempts beyond the first, and
+	// WastedSlotHours charges every errored attempt's duration times
+	// the job's process count — the capacity burned without producing
+	// a completed job.
+	Rebooks         int
+	WastedSlotHours float64
+	// FailuresInjected and DownFraction report what the churn engine
+	// actually did: deduplicated host failures fired, and the measured
+	// fraction of host-time spent down.
+	FailuresInjected int
+	DownFraction     float64
+}
+
+// ChurnConfig tunes a churn sweep.
+type ChurnConfig struct {
+	// Base is the topology template (synthetic or grid5000).
+	Base grid.TopologySpec
+	// Strategies lists the policies to compare (default: every
+	// registered strategy).
+	Strategies []core.Strategy
+	// MTBFs is the mean-time-between-failures axis.
+	MTBFs []time.Duration
+	// Rs is the replication-degree axis (default {1, 2}).
+	Rs []int
+	// N is the rank count per job (default 16).
+	N int
+	// Jobs is the batch size per point (default 8).
+	Jobs int
+	// JobSeconds is the spin duration of each job — the failure-free
+	// completion baseline (default 120).
+	JobSeconds float64
+	// MTTR is the mean repair time (default 60s).
+	MTTR time.Duration
+	// Dist selects the lifetime distribution for uptimes and downtimes
+	// (default exponential; weibull is heavy-tailed with WeibullShape).
+	Dist         churn.DistKind
+	WeibullShape float64
+	// SiteMTBF and SiteMTTR enable correlated whole-site outages
+	// (0 disables).
+	SiteMTBF, SiteMTTR time.Duration
+	// Workers bounds the scheduler's in-flight jobs per point (default
+	// 2, keeping capacity pressure low so the measurement isolates
+	// survivability from saturation).
+	Workers int
+	// Retries is the per-job re-book budget (default 4).
+	Retries int
+	// Detect is the failure-detector probe period (default 10s).
+	Detect time.Duration
+	// Timeout bounds each submission attempt (default 3×JobSeconds
+	// plus two minutes).
+	Timeout time.Duration
+}
+
+func (c *ChurnConfig) fillDefaults() error {
+	if len(c.Strategies) == 0 {
+		c.Strategies = core.Strategies()
+	}
+	if len(c.MTBFs) == 0 {
+		return fmt.Errorf("exp: churn sweep needs at least one MTBF (-mtbf)")
+	}
+	for _, m := range c.MTBFs {
+		if m <= 0 {
+			return fmt.Errorf("exp: bad MTBF %v", m)
+		}
+	}
+	if len(c.Rs) == 0 {
+		c.Rs = []int{1, 2}
+	}
+	for _, r := range c.Rs {
+		if r < 1 {
+			return fmt.Errorf("exp: bad replication degree %d", r)
+		}
+	}
+	if c.N <= 0 {
+		c.N = 16
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 8
+	}
+	if c.JobSeconds <= 0 {
+		c.JobSeconds = 120
+	}
+	if c.MTTR <= 0 {
+		c.MTTR = time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Retries <= 0 {
+		c.Retries = 4
+	}
+	if c.Detect <= 0 {
+		c.Detect = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Duration(3*c.JobSeconds)*time.Second + 2*time.Minute
+	}
+	return nil
+}
+
+// churnSeed derives the per-point injection seed: a pure function of
+// the (MTBF, R) coordinates, so replays and worker counts cannot move
+// it — and deliberately NOT of the strategy: the host-level failure
+// timeline is placement-independent, so every strategy compared at one
+// (MTBF, R) point faces the identical trace. Pairing the comparison
+// this way keeps cross-strategy differences attributable to policy
+// rather than trace luck.
+func churnSeed(seed int64, mtbf time.Duration, r int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "churn|%d|%d", mtbf, r)
+	return seed ^ int64(h.Sum64())
+}
+
+// ChurnRetryable classifies the errors worth a re-book under churn:
+// contention (the scheduler's default) plus the two failure outcomes —
+// a host dying between Acquire and launch, and a rank losing every
+// replica mid-run. Both churn surfaces (the sweep and p2pmpirun's
+// -mtbf mode) share it so they agree on what the re-book path covers.
+func ChurnRetryable(err error) bool {
+	return errors.Is(err, mpd.ErrNotEnoughPeers) ||
+		errors.Is(err, sched.ErrSaturated) ||
+		errors.Is(err, mpd.ErrLaunchFailed) ||
+		errors.Is(err, mpd.ErrRanksLost)
+}
+
+// ChurnSweep measures every configured strategy at every (MTBF, R)
+// point. Each point owns an independent, freshly booted world with its
+// own injection trace, so points run across a bounded pool with
+// byte-identical results to a sequential run. Results are ordered
+// (MTBF, R, strategy).
+func ChurnSweep(opts Options, cfg ChurnConfig, workers int) ([]ChurnPoint, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	type coord struct {
+		mtbf     time.Duration
+		r        int
+		strategy core.Strategy
+	}
+	var coords []coord
+	for _, mtbf := range cfg.MTBFs {
+		for _, r := range cfg.Rs {
+			for _, st := range cfg.Strategies {
+				coords = append(coords, coord{mtbf, r, st})
+			}
+		}
+	}
+	out := make([]ChurnPoint, len(coords))
+	err := runPool(len(coords), workers, func(i int) error {
+		c := coords[i]
+		pt, err := churnAt(opts, cfg, c.mtbf, c.r, c.strategy)
+		if err != nil {
+			return fmt.Errorf("mtbf=%v r=%d %s: %w", c.mtbf, c.r, c.strategy, err)
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// churnAt boots one world, injects churn, and runs the batch.
+func churnAt(opts Options, cfg ChurnConfig, mtbf time.Duration, r int, strategy core.Strategy) (ChurnPoint, error) {
+	o := opts
+	o.Topology = cfg.Base
+	if cfg.Base.TotalHosts() > 1000 {
+		// Large worlds over the long churn horizon drown in membership
+		// traffic: every peer refresh and re-registration ships a
+		// host-list reply, O(world) per message and O(world²) per
+		// virtual minute summed over peers — none of which feeds the
+		// measurement. Bound the supernode's replies well above the
+		// booking fan-out and slow the compute peers' refreshes (their
+		// cached lists are never consulted; the frontal's cadence is
+		// untouched). Both knobs stay caller-overridable.
+		if o.MaxPeersReturned == 0 {
+			bound := 4 * (int(math.Ceil(1.2*float64(cfg.N*r))) + 2)
+			if bound < 512 {
+				bound = 512
+			}
+			o.MaxPeersReturned = bound
+		}
+		if o.PeerRefreshInterval == 0 {
+			o.PeerRefreshInterval = time.Hour
+		}
+	}
+	w := NewWorld(o)
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		return ChurnPoint{}, err
+	}
+
+	budget := runJobsBudget(cfg.Jobs) // RunJobs' pump budget, in virtual seconds
+	driver := w.StartChurn(churn.Config{
+		Seed:         churnSeed(opts.Seed, mtbf, r),
+		MTBF:         mtbf,
+		MTTR:         cfg.MTTR,
+		UpDist:       cfg.Dist,
+		DownDist:     cfg.Dist,
+		WeibullShape: cfg.WeibullShape,
+		SiteMTBF:     cfg.SiteMTBF,
+		SiteMTTR:     cfg.SiteMTTR,
+		Horizon:      time.Duration(budget) * time.Second,
+	})
+
+	spec := mpd.JobSpec{
+		Program:        "spin",
+		Args:           []string{fmt.Sprintf("%g", cfg.JobSeconds)},
+		N:              cfg.N,
+		R:              r,
+		Strategy:       strategy,
+		Timeout:        cfg.Timeout,
+		FailureDetect:  cfg.Detect,
+		ReserveRetries: 1,
+	}
+	jobs, _, err := RunJobs(w, spec, cfg.Jobs, sched.Config{
+		Workers:      cfg.Workers,
+		Retries:      cfg.Retries,
+		Backoff:      5 * time.Second,
+		Seed:         opts.Seed,
+		IsContention: ChurnRetryable,
+	})
+	injected := driver.Stop()
+	if err != nil {
+		return ChurnPoint{}, err
+	}
+
+	pt := ChurnPoint{
+		Strategy:    strategy,
+		MTBFSeconds: mtbf.Seconds(),
+		MTTRSeconds: cfg.MTTR.Seconds(),
+		N:           cfg.N, R: r, Jobs: cfg.Jobs,
+		Hosts:            w.Grid.TotalHosts(),
+		FailuresInjected: injected.Failures,
+		DownFraction:     injected.DownFraction(),
+	}
+	var sumSecs float64
+	procs := float64(cfg.N * r)
+	for _, j := range jobs {
+		pt.Rebooks += j.Attempts - 1
+		pt.WastedSlotHours += j.Wasted.Hours() * procs
+		if j.Result != nil {
+			pt.HostsLostMidRun += j.Result.Failover.HostsLost
+		}
+		// Success is the replication-level criterion: every rank
+		// delivered through at least one replica. A nil error with a
+		// rank missing (e.g. its host stayed down past the attempt
+		// deadline) is still a failed job.
+		if j.Err != nil || j.Result.LostRanks() > 0 {
+			pt.Failed++
+			continue
+		}
+		pt.Succeeded++
+		sumSecs += j.Latency().Seconds()
+		pt.Failovers += j.Result.Failover.Failovers
+	}
+	pt.SuccessRate = float64(pt.Succeeded) / float64(cfg.Jobs)
+	if pt.Succeeded > 0 {
+		pt.MeanSeconds = sumSecs / float64(pt.Succeeded)
+		pt.Inflation = pt.MeanSeconds / cfg.JobSeconds
+	}
+	return pt, nil
+}
+
+// ChurnPointsCSV renders a churn sweep as CSV, one row per (MTBF, R,
+// strategy) point.
+func ChurnPointsCSV(pts []ChurnPoint) string {
+	var b strings.Builder
+	b.WriteString("strategy,mtbf_s,mttr_s,n,r,jobs,hosts,succeeded,failed,success_rate," +
+		"mean_s,inflation,failovers,hosts_lost,rebooks,wasted_slot_hours," +
+		"failures_injected,down_fraction\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%.0f,%.0f,%d,%d,%d,%d,%d,%d,%.4f,%.3f,%.4f,%d,%d,%d,%.4f,%d,%.4f\n",
+			p.Strategy, p.MTBFSeconds, p.MTTRSeconds, p.N, p.R, p.Jobs, p.Hosts,
+			p.Succeeded, p.Failed, p.SuccessRate, p.MeanSeconds, p.Inflation,
+			p.Failovers, p.HostsLostMidRun, p.Rebooks, p.WastedSlotHours,
+			p.FailuresInjected, p.DownFraction)
+	}
+	return b.String()
+}
+
+// RenderChurnPoints prints a churn sweep as a table.
+func RenderChurnPoints(title string, pts []ChurnPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s %3s %-12s %8s %9s %9s %5s %7s %10s %9s\n",
+		"mtbf(s)", "r", "strategy", "success", "mean(s)", "inflate", "fovr", "rebooks", "waste(s·h)", "down%")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8.0f %3d %-12s %6.0f%% %9.1f %8.2fx %5d %7d %10.3f %8.1f%%\n",
+			p.MTBFSeconds, p.R, p.Strategy, 100*p.SuccessRate, p.MeanSeconds,
+			p.Inflation, p.Failovers, p.Rebooks, p.WastedSlotHours, 100*p.DownFraction)
+	}
+	return b.String()
+}

@@ -80,6 +80,12 @@ func (w *World) HostSlots() []core.HostSlot {
 	return hosts
 }
 
+// runJobsBudget is RunJobs' virtual-second pump budget for k jobs: one
+// hour plus a minute per job. The churn sweep sizes its injection
+// horizon from the same formula so failures keep arriving for as long
+// as jobs can still be running.
+func runJobsBudget(k int) int { return 3600 + 60*k }
+
 // RunJobs pushes k copies of spec through a fresh multi-job scheduler
 // on a booted world, pumping the virtual clock until every job
 // completed (budget: one virtual hour plus a minute per job). It
@@ -95,7 +101,7 @@ func RunJobs(w *World, spec mpd.JobSpec, k int, cfg sched.Config) ([]*sched.Job,
 		cfg.Workers = k
 	}
 	sc := sched.New(w.S, w.Frontal, w.HostSlots(), cfg)
-	budget := 3600 + 60*k
+	budget := runJobsBudget(k)
 	jobs, err := submitPumped(w, budget, "exp.concurrent", func() ([]*sched.Job, error) {
 		sc.Start()
 		for i := 0; i < k; i++ {

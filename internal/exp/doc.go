@@ -1,0 +1,30 @@
+// Package exp is the experiment harness: it deploys the complete
+// P2P-MPI middleware on a modelled testbed and regenerates every table
+// and figure of the paper's evaluation (§5), then extends the
+// evaluation along axes the paper never swept.
+//
+// A World is one booted deployment — one compute peer per grid host,
+// one supernode, one submitter frontend — under a virtual clock
+// (vtime.Scheduler) and a simulated network (simnet.Net). The zero
+// topology builds the paper's Grid'5000 (Table 1, 350 hosts);
+// grid.TopologySpec scales synthetic worlds to thousands.
+//
+// Experiment families:
+//
+//   - Table1/Fig2/Fig3/Fig4: the paper's figures (experiments.go,
+//     estimators.go); see EXPERIMENTS.md for the paper-vs-measured
+//     record.
+//   - ConcurrentJobs/ConcurrentSweep: K simultaneous jobs through the
+//     multi-job scheduler, measuring slot contention (concurrent.go).
+//   - ScaleSweep: every registered placement strategy across growing
+//     world sizes (scale.go).
+//   - ChurnSweep: survivability under seeded host failures — success
+//     rate, completion-time inflation, replica failovers and wasted
+//     slot-hours per (strategy, MTBF, replication degree) point
+//     (churn.go, internal/churn).
+//
+// Sweeps whose points own independent worlds run across a bounded
+// worker pool (parallel.go): because each world is deterministic under
+// its seed, outputs are byte-identical whatever the pool width — the
+// property the *DeterministicAcrossWorkers tests pin.
+package exp

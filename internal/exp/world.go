@@ -1,7 +1,3 @@
-// Package exp is the experiment harness: it deploys the complete P2P-MPI
-// middleware on the modelled Grid'5000 testbed and regenerates every
-// table and figure of the paper's evaluation (§5). See EXPERIMENTS.md
-// for the paper-vs-measured record.
 package exp
 
 import (
@@ -9,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"p2pmpi/internal/churn"
 	"p2pmpi/internal/grid"
 	"p2pmpi/internal/latency"
 	"p2pmpi/internal/mpd"
@@ -56,6 +53,13 @@ type Options struct {
 	// MaxPeersReturned bounds the supernode's host-list replies (0 =
 	// unbounded). See overlay.SupernodeConfig.MaxPeersReturned.
 	MaxPeersReturned int
+	// PeerRefreshInterval overrides the compute peers' cache-refresh
+	// period (0 keeps the middleware default). Long-horizon sweeps on
+	// multi-thousand-host worlds stretch it: every peer refresh ships a
+	// host-list reply, an O(world) message that no measurement consumes
+	// — only the submitter's view feeds the experiments. The frontal's
+	// refresh period is never touched.
+	PeerRefreshInterval time.Duration
 }
 
 // DefaultOptions returns the harness configuration used for the paper's
@@ -87,10 +91,12 @@ type World struct {
 }
 
 // Programs returns the registry every peer runs: the paper's hostname
-// experiment and the Class-B NAS pattern programs.
+// experiment, the Class-B NAS pattern programs, and spin (a
+// fixed-duration worker, the unit of work of the churn sweeps).
 func Programs(cost nas.CostModel) map[string]mpd.Program {
 	return map[string]mpd.Program{
 		"hostname":   mpd.Hostname,
+		"spin":       mpd.Spin,
 		"ep-model-B": nas.EPModelProgram(nas.EPClassB, cost),
 		"is-model-B": nas.ISModelProgram(nas.ISClassB, cost),
 	}
@@ -154,10 +160,11 @@ func NewWorld(opts Options) *World {
 				CoreGFLOPS: cl.CoreGFLOPS,
 				MemBWGBs:   cl.HostMemBWGBs,
 			},
-			Programs:     programs,
-			PingInterval: opts.PeerPingInterval,
-			NoBootPing:   !peerBootPing,
-			Seed:         opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
+			Programs:        programs,
+			PingInterval:    opts.PeerPingInterval,
+			RefreshInterval: opts.PeerRefreshInterval,
+			NoBootPing:      !peerBootPing,
+			Seed:            opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
 		}))
 	}
 	return w
@@ -212,6 +219,47 @@ func (w *World) Boot() error {
 		return fmt.Errorf("exp: frontal knows %d peers, want %d", got, want)
 	}
 	return nil
+}
+
+// StartChurn wires a seeded fault-injection driver into the world and
+// starts it: a failing host is dropped by the simulated network and its
+// MPD crashes (hosted jobs die unreported, reservations are released as
+// failures — not conflicts); a reviving host regains its links and
+// re-registers with the supernode. The frontal host (submitter and
+// supernode) is exempt: the paper's observer survives, like the
+// Grid'5000 frontends. Call Stop on the returned driver to halt
+// injection and read the injected totals.
+func (w *World) StartChurn(cfg churn.Config) *churn.Driver {
+	byID := make(map[string]*mpd.MPD, len(w.Peers))
+	hosts := make([]string, 0, len(w.Grid.Hosts))
+	for i, h := range w.Grid.Hosts {
+		hosts = append(hosts, h.ID)
+		byID[h.ID] = w.Peers[i]
+	}
+	siteOf := func(id string) string {
+		if h := w.Grid.HostByID(id); h != nil {
+			return h.Site
+		}
+		return ""
+	}
+	tr := churn.Trace(hosts, siteOf, cfg)
+	d := churn.NewDriver(w.S, tr, churn.Hooks{
+		Down: func(id string) {
+			w.Net.FailHost(id)
+			if p := byID[id]; p != nil {
+				p.Crash()
+			}
+		},
+		Up: func(id string) {
+			w.Net.RestoreHost(id)
+			if p := byID[id]; p != nil {
+				p.Reannounce()
+			}
+		},
+	})
+	d.SetHostCount(len(hosts)) // normalize DownFraction over the platform
+	d.Start()
+	return d
 }
 
 // Close shuts every daemon down and stops the scheduler.

@@ -1,0 +1,20 @@
+// Package grid models the testbeds the experiments deploy on.
+//
+// Two families:
+//
+//   - Grid5000 reproduces the paper's platform exactly: Table 1's
+//     eight clusters across six sites, the inter-site round-trip times
+//     printed in the figure legends, the 10 Gb/s backbone (1 Gb/s
+//     toward bordeaux), and the per-host performance characteristics
+//     (2008-era core speed and memory bandwidth) that the virtual-time
+//     benchmark runs calibrate against.
+//   - Synthetic generates seeded grids of arbitrary size from a
+//     TopologySpec: S sites at uniformly drawn origin RTTs, H hosts
+//     per site, configurable cores, bandwidth and compute model. The
+//     "-grid synth:S=12,H=400" command-line syntax parses through
+//     ParseTopologySpec (see the example).
+//
+// A TopologySpec's zero value builds Grid5000, which keeps every
+// pre-existing caller byte-compatible; TopologySpec.Build is the
+// single entry point the experiment harness uses.
+package grid

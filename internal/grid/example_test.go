@@ -1,0 +1,26 @@
+package grid_test
+
+import (
+	"fmt"
+
+	"p2pmpi/internal/grid"
+)
+
+// ExampleParseTopologySpec parses the -grid command-line syntax and
+// expands it into a deployable testbed.
+func ExampleParseTopologySpec() {
+	spec, err := grid.ParseTopologySpec("synth:S=4,H=25,C=2,seed=7")
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	g := spec.Build()
+	fmt.Printf("%d sites, %d hosts, %d cores\n",
+		len(g.SiteOrder), g.TotalHosts(), g.TotalCores())
+	fmt.Printf("origin site: %s\n", g.Origin)
+	fmt.Printf("round-trips back through String(): %s\n", spec)
+	// Output:
+	// 4 sites, 100 hosts, 200 cores
+	// origin site: s1
+	// round-trips back through String(): synth:S=4,H=25,C=2,seed=7,rttmin=5ms,rttmax=25ms
+}

@@ -1,9 +1,3 @@
-// Package grid models the Grid'5000 testbed exactly as the paper's
-// evaluation used it: Table 1's eight clusters across six sites, the
-// inter-site round-trip times printed in the figure legends, and the
-// 10 Gb/s backbone (1 Gb/s toward bordeaux). It also carries the per-host
-// performance characteristics the virtual-time benchmark runs calibrate
-// against (2008-era core speed and memory bandwidth).
 package grid
 
 import (

@@ -1,0 +1,80 @@
+package mpd
+
+import (
+	"testing"
+	"time"
+
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/transport"
+)
+
+// TestCrashFreesPreparedEndpoints: a crash in the Prepare-acked-but-
+// unstarted window must close the job's pre-bound MPI endpoints.
+// Listeners survive a simnet reboot by design, so a leak here would
+// leave the process ports taken forever and every later launch on the
+// revived host would fail its Prepare.
+func TestCrashFreesPreparedEndpoints(t *testing.T) {
+	tb := newTestbed(t, 2, 0, 2)
+	tb.boot(t)
+	defer tb.close()
+	peer := tb.peers[0]
+	host := peer.cfg.Self.ID
+	procAddr := host + ":41000"
+
+	done := make(chan struct{})
+	tb.s.Go("drive", func() {
+		defer close(done)
+		// Hold a reservation at the peer's RS, then run launch phase
+		// one only: the MPI endpoints are now pre-bound.
+		reply, err := transport.RequestReply(tb.net.Node("frontal"), peer.cfg.Self.RSAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Reserve{
+				Key: "crashkey", JobID: "crashjob",
+				Submitter: proto.PeerInfo{ID: "frontal"}, N: 1,
+			})}, time.Second)
+		if err != nil {
+			t.Errorf("reserve: %v", err)
+			return
+		}
+		if _, msg, err := proto.Unmarshal(reply.Payload); err != nil {
+			t.Errorf("reserve reply: %v", err)
+			return
+		} else if _, ok := msg.(*proto.ReserveOK); !ok {
+			t.Errorf("reserve refused: %+v", msg)
+			return
+		}
+		rdy := peer.handlePrepare(&proto.Prepare{
+			Key: "crashkey", JobID: "crashjob", Program: "hostname",
+			N: 1, R: 1,
+			Table:        []proto.Slot{{Rank: 0, Replica: 0, Global: 0, HostID: host, Addr: procAddr}},
+			SubmitterMPD: "frontal:9000",
+		})
+		if !rdy.OK {
+			t.Errorf("prepare refused: %s", rdy.Reason)
+			return
+		}
+		if _, err := tb.net.Node(host).Listen(procAddr); err == nil {
+			t.Error("process port free while the job is prepared")
+			return
+		}
+		peer.Crash()
+		ln, err := tb.net.Node(host).Listen(procAddr)
+		if err != nil {
+			t.Errorf("crash leaked the prepared MPI endpoint: %v", err)
+			return
+		}
+		ln.Close()
+		if peer.RS().Running() != 0 || peer.RS().Held() != 0 {
+			t.Errorf("crash left RS state: running=%d held=%d",
+				peer.RS().Running(), peer.RS().Held())
+		}
+	})
+	for i := 0; i < 60; i++ {
+		tb.s.RunFor(time.Second)
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+	t.Fatal("test driver stalled")
+}

@@ -1,0 +1,219 @@
+package mpd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/core"
+)
+
+// TestSubmitFailoverReplicaSurvives: a host dies mid-run under the
+// failure detector; with R=2 every rank keeps a live replica, so the
+// job succeeds and the promotion is visible in the failover stats.
+func TestSubmitFailoverReplicaSurvives(t *testing.T) {
+	tb := newTestbed(t, 6, 0, 1)
+	tb.boot(t)
+	defer tb.close()
+
+	var victim string
+	res, err := tb.submit(t, JobSpec{
+		Program: "spin", Args: []string{"30"},
+		N: 2, R: 2, Strategy: core.Spread,
+		Timeout:       2 * time.Minute,
+		FailureDetect: 5 * time.Second,
+		OnAllocated: func(a *core.Assignment) {
+			for i, u := range a.U {
+				if u > 0 {
+					victim = a.Hosts[i].ID
+					break
+				}
+			}
+			// Strike mid-run: the processes sleep 30s, kill at 10s.
+			tb.s.Go("killer", func() {
+				tb.s.Sleep(10 * time.Second)
+				tb.killHost(victim)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit with a surviving replica per rank failed: %v", err)
+	}
+	if victim == "" {
+		t.Fatal("no victim selected")
+	}
+	fo := res.Failover
+	if fo.HostsLost != 1 {
+		t.Fatalf("detector lost %d hosts, want 1 (%+v)", fo.HostsLost, fo)
+	}
+	if fo.Failovers != 1 || fo.RanksLost != 0 {
+		t.Fatalf("failover stats %+v, want exactly one promoted rank, none lost", fo)
+	}
+	if fo.Probes == 0 {
+		t.Fatal("detector issued no probes")
+	}
+	// Every rank delivered through at least one replica; the victim's
+	// slot is marked with the detector's reason.
+	perRank := map[int]int{}
+	sawDetector := false
+	for _, sr := range res.Results {
+		if sr.OK {
+			perRank[sr.Rank]++
+		} else if sr.Err != "" && !sr.OK {
+			sawDetector = true
+		}
+	}
+	for rank := 0; rank < 2; rank++ {
+		if perRank[rank] == 0 {
+			t.Fatalf("rank %d has no surviving replica: %+v", rank, res.Results)
+		}
+	}
+	if !sawDetector {
+		t.Fatalf("victim slot not failed: %+v", res.Results)
+	}
+	// (No Dead(victim) assertion here: the periodic cache refresh may
+	// legitimately have resurrected the entry already — the supernode
+	// still lists the host until its TTL expires, the documented §4.1
+	// revival rule. TestHostDiesBetweenAcquireAndLaunch checks the
+	// eviction in a refresh-free window.)
+	// Completion tracked the 30s run plus detection, not the 2m timeout.
+	if res.Duration > time.Minute {
+		t.Fatalf("duration %v: detector did not end the wait early", res.Duration)
+	}
+}
+
+// TestSubmitRanksLostAbortsEarly: with R=1 a mid-run host failure kills
+// its rank for good. The submission must fail with ErrRanksLost well
+// before either the healthy processes' completion or the job timeout.
+func TestSubmitRanksLostAbortsEarly(t *testing.T) {
+	tb := newTestbed(t, 6, 0, 1)
+	tb.boot(t)
+	defer tb.close()
+
+	var victim string
+	res, err := tb.submit(t, JobSpec{
+		Program: "spin", Args: []string{"60"},
+		N: 2, R: 1, Strategy: core.Spread,
+		Timeout:       5 * time.Minute,
+		FailureDetect: 5 * time.Second,
+		OnAllocated: func(a *core.Assignment) {
+			for i, u := range a.U {
+				if u > 0 {
+					victim = a.Hosts[i].ID
+					break
+				}
+			}
+			tb.s.Go("killer", func() {
+				tb.s.Sleep(10 * time.Second)
+				tb.killHost(victim)
+			})
+		},
+	})
+	if !errors.Is(err, ErrRanksLost) {
+		t.Fatalf("err = %v, want ErrRanksLost", err)
+	}
+	if res == nil {
+		t.Fatal("failed submission should still carry its result for diagnostics")
+	}
+	if res.Failover.RanksLost != 1 {
+		t.Fatalf("failover stats %+v, want one lost rank", res.Failover)
+	}
+	// Early abort: the healthy process runs 60s; detection needs ~20s.
+	// Waiting past the healthy completion would mean the early-exit
+	// path never engaged.
+	if res.Duration >= 55*time.Second {
+		t.Fatalf("duration %v: lost rank did not abort the wait early", res.Duration)
+	}
+}
+
+// TestSubmitPassiveTimeoutStillTerminates: with the detector off, a
+// silent host costs exactly the configured timeout — no more.
+// Regression: the collection loop once spun forever in virtual time
+// when the deadline landed on a zero-wait pop.
+func TestSubmitPassiveTimeoutStillTerminates(t *testing.T) {
+	tb := newTestbed(t, 6, 0, 1)
+	tb.boot(t)
+	defer tb.close()
+
+	res, err := tb.submit(t, JobSpec{
+		Program: "spin", Args: []string{"60"},
+		N: 2, R: 1, Strategy: core.Spread,
+		Timeout: 90 * time.Second, // no FailureDetect: paper semantics
+		OnAllocated: func(a *core.Assignment) {
+			var victim string
+			for i, u := range a.U {
+				if u > 0 {
+					victim = a.Hosts[i].ID
+					break
+				}
+			}
+			tb.s.Go("killer", func() {
+				tb.s.Sleep(10 * time.Second)
+				tb.killHost(victim)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("legacy passive path must not error: %v", err)
+	}
+	if res.Failures() == 0 {
+		t.Fatal("dead host's slot reported OK")
+	}
+	if res.Duration < 85*time.Second || res.Duration > 120*time.Second {
+		t.Fatalf("duration %v, want ~ the 90s timeout", res.Duration)
+	}
+}
+
+// TestHostDiesBetweenAcquireAndLaunch: the host fails in the window
+// between winning the reservation and receiving Prepare. The launch
+// must fail cleanly (no hang), the dead host must be evicted from the
+// cache, and an immediate re-book — the scheduler's retry path — must
+// succeed on the remaining hosts. Exercised under -race in CI.
+func TestHostDiesBetweenAcquireAndLaunch(t *testing.T) {
+	tb := newTestbed(t, 6, 0, 1)
+	tb.boot(t)
+	defer tb.close()
+
+	var victim string
+	spec := JobSpec{
+		Program: "hostname",
+		N:       2, R: 2, Strategy: core.Spread,
+		Timeout: time.Minute,
+	}
+	first := spec
+	first.OnAllocated = func(a *core.Assignment) {
+		for i, u := range a.U {
+			if u > 0 {
+				victim = a.Hosts[i].ID
+				break
+			}
+		}
+		tb.killHost(victim) // dies before Prepare reaches it
+	}
+	_, err := tb.submit(t, first)
+	if !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("err = %v, want ErrLaunchFailed", err)
+	}
+	if victim == "" {
+		t.Fatal("no victim selected")
+	}
+	if !tb.front.Cache().Dead(victim) {
+		t.Fatalf("victim %s not marked dead after silent Prepare", victim)
+	}
+
+	// The retry books around the corpse.
+	res, err := tb.submit(t, spec)
+	if err != nil {
+		t.Fatalf("re-book after host death failed: %v", err)
+	}
+	if res.Failures() != 0 {
+		t.Fatalf("re-booked job had %d failures: %+v", res.Failures(), res.Results)
+	}
+	for _, s := range res.Assignment.Hosts {
+		for i, u := range res.Assignment.U {
+			if u > 0 && res.Assignment.Hosts[i].ID == victim {
+				t.Fatalf("re-book placed processes on the dead host %s", s.ID)
+			}
+		}
+	}
+}

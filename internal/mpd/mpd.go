@@ -208,6 +208,9 @@ type localJob struct {
 	program Program
 	envs    []*Env
 	started bool
+	// aborted is set by Crash: the host died mid-run, so the job must
+	// neither report completion nor touch the (already reset) RS.
+	aborted bool
 }
 
 // New creates an MPD daemon (not yet started).
@@ -291,6 +294,54 @@ func (m *MPD) Close() {
 		ln.Close()
 	}
 	m.rs.Close()
+}
+
+// Crash models the host dying under fault injection: every hosted job
+// is dropped without a completion report (the submitter must detect the
+// silence), and the co-located RS releases all held and running
+// reservations as failures — a crash is not a conflict, so the rejected
+// counter that feeds conflict rates stays untouched. The daemon object
+// itself stays alive: the simulated network already drops the host's
+// traffic, and when churn revives the host its listeners answer again,
+// modelling a reboot that auto-restarts the middleware (call Reannounce
+// to rejoin the overlay promptly).
+func (m *MPD) Crash() {
+	m.mu.Lock()
+	var unstarted []*localJob
+	for key, job := range m.jobs {
+		job.aborted = true
+		if !job.started {
+			unstarted = append(unstarted, job)
+		}
+		delete(m.jobs, key)
+	}
+	m.mu.Unlock()
+	// Started jobs free their MPI endpoints when each process actor
+	// finishes; prepared-but-unstarted jobs have no actors, so their
+	// pre-bound listeners must be closed here or the ports stay taken
+	// across the reboot and every later launch on them fails.
+	for _, job := range unstarted {
+		for _, e := range job.envs {
+			if e.comm != nil {
+				e.comm.Close()
+			}
+		}
+	}
+	m.rs.FailAll()
+}
+
+// Reannounce re-registers with the supernode from a fresh actor — the
+// revival path of churn. Without it a rebooted host would stay invisible
+// until the alive loop's next full re-registration tick.
+func (m *MPD) Reannounce() {
+	m.rt.Go("mpd.reannounce."+m.cfg.Self.ID, func() {
+		if m.isClosed() {
+			return
+		}
+		if peers, err := m.registerAny(); err == nil {
+			m.cache.Update(peers)
+		}
+	})
 }
 
 func (m *MPD) isClosed() bool {

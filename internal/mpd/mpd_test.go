@@ -42,7 +42,27 @@ func programs() map[string]Program {
 	return map[string]Program{
 		"hostname": Hostname,
 		"echorank": echoRank,
+		"spin":     Spin,
 		"fail":     func(env *Env) error { return fmt.Errorf("boom") },
+	}
+}
+
+// peerByID finds a compute peer daemon by host ID.
+func (tb *testbed) peerByID(id string) *MPD {
+	for _, p := range tb.peers {
+		if p.cfg.Self.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// killHost emulates the churn driver's Down hook: the network drops the
+// host and its daemon crashes (jobs die unreported, RS resets).
+func (tb *testbed) killHost(id string) {
+	tb.net.FailHost(id)
+	if p := tb.peerByID(id); p != nil {
+		p.Crash()
 	}
 }
 

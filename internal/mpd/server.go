@@ -41,6 +41,11 @@ func (m *MPD) serveConn(c transport.Conn) {
 			reply = m.handlePrepare(r)
 		case *proto.Start:
 			reply = m.handleStart(r)
+		case *proto.Cancel:
+			m.abortUnstarted(r.Key)
+			reply = &proto.CancelAck{Key: r.Key}
+		case *proto.JobPing:
+			reply = &proto.JobPong{Nonce: r.Nonce, Known: m.hostsJob(r.JobID)}
 		case *proto.JobDone:
 			m.handleJobDone(r)
 			reply = nil // one-way
@@ -130,6 +135,30 @@ func (m *MPD) handlePrepare(p *proto.Prepare) *proto.Ready {
 	return &proto.Ready{Key: p.Key, OK: true}
 }
 
+// abortUnstarted drops a prepared-but-unstarted job: the submitter is
+// unwinding a launch whose fan-out partially failed (a co-reserved host
+// died between Acquire and Prepare). Without this, a host that already
+// Consumed its reservation into a running application would leak its J
+// slot forever — under churn, every failed launch would permanently
+// shrink the platform. Started jobs are left alone: Start wins the
+// race and the normal completion path releases the slot.
+func (m *MPD) abortUnstarted(key string) {
+	m.mu.Lock()
+	job := m.jobs[key]
+	if job == nil || job.started {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.jobs, key)
+	m.mu.Unlock()
+	for _, e := range job.envs {
+		if e.comm != nil {
+			e.comm.Close()
+		}
+	}
+	m.rs.Release(key)
+}
+
 // handleStart is phase two: actually run the program on every local slot.
 func (m *MPD) handleStart(s *proto.Start) *proto.StartAck {
 	m.mu.Lock()
@@ -193,16 +222,46 @@ func (m *MPD) runJob(job *localJob) {
 	}
 	done.Results = results
 
-	m.rs.Release(job.key)
+	// A crash between Start and completion aborts the job: the host was
+	// dead while the processes "ran", so it must not report results the
+	// submitter's failure detector already wrote off (the host may have
+	// been revived meanwhile — a reboot does not resurrect processes).
+	// The RS was reset by Crash, so there is nothing to release either.
 	m.mu.Lock()
-	delete(m.jobs, job.key)
+	aborted := job.aborted
 	m.mu.Unlock()
+	if aborted {
+		return
+	}
 
-	// Fire-and-forget report; the submitter times out if we are dead.
+	// Report first, then drop the job: a detector probe racing the
+	// completion report must still find the job alive, or the submitter
+	// could write off work that was actually delivered.
+	// (Fire-and-forget; the submitter times out if we are dead.)
 	if c, err := m.net.Dial(job.prep.SubmitterMPD); err == nil {
 		c.Send(transport.Message{Payload: proto.MustMarshal(done)})
 		c.Close()
 	}
+
+	m.rs.Release(job.key)
+	m.mu.Lock()
+	delete(m.jobs, job.key)
+	m.mu.Unlock()
+}
+
+// hostsJob reports whether this peer still hosts a live job with the
+// given job ID — the answering half of the detector's heartbeat. A
+// crash wipes the job table, so a rebooted host truthfully answers
+// false even though its transport is reachable again.
+func (m *MPD) hostsJob(jobID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, job := range m.jobs {
+		if job.jobID == jobID {
+			return true
+		}
+	}
+	return false
 }
 
 // handleJobDone routes a completion report to the waiting Submit call.

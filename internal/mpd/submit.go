@@ -4,14 +4,17 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/latency"
 	"p2pmpi/internal/mpi"
 	"p2pmpi/internal/proto"
+	"p2pmpi/internal/replica"
 	"p2pmpi/internal/reservation"
 	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
 )
 
 // JobSpec is one p2pmpirun invocation:
@@ -46,6 +49,35 @@ type JobSpec struct {
 	// multi-job scheduler uses it to charge the placement to its slot
 	// ledger for the lifetime of the job.
 	OnAllocated func(*core.Assignment)
+	// FailureDetect enables the mid-run failure detector: while waiting
+	// for completion reports the submitter probes every silent host at
+	// this period and feeds the answers into one replica monitor per
+	// rank (internal/replica). A host whose replicas all go stale is
+	// declared lost: its unreported slots fail immediately, the peer is
+	// marked dead in the cache, and the submission either fails over to
+	// the surviving replicas or — when a rank has none left — returns
+	// ErrRanksLost right away instead of burning the rest of the
+	// timeout. Zero keeps the paper's passive wait-until-timeout
+	// behaviour.
+	FailureDetect time.Duration
+	// FailurePings is how many detect periods a host may stay silent
+	// before its replicas are suspected (default 2).
+	FailurePings int
+}
+
+// FailoverStats summarises the mid-run failure handling of one
+// submission (all zero when FailureDetect was off or nothing failed).
+type FailoverStats struct {
+	// HostsLost counts hosts the detector declared failed mid-run.
+	HostsLost int
+	// Failovers counts ranks whose leader (replica 0) was lost while a
+	// backup replica delivered — the replication mechanism of §3.2
+	// actually paying off.
+	Failovers int
+	// RanksLost counts ranks with no surviving replica: the job failed.
+	RanksLost int
+	// Probes counts detector ping probes issued.
+	Probes int
 }
 
 // JobResult is the submitter's view of a completed job.
@@ -61,6 +93,8 @@ type JobResult struct {
 	// Reserve aggregates the brokering outcomes (offers, refusals, dead
 	// peers, rounds) — the raw material of conflict-rate accounting.
 	Reserve reservation.Conflicts
+	// Failover reports the mid-run failure handling (see FailoverStats).
+	Failover FailoverStats
 }
 
 // OutputOf returns the captured output of (rank, replica).
@@ -84,6 +118,28 @@ func (r *JobResult) Failures() int {
 	return n
 }
 
+// LostRanks counts ranks with no successful replica among the results —
+// the replication-level failure criterion: a job delivered its work iff
+// LostRanks is zero, however many individual replicas died.
+func (r *JobResult) LostRanks() int {
+	if r.Assignment == nil {
+		return 0
+	}
+	ok := make([]bool, r.Assignment.N)
+	for _, sr := range r.Results {
+		if sr.OK && sr.Rank >= 0 && sr.Rank < len(ok) {
+			ok[sr.Rank] = true
+		}
+	}
+	lost := 0
+	for _, v := range ok {
+		if !v {
+			lost++
+		}
+	}
+	return lost
+}
+
 // Submission errors.
 var (
 	// ErrNotEnoughPeers: even after a cache refresh and brokering, the
@@ -91,6 +147,10 @@ var (
 	ErrNotEnoughPeers = errors.New("mpd: not enough peers to satisfy the request")
 	// ErrLaunchFailed: a prepared host refused or timed out during launch.
 	ErrLaunchFailed = errors.New("mpd: launch failed")
+	// ErrRanksLost: the mid-run failure detector found a rank whose
+	// replicas all died — no surviving copy can deliver the rank's
+	// work, so the job is lost (re-book to retry).
+	ErrRanksLost = errors.New("mpd: a rank lost every replica")
 )
 
 // Submit runs the complete §4.2 procedure. It must be called from an
@@ -276,34 +336,28 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		Algorithms:   packAlgorithms(spec.Algorithms),
 	}
 	if err := m.fanOutReady(usedHosts, prep); err != nil {
+		// Hosts whose Prepare succeeded already consumed their
+		// reservation into a running application: cancelLaunch unwinds
+		// both the RS hold and the prepared job.
 		for _, o := range slist {
-			m.cancelReservation(o.Peer, key)
+			m.cancelLaunch(o.Peer, key)
 		}
 		return nil, err
 	}
 
 	// Phase two: Start everywhere (step 8).
 	if err := m.fanOutStart(usedHosts, key); err != nil {
+		// Hosts that did receive Start run to completion and release
+		// themselves; abortUnstarted is a no-op there.
+		for _, h := range usedHosts {
+			m.cancelLaunch(h, key)
+		}
 		return nil, err
 	}
 
-	// Collect one JobDone per used host.
-	resultBySlot := make(map[[2]int]proto.SlotResult)
-	deadline := m.rt.Now().Add(spec.Timeout)
-	for reported := 0; reported < len(usedHosts); reported++ {
-		wait := deadline.Sub(m.rt.Now())
-		if wait < 0 {
-			break
-		}
-		v, err := doneMB.PopTimeout(wait)
-		if err != nil {
-			break
-		}
-		d := v.(*proto.JobDone)
-		for _, sr := range d.Results {
-			resultBySlot[[2]int{sr.Rank, sr.Replica}] = sr
-		}
-	}
+	// Collect one JobDone per used host — with spec.FailureDetect set,
+	// under the watch of the mid-run failure detector.
+	co := m.collectResults(spec, jobID, usedHosts, table, doneMB)
 
 	out := &JobResult{
 		JobID:      jobID,
@@ -311,16 +365,25 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		Assignment: asg,
 		Duration:   m.rt.Now().Sub(started),
 		Reserve:    conflicts,
+		Failover:   co.failover,
 	}
+	okReplicas := make(map[int][]int, spec.N) // rank -> replicas that delivered
 	for _, s := range table {
-		if sr, ok := resultBySlot[[2]int{s.Rank, s.Replica}]; ok {
+		slot := [2]int{s.Rank, s.Replica}
+		if sr, ok := co.resultBySlot[slot]; ok {
 			out.Results = append(out.Results, sr)
-		} else {
-			out.Results = append(out.Results, proto.SlotResult{
-				Rank: s.Rank, Replica: s.Replica, OK: false,
-				Err: "no completion report from host " + s.HostID,
-			})
+			if sr.OK {
+				okReplicas[sr.Rank] = append(okReplicas[sr.Rank], sr.Replica)
+			}
+			continue
 		}
+		reason := "no completion report from host " + s.HostID
+		if why, lost := co.lostSlots[slot]; lost {
+			reason = why
+		}
+		out.Results = append(out.Results, proto.SlotResult{
+			Rank: s.Rank, Replica: s.Replica, OK: false, Err: reason,
+		})
 	}
 	sort.Slice(out.Results, func(i, j int) bool {
 		if out.Results[i].Rank != out.Results[j].Rank {
@@ -328,14 +391,330 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		}
 		return out.Results[i].Replica < out.Results[j].Replica
 	})
+
+	// Failover accounting: a rank failed over when it delivered but its
+	// leader (replica 0) was not among the survivors. RanksLost comes
+	// from the detector (collectResults) — only ranks *confirmed*
+	// unable to deliver count, not ranks merely pending when an early
+	// abort cut the wait short.
+	for rank := 0; rank < spec.N; rank++ {
+		oks := okReplicas[rank]
+		if len(oks) == 0 {
+			continue
+		}
+		leader := oks[0]
+		for _, r := range oks[1:] {
+			if r < leader {
+				leader = r
+			}
+		}
+		if leader > 0 {
+			out.Failover.Failovers++
+		}
+	}
+	if spec.FailureDetect > 0 && out.Failover.RanksLost > 0 {
+		return out, fmt.Errorf("%w: %d of %d ranks", ErrRanksLost, out.Failover.RanksLost, spec.N)
+	}
 	return out, nil
 }
 
-// fanOutReady sends Prepare to every host and fails if any is not Ready.
+// collectOutcome is what collectResults hands back to Submit.
+type collectOutcome struct {
+	resultBySlot map[[2]int]proto.SlotResult
+	lostSlots    map[[2]int]string // unreported slots on hosts declared dead
+	failover     FailoverStats
+}
+
+// collectResults waits for one JobDone per used host, bounded by the
+// job timeout. When spec.FailureDetect > 0 it interleaves a §3.2-style
+// failure detector: every detect period the still-silent hosts are
+// probed with application-level pings, answers feed one replica monitor
+// per rank (replica.NewMonitor), and Suspect declares replicas on stale
+// hosts dead. A host whose replicas are all dead is written off — its
+// pending slots fail, the peer is marked dead in the cache — and the
+// wait ends early once either every host is accounted for or some rank
+// has no surviving replica left.
+func (m *MPD) collectResults(spec JobSpec, jobID string, usedHosts []proto.PeerInfo,
+	table []proto.Slot, doneMB vtime.Mailbox) collectOutcome {
+
+	detect := spec.FailureDetect
+	pingsNeeded := spec.FailurePings
+	if pingsNeeded <= 0 {
+		pingsNeeded = 2
+	}
+	deadline := m.rt.Now().Add(spec.Timeout)
+
+	co := collectOutcome{
+		resultBySlot: make(map[[2]int]proto.SlotResult),
+		lostSlots:    make(map[[2]int]string),
+	}
+	outstanding := make(map[string]proto.PeerInfo, len(usedHosts))
+	hostInfo := make(map[string]proto.PeerInfo, len(usedHosts))
+	for _, h := range usedHosts {
+		outstanding[h.ID] = h
+		hostInfo[h.ID] = h
+	}
+	slotsByHost := make(map[string][]proto.Slot, len(usedHosts))
+	pending := make([]int, spec.N) // undecided slots per rank
+	okCount := make([]int, spec.N)
+	for _, s := range table {
+		slotsByHost[s.HostID] = append(slotsByHost[s.HostID], s)
+		pending[s.Rank]++
+	}
+	var groups []*replica.Group
+	if detect > 0 {
+		now := m.rt.Now()
+		// A replica is suspected after missing pingsNeeded whole probe
+		// periods (plus the in-flight probe's own timeout).
+		failTO := time.Duration(pingsNeeded)*detect + m.cfg.ReserveTimeout
+		groups = make([]*replica.Group, spec.N)
+		for k := range groups {
+			groups[k] = replica.NewMonitor(spec.R, failTO, now)
+		}
+	}
+
+	// ingest folds one completion report into the bookkeeping. A report
+	// from a host the detector already wrote off retracts the loss:
+	// delivered work counts, and the report itself proves the peer
+	// alive, so the write-off's cache eviction is reverted too.
+	ingest := func(d *proto.JobDone) {
+		if _, waiting := outstanding[d.HostID]; !waiting {
+			if co.failover.HostsLost > 0 && len(slotsByHost[d.HostID]) > 0 {
+				co.failover.HostsLost--
+				if info, ok := hostInfo[d.HostID]; ok {
+					m.cache.Update([]proto.PeerInfo{info})
+				}
+			}
+		}
+		delete(outstanding, d.HostID)
+		for _, sr := range d.Results {
+			if sr.Rank < 0 || sr.Rank >= spec.N || sr.Replica < 0 || sr.Replica >= spec.R {
+				continue
+			}
+			slot := [2]int{sr.Rank, sr.Replica}
+			if _, seen := co.resultBySlot[slot]; seen {
+				continue // duplicate report
+			}
+			if _, wroteOff := co.lostSlots[slot]; wroteOff {
+				delete(co.lostSlots, slot) // pending already settled
+			} else {
+				pending[sr.Rank]--
+			}
+			co.resultBySlot[slot] = sr
+			if sr.OK {
+				okCount[sr.Rank]++
+			} else if groups != nil {
+				groups[sr.Rank].MarkDead(sr.Replica)
+			}
+		}
+	}
+
+	// probeRound runs one detector pass over the still-silent hosts and
+	// reports whether some rank is now confirmed unable to deliver.
+	// Hosts are visited in sorted order: every probe consumes seeded
+	// nonce and jitter draws, and map order would leak runtime
+	// randomization into the virtual timeline.
+	probeRound := func() (rankLost bool) {
+		ids := sortedHostIDs(outstanding)
+		answers := m.probeHosts(ids, outstanding, jobID)
+		co.failover.Probes += len(ids)
+		// Completion reports that arrived while the probes were in
+		// flight take precedence over the probes' verdicts: a host that
+		// finished mid-round answers Known=false (the job is gone from
+		// its table — because it completed), and judging that silence
+		// without draining the queue would write off delivered work.
+		for doneMB.Len() > 0 {
+			if v, ok := doneMB.Pop(); ok {
+				ingest(v.(*proto.JobDone))
+			}
+		}
+		now := m.rt.Now()
+		for _, id := range ids {
+			if _, waiting := outstanding[id]; !waiting {
+				continue // reported during the probe round
+			}
+			switch answers[id] {
+			case probeAlive:
+				for _, s := range slotsByHost[id] {
+					groups[s.Rank].HeartbeatFrom(s.Replica, now)
+				}
+			case probeGone:
+				// The host answers but no longer knows the job: it
+				// crashed and rebooted mid-run. Its processes are
+				// definitively gone — no staleness threshold needed.
+				for _, s := range slotsByHost[id] {
+					groups[s.Rank].MarkDead(s.Replica)
+				}
+			case probeSilent:
+				// No heartbeat; the staleness window decides below.
+			}
+		}
+		for _, g := range groups {
+			g.Suspect(now)
+		}
+		for _, id := range ids {
+			if _, waiting := outstanding[id]; !waiting {
+				continue // reported during the probe round
+			}
+			lost := true
+			for _, s := range slotsByHost[id] {
+				if groups[s.Rank].Alive(s.Replica) {
+					lost = false
+					break
+				}
+			}
+			if !lost {
+				continue
+			}
+			delete(outstanding, id)
+			co.failover.HostsLost++
+			m.cache.MarkDead(id)
+			for _, s := range slotsByHost[id] {
+				slot := [2]int{s.Rank, s.Replica}
+				if _, done := co.resultBySlot[slot]; done {
+					continue
+				}
+				co.lostSlots[slot] = "host " + id + " failed mid-run (detector)"
+				pending[s.Rank]--
+			}
+		}
+		// Early exit: a rank with no delivered and no pending replica
+		// can never succeed, so waiting out the rest of the timeout
+		// only inflates the measured completion time of a lost job.
+		for rank := 0; rank < spec.N; rank++ {
+			if okCount[rank] == 0 && pending[rank] <= 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The probe cadence is a fixed schedule, not a silence timer: a
+	// steady trickle of completion reports arriving under one detect
+	// period apart must not postpone detection of an early host death.
+	nextProbe := m.rt.Now().Add(detect)
+collect:
+	for len(outstanding) > 0 {
+		wait := deadline.Sub(m.rt.Now())
+		if wait <= 0 {
+			break // deadline reached: a zero-wait pop would spin forever
+		}
+		step := wait
+		if detect > 0 {
+			until := nextProbe.Sub(m.rt.Now())
+			if until <= 0 {
+				if probeRound() {
+					break collect
+				}
+				nextProbe = m.rt.Now().Add(detect)
+				continue
+			}
+			if until < step {
+				step = until
+			}
+		}
+		v, err := doneMB.PopTimeout(step)
+		if err == nil {
+			ingest(v.(*proto.JobDone))
+			continue
+		}
+		if err != vtime.ErrTimeout {
+			break collect // mailbox closed: the daemon is shutting down
+		}
+		// detect <= 0: passive wait, only the deadline ends it.
+		// detect > 0: the pop timed out at the probe fence — the next
+		// iteration runs the round.
+	}
+	// A rank is confirmed lost when no replica delivered and none is
+	// still pending — every copy reported failure or was written off
+	// with its host. Ranks merely pending (deadline expiry, early
+	// abort for another rank's loss) are not counted: their fate is
+	// unknown, and the legacy no-report accounting covers them.
+	for rank := 0; rank < spec.N; rank++ {
+		if okCount[rank] == 0 && pending[rank] <= 0 {
+			co.failover.RanksLost++
+		}
+	}
+	return co
+}
+
+// sortedHostIDs returns the map's keys in ascending order.
+func sortedHostIDs(hosts map[string]proto.PeerInfo) []string {
+	ids := make([]string, 0, len(hosts))
+	for id := range hosts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// probeResult classifies one detector probe.
+type probeResult int
+
+const (
+	// probeSilent: no answer before the timeout (host down or
+	// partitioned) — staleness accumulates.
+	probeSilent probeResult = iota
+	// probeAlive: the host still hosts the job — a fresh heartbeat.
+	probeAlive
+	// probeGone: the host answers but no longer knows the job — it
+	// crashed and rebooted mid-run, so its processes are dead for sure.
+	probeGone
+)
+
+// probeHosts sends one JobPing to every given host concurrently — the
+// detector's application-level heartbeat (§4.1-style, never ICMP) at
+// job granularity, so a host reboot cannot masquerade as process
+// liveness.
+func (m *MPD) probeHosts(ids []string, hosts map[string]proto.PeerInfo, jobID string) map[string]probeResult {
+	type ans struct {
+		id  string
+		res probeResult
+	}
+	mb := m.rt.NewMailbox()
+	for _, id := range ids {
+		id, info := id, hosts[id]
+		m.rt.Go("mpd.detect."+m.cfg.Self.ID, func() {
+			nonce := m.nextNonce()
+			a := ans{id: id, res: probeSilent}
+			reply, err := transport.RequestReply(m.net, info.MPDAddr,
+				transport.Message{Payload: proto.MustMarshal(&proto.JobPing{Nonce: nonce, JobID: jobID})},
+				m.cfg.ReserveTimeout)
+			if err == nil {
+				if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
+					if pong, ok := msg.(*proto.JobPong); ok && pong.Nonce == nonce {
+						if pong.Known {
+							a.res = probeAlive
+						} else {
+							a.res = probeGone
+						}
+					}
+				}
+			}
+			mb.Push(a)
+		})
+	}
+	answers := make(map[string]probeResult, len(ids))
+	for range ids {
+		v, err := mb.PopTimeout(2*m.cfg.ReserveTimeout + 15*time.Second)
+		if err != nil {
+			break
+		}
+		a := v.(ans)
+		answers[a.id] = a.res
+	}
+	return answers
+}
+
+// fanOutReady sends Prepare to every host and fails if any is not
+// Ready. A host that goes silent here died between the reservation and
+// the launch: it is marked dead in the cache so the re-booking retry a
+// scheduler issues does not select it again.
 func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 	type ans struct {
 		host string
 		ok   bool
+		dead bool
 		why  string
 	}
 	mb := m.rt.NewMailbox()
@@ -346,7 +725,7 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 			reply, err := transport.RequestReply(m.net, h.MPDAddr,
 				transport.Message{Payload: proto.MustMarshal(prep)}, m.cfg.PrepareTimeout)
 			if err != nil {
-				a.why = err.Error()
+				a.dead, a.why = true, err.Error()
 			} else if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
 				if rdy, ok := msg.(*proto.Ready); ok {
 					a.ok, a.why = rdy.OK, rdy.Reason
@@ -362,6 +741,9 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 			return fmt.Errorf("%w: prepare fan-out stalled", ErrLaunchFailed)
 		}
 		a := v.(ans)
+		if a.dead && a.host != m.cfg.Self.ID {
+			m.cache.MarkDead(a.host)
+		}
 		if !a.ok && firstErr == nil {
 			firstErr = fmt.Errorf("%w: host %s: %s", ErrLaunchFailed, a.host, a.why)
 		}
@@ -388,6 +770,22 @@ func (m *MPD) fanOutStart(hosts []proto.PeerInfo, key string) error {
 		}
 	}
 	return nil
+}
+
+// cancelLaunch unwinds one host after a failed launch phase: the RS
+// hold (if the job never got past brokering there) and the
+// prepared-but-unstarted application (if Prepare already consumed the
+// hold) are both dropped.
+func (m *MPD) cancelLaunch(peer proto.PeerInfo, key string) {
+	m.cancelReservation(peer, key)
+	if peer.MPDAddr == "" {
+		return
+	}
+	m.rt.Go("mpd.cancel."+m.cfg.Self.ID, func() {
+		transport.RequestReply(m.net, peer.MPDAddr,
+			transport.Message{Payload: proto.MustMarshal(&proto.Cancel{Key: key})},
+			m.cfg.ReserveTimeout)
+	})
 }
 
 func (m *MPD) cancelReservation(peer proto.PeerInfo, key string) {
@@ -422,6 +820,30 @@ func unpackAlgorithms(v [5]int) mpi.Algorithms {
 // Hostname is the built-in program used by the paper's co-allocation
 // experiment: every process simply echoes the name of its host.
 func Hostname(env *Env) error {
+	_, err := fmt.Fprintf(&env.Out, "%s", env.HostID)
+	return err
+}
+
+// Spin is the built-in program of the churn experiments: it occupies
+// its process for the duration given as the job's first argument (a
+// bare number of seconds like "90", or a Go duration like "2m30s";
+// default 30s), then echoes its host name like Hostname. A run long
+// enough for seeded failures to strike mid-flight is what turns the
+// replication degree into an observable survival edge.
+func Spin(env *Env) error {
+	d := 30 * time.Second
+	if len(env.Args) > 0 {
+		if secs, err := strconv.ParseFloat(env.Args[0], 64); err == nil {
+			d = time.Duration(secs * float64(time.Second))
+		} else if pd, err := time.ParseDuration(env.Args[0]); err == nil {
+			d = pd
+		} else {
+			return fmt.Errorf("spin: bad duration %q", env.Args[0])
+		}
+	}
+	if d > 0 {
+		env.RT.Sleep(d)
+	}
 	_, err := fmt.Fprintf(&env.Out, "%s", env.HostID)
 	return err
 }

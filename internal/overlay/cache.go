@@ -12,18 +12,26 @@ import (
 // Cache is the MPD's local copy of the supernode host list (the "cached
 // list" of §4.1) together with the measured latency to each peer. The
 // booking step consumes Ranked(), the ascending-latency ordering.
+//
+// Peers marked dead stay in the table but are invisible to every
+// consumer (Size, IDs, Peer, Ranked) until a fresh snapshot revives
+// them: under churn a host that crashes and reboots keeps its identity,
+// and retaining the entry lets the dead→alive transition be an O(1)
+// flag flip instead of a full re-learn.
 type Cache struct {
 	mu     sync.Mutex
 	selfID string
 	peers  map[string]proto.PeerInfo
 	lat    *latency.Table
-	dead   map[string]bool // peers marked dead; ignored until re-learned
+	dead   map[string]bool // peers marked dead; hidden until re-learned
+	live   int             // len(peers) minus dead entries still in peers
 
 	// ranked memoizes the ascending-latency ordering. Submissions call
 	// Ranked far more often than pings and snapshots mutate the cache,
 	// so the O(n log n) sort (whose comparator does two estimator
 	// lookups per comparison) runs only when the flag says the cached
-	// slice went stale — every Observe/Update/MarkDead clears it.
+	// slice went stale — every liveness or latency transition clears it:
+	// Observe, Update (new info or a dead→alive revival) and MarkDead.
 	ranked      []RankedPeer
 	rankedValid bool
 }
@@ -42,7 +50,10 @@ func NewCache(selfID string, kind latency.Kind, window int) *Cache {
 
 // Update merges a host list snapshot into the cache. Self is excluded;
 // a peer previously marked dead is resurrected only by a fresh snapshot
-// (it re-registered or is still listed by the supernode).
+// (it re-registered or is still listed by the supernode). A revival
+// invalidates the memoized ranking even when the peer's info is
+// unchanged — the dead→alive transition alone changes what Ranked
+// returns.
 func (c *Cache) Update(list []proto.PeerInfo) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -50,43 +61,55 @@ func (c *Cache) Update(list []proto.PeerInfo) {
 		if p.ID == c.selfID {
 			continue
 		}
-		if old, known := c.peers[p.ID]; !known || old != p {
+		old, known := c.peers[p.ID]
+		if !known || old != p || c.dead[p.ID] {
 			c.rankedValid = false
+		}
+		if !known || c.dead[p.ID] {
+			c.live++
 		}
 		c.peers[p.ID] = p
 		delete(c.dead, p.ID)
 	}
 }
 
-// Observe records a ping round-trip sample for a peer.
+// Observe records a ping round-trip sample for a live peer.
 func (c *Cache) Observe(id string, rtt time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.peers[id]; ok {
+	if _, ok := c.peers[id]; ok && !c.dead[id] {
 		c.lat.Observe(id, rtt)
 		c.rankedValid = false
 	}
 }
 
-// MarkDead removes a peer that failed to answer a reservation or ping
+// MarkDead hides a peer that failed to answer a reservation or ping
 // (§4.2 step 5: "nodes that have not responded before a given timeout
-// are marked as dead").
+// are marked as dead"). Its latency history is forgotten — a rebooted
+// host re-measures from scratch.
 func (c *Cache) MarkDead(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.peers[id]; ok {
+	if _, ok := c.peers[id]; ok && !c.dead[id] {
 		c.rankedValid = false
+		c.live--
 	}
-	delete(c.peers, id)
 	c.lat.Forget(id)
 	c.dead[id] = true
+}
+
+// Dead reports whether a peer is currently marked dead.
+func (c *Cache) Dead(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead[id]
 }
 
 // Size returns the number of live cached peers.
 func (c *Cache) Size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.peers)
+	return c.live
 }
 
 // Latency returns the current latency estimate for a peer.
@@ -96,43 +119,51 @@ func (c *Cache) Latency(id string) time.Duration {
 	return c.lat.Estimate(id)
 }
 
-// IDs returns the cached peer IDs sorted by ID. The order matters for
-// reproducibility: the ping loop issues probes in this order, and each
-// probe consumes draws from the seeded nonce and network-jitter
+// IDs returns the live cached peer IDs sorted by ID. The order matters
+// for reproducibility: the ping loop issues probes in this order, and
+// each probe consumes draws from the seeded nonce and network-jitter
 // sources — map-iteration order here would leak the runtime's map
 // randomization into virtual timelines and break bit-for-bit
 // simulation replay.
 func (c *Cache) IDs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.peers))
+	out := make([]string, 0, c.live)
 	for id := range c.peers {
-		out = append(out, id)
+		if !c.dead[id] {
+			out = append(out, id)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Peer returns the cached info for a peer.
+// Peer returns the cached info for a live peer.
 func (c *Cache) Peer(id string) (proto.PeerInfo, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dead[id] {
+		return proto.PeerInfo{}, false
+	}
 	p, ok := c.peers[id]
 	return p, ok
 }
 
-// Ranked returns all cached peers sorted by ascending measured latency;
-// unmeasured peers sort last (the booking step may still probe them).
-// The ordering is memoized: a call that follows no cache mutation costs
-// one O(n) copy instead of a full re-sort. The returned slice is the
-// caller's to keep.
+// Ranked returns all live cached peers sorted by ascending measured
+// latency; unmeasured peers sort last (the booking step may still probe
+// them). Dead peers are evicted from the reply. The ordering is
+// memoized: a call that follows no cache mutation costs one O(n) copy
+// instead of a full re-sort. The returned slice is the caller's to
+// keep.
 func (c *Cache) Ranked() []RankedPeer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.rankedValid {
-		ids := make([]string, 0, len(c.peers))
+		ids := make([]string, 0, c.live)
 		for id := range c.peers {
-			ids = append(ids, id)
+			if !c.dead[id] {
+				ids = append(ids, id)
+			}
 		}
 		sorted := c.lat.Rank(ids)
 		ranked := make([]RankedPeer, 0, len(sorted))

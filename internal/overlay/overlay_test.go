@@ -325,6 +325,43 @@ func TestCacheRankedMemoizedAcrossMutations(t *testing.T) {
 	}
 }
 
+// TestCacheRankedRevivedPeerInvalidates is the churn regression: a
+// snapshot that revives a previously-dead peer carries *unchanged*
+// PeerInfo (the host rebooted with the same identity), so the
+// "new info?" comparison alone would keep the memoized ranking — which
+// still evicts the peer — alive. The dead→alive transition itself must
+// invalidate.
+func TestCacheRankedRevivedPeerInvalidates(t *testing.T) {
+	c := NewCache("me", latency.KindLast, 0)
+	c.Update([]proto.PeerInfo{peer("a"), peer("b"), peer("c")})
+	c.Observe("a", time.Millisecond)
+	c.Observe("b", 2*time.Millisecond)
+	c.Observe("c", 3*time.Millisecond)
+	c.MarkDead("b")
+	if got := ids(c.Ranked()); len(got) != 2 {
+		t.Fatalf("dead peer not evicted from ranked replies: %v", got)
+	}
+	if !c.Dead("b") {
+		t.Fatal("b not marked dead")
+	}
+	// The reviving snapshot ships byte-identical info for b.
+	c.Update([]proto.PeerInfo{peer("b")})
+	got := ids(c.Ranked())
+	if len(got) != 3 {
+		t.Fatalf("revived peer missing from ranked replies (stale memo): %v", got)
+	}
+	if c.Dead("b") {
+		t.Fatal("b still marked dead after revival")
+	}
+	// Its latency history died with it: unmeasured peers sort last.
+	if got[2] != "b" {
+		t.Fatalf("revived peer kept stale latency: %v", got)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("size = %d after revival, want 3", c.Size())
+	}
+}
+
 // benchCache builds a cache holding k measured peers.
 func benchCache(k int) *Cache {
 	c := NewCache("me", latency.KindLast, 0)

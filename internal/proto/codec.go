@@ -66,6 +66,10 @@ func Marshal(msg any) ([]byte, error) {
 		for _, r := range m.Results {
 			e.Int(r.Rank).Int(r.Replica).Bool(r.OK).String(r.Err).Blob(r.Output)
 		}
+	case *JobPing:
+		e.U8(uint8(TJobPing)).U64(m.Nonce).String(m.JobID)
+	case *JobPong:
+		e.U8(uint8(TJobPong)).U64(m.Nonce).Bool(m.Known)
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", msg)
 	}
@@ -165,6 +169,10 @@ func Unmarshal(b []byte) (Type, any, error) {
 			})
 		}
 		msg = m
+	case TJobPing:
+		msg = &JobPing{Nonce: d.U64(), JobID: d.String()}
+	case TJobPong:
+		msg = &JobPong{Nonce: d.U64(), Known: d.Bool()}
 	default:
 		return t, nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 	}

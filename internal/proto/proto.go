@@ -40,6 +40,9 @@ const (
 	TStartAck
 	// Completion report back to the submitter.
 	TJobDone
+	// Mid-run failure detection: job-level heartbeat.
+	TJobPing
+	TJobPong
 )
 
 // String returns the mnemonic of the message type.
@@ -47,7 +50,7 @@ func (t Type) String() string {
 	names := [...]string{"invalid", "register", "peerlist", "alive",
 		"aliveack", "fetchpeers", "ping", "pong", "reserve", "reserveok",
 		"reservenok", "cancel", "cancelack", "prepare", "ready", "start",
-		"startack", "jobdone"}
+		"startack", "jobdone", "jobping", "jobpong"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -211,4 +214,21 @@ type JobDone struct {
 	JobID   string
 	HostID  string
 	Results []SlotResult
+}
+
+// JobPing asks an MPD whether it still hosts a given job — the mid-run
+// failure detector's process-level heartbeat. A transport-level Ping
+// cannot distinguish a healthy host from one that crashed and rebooted
+// mid-run: the reboot restarts the daemon but not the processes, so
+// only the hosting MPD's own job table can answer.
+type JobPing struct {
+	Nonce uint64
+	JobID string
+}
+
+// JobPong answers a JobPing; Known reports whether the job is still
+// alive on the answering host.
+type JobPong struct {
+	Nonce uint64
+	Known bool
 }

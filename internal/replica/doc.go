@@ -1,0 +1,19 @@
+// Package replica implements the replica-group state machine behind
+// P2P-MPI's fault tolerance (§3.2 and [11]): each MPI rank runs r
+// copies on distinct hosts; one copy (the leader, lowest live replica
+// index) transmits messages while backups log them, and a
+// heartbeat-based failure detector promotes the next backup when the
+// leader goes silent.
+//
+// The package is pure state: no I/O, no clocks of its own. Callers
+// feed it heartbeat observations and timestamps and ask who leads.
+// Two vantage points share the one Group type:
+//
+//   - NewGroup builds the member view a running process keeps of its
+//     own rank's replica set (self is exempt from suspicion);
+//   - NewMonitor builds the observer view the submitter's mid-run
+//     failure detector keeps, one per rank: probe answers become
+//     HeartbeatFrom calls, Suspect declares stale replicas dead, and
+//     Leader names the surviving copy whose output stands — the
+//     failover accounting of the churn experiments.
+package replica

@@ -1,11 +1,3 @@
-// Package replica implements the replica-group state machine behind
-// P2P-MPI's fault tolerance (§3.2 and [11]): each MPI rank runs r copies
-// on distinct hosts; one copy (the leader, lowest live replica index)
-// transmits messages while backups log them, and a heartbeat-based
-// failure detector promotes the next backup when the leader goes silent.
-//
-// The package is pure state: no I/O, no clocks of its own. The MPI layer
-// feeds it heartbeat observations and timestamps and asks who leads.
 package replica
 
 import "time"
@@ -24,11 +16,26 @@ type Group struct {
 // this process is replica self. All members start alive; heartbeat
 // staleness is judged against failTimeout.
 func NewGroup(r, self int, failTimeout time.Duration, now time.Time) *Group {
-	if r < 1 {
-		panic("replica: degree must be >= 1")
-	}
 	if self < 0 || self >= r {
 		panic("replica: self index out of range")
+	}
+	return newGroup(r, self, failTimeout, now)
+}
+
+// NewMonitor creates an observer-side state machine for a group of r
+// replicas: the caller is not a member (Self returns -1), so no replica
+// is exempt from suspicion. The submitter's mid-run failure detector
+// uses one monitor per MPI rank to track which replicas are still live
+// and whether a backup was promoted (the leader moved past index 0).
+func NewMonitor(r int, failTimeout time.Duration, now time.Time) *Group {
+	return newGroup(r, -1, failTimeout, now)
+}
+
+// newGroup seeds the all-alive initial state shared by both vantage
+// points; self = -1 builds an observer exempting no member.
+func newGroup(r, self int, failTimeout time.Duration, now time.Time) *Group {
+	if r < 1 {
+		panic("replica: degree must be >= 1")
 	}
 	g := &Group{
 		r:           r,
@@ -44,7 +51,7 @@ func NewGroup(r, self int, failTimeout time.Duration, now time.Time) *Group {
 	return g
 }
 
-// Self returns this process's replica index.
+// Self returns this process's replica index (-1 for a monitor).
 func (g *Group) Self() int { return g.self }
 
 // Degree returns the replication degree r.

@@ -51,6 +51,7 @@ type Service struct {
 	denySet  map[string]bool
 	accepted int64 // stats: total accepted reservations
 	rejected int64
+	failed   int64 // reservations dropped by host failure (not conflicts)
 }
 
 type hold struct {
@@ -217,6 +218,32 @@ func (s *Service) Release(key string) {
 	defer s.mu.Unlock()
 	delete(s.running, key)
 	delete(s.held, key)
+}
+
+// FailAll models the host crashing: every held reservation and running
+// application is dropped at once, freeing all J slots for when the host
+// comes back. The releases are charged to a dedicated failure counter —
+// NOT to the rejected counter — because the reservation-conflict rate
+// (rejected / attempts) measures contention between submitters, and a
+// host failure is not contention: counting it there would make churn
+// sweeps misread infrastructure loss as scheduler pressure. It returns
+// the number of reservations dropped.
+func (s *Service) FailAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.held) + len(s.running)
+	s.held = make(map[string]*hold)
+	s.running = make(map[string]bool)
+	s.failed += int64(n)
+	return n
+}
+
+// FailedReleases returns the number of reservations dropped by host
+// failures (FailAll), kept separate from the rejected counter.
+func (s *Service) FailedReleases() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 // CancelKey drops a held reservation (remote Cancel or local decision).

@@ -160,6 +160,43 @@ func TestConsumeAndRelease(t *testing.T) {
 	s.Wait()
 }
 
+// TestFailAllIsNotAConflict pins the churn accounting contract: a
+// release caused by the host crashing frees every slot but must not
+// bump the rejected counter that feeds the reservation-conflict rate.
+func TestFailAllIsNotAConflict(t *testing.T) {
+	s, n := world(t, "frontal", "h1")
+	rs := New(s, n.Node("h1"), Config{Addr: "h1:9001", J: 2, P: 2})
+	s.Go("main", func() {
+		rs.Start()
+		reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "a", Submitter: submitter()}, "h1:9001")
+		reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "b", Submitter: submitter()}, "h1:9001")
+		if err := rs.Consume("a"); err != nil {
+			t.Errorf("consume: %v", err)
+		}
+		_, rejBefore := rs.Stats()
+
+		if dropped := rs.FailAll(); dropped != 2 {
+			t.Errorf("FailAll dropped %d reservations, want 2 (one held, one running)", dropped)
+		}
+		if rs.Held() != 0 || rs.Running() != 0 {
+			t.Errorf("after crash: held=%d running=%d", rs.Held(), rs.Running())
+		}
+		if _, rej := rs.Stats(); rej != rejBefore {
+			t.Errorf("host failure counted as conflict: rejected %d -> %d", rejBefore, rej)
+		}
+		if rs.FailedReleases() != 2 {
+			t.Errorf("failed releases = %d, want 2", rs.FailedReleases())
+		}
+		// The rebooted host accepts fresh reservations immediately.
+		m := reserveVia(t, s, n, "frontal", &proto.Reserve{Key: "c", Submitter: submitter()}, "h1:9001")
+		if _, isOK := m.(*proto.ReserveOK); !isOK {
+			t.Errorf("crashed host did not free its slots: %+v", m)
+		}
+		rs.Close()
+	})
+	s.Wait()
+}
+
 func TestRemoteCancel(t *testing.T) {
 	s, n := world(t, "frontal", "h1")
 	rs := New(s, n.Node("h1"), Config{Addr: "h1:9001", J: 1, P: 2})

@@ -87,6 +87,12 @@ type Job struct {
 	// off); Conflicts counts the attempts lost to contention.
 	Attempts  int
 	Conflicts int
+	// Wasted accumulates the runtime spent inside attempts that ended
+	// in an error — brokering rounds that lost the race, launches onto
+	// hosts that died, runs a mid-flight failure forced to re-book. The
+	// churn experiments multiply it by the job's process count to
+	// charge re-booked slot-hours.
+	Wasted time.Duration
 	// Enqueued, Started and Finished are runtime timestamps; Started is
 	// the first attempt's begin.
 	Enqueued, Started, Finished time.Time
@@ -269,12 +275,16 @@ func (s *Scheduler) runJob(job *Job) {
 
 		var err error
 		var res *mpd.JobResult
+		attemptStart := s.rt.Now()
 		if free := s.ledger.FreeProcs(); free >= 0 && free < need {
 			// Admission control: the live view cannot place this job, so
 			// back off without brokering.
 			err = fmt.Errorf("%w: need %d processes, %d free", ErrSaturated, need, free)
 		} else {
 			res, err = s.attempt(job)
+		}
+		if err != nil {
+			job.Wasted += s.rt.Now().Sub(attemptStart)
 		}
 		if err == nil || !s.cfg.IsContention(err) || attempt >= s.cfg.Retries {
 			job.Result, job.Err = res, err

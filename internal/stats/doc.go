@@ -1,0 +1,8 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness and the latency estimators: order-statistic
+// summaries (Summarize), fixed-width histograms and Kendall-tau rank
+// correlation for the estimator-quality ablations. Everything operates
+// on plain float64 slices and copies its input — no package in the
+// middleware proper depends on it, keeping the measurement code out of
+// the measured code.
+package stats

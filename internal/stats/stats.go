@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit used by the
-// experiment harness and the latency estimators: summaries, histograms
-// and rank-correlation (Kendall tau) for estimator-quality ablations.
 package stats
 
 import (
