@@ -51,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -84,8 +86,43 @@ func main() {
 	shape := flag.Float64("shape", 0.7, "churn: Weibull shape (with -dist weibull)")
 	siteMTBF := flag.String("sitemtbf", "0", "churn: mean time between correlated whole-site outages (seconds or Go duration; 0 disables)")
 	siteMTTR := flag.String("sitemttr", "0", "churn: mean whole-site outage duration (seconds or Go duration; default sitemtbf/20)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit (pprof format)")
 	flag.Parse()
 	csv := *format == "csv"
+
+	// Profiling hooks: hot-path hunts run the very binary that produces
+	// the figures instead of an ad-hoc test rig, so the profile covers
+	// world boot, the sweep pool and rendering exactly as shipped.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	topo, err := grid.ParseTopologySpec(*gridSpec)
 	if err != nil {

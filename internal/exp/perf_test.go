@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/simnet"
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// Wall-clock sweep benchmarks: the engine-level microbenchmarks
+// (vtime.BenchmarkEventThroughput, simnet.BenchmarkMessageDelivery) can
+// look healthy while an experiment family rots through a slow layer
+// between them, so the units CI actually cares about — one full sweep —
+// are benchmarked too.
+
+func scaleSweep2000Config() ScaleConfig {
+	base, err := grid.ParseTopologySpec("synth:S=12,H=400")
+	if err != nil {
+		panic(err)
+	}
+	return ScaleConfig{Base: base, HostCounts: []int{2000}, N: 32}
+}
+
+// BenchmarkScaleSweep2000 runs the flagship beyond-the-paper workload:
+// every registered strategy submitting on a freshly booted 2000-host
+// synthetic world (the `gridbench -exp scale -hosts 2000` path).
+func BenchmarkScaleSweep2000(b *testing.B) {
+	cfg := scaleSweep2000Config()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScaleSweep(DefaultOptions(42), cfg, DefaultWorkers()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func churnPointConfig() ChurnConfig {
+	base, err := grid.ParseTopologySpec("synth:S=3,H=8")
+	if err != nil {
+		panic(err)
+	}
+	return ChurnConfig{
+		Base:       base,
+		Strategies: nil, // default: all; narrowed below
+		MTBFs:      []time.Duration{300 * time.Second},
+		Rs:         []int{1},
+		N:          6,
+		Jobs:       3,
+		JobSeconds: 40,
+		MTTR:       60 * time.Second,
+		Detect:     10 * time.Second,
+	}
+}
+
+// BenchmarkChurnSweepPoint runs one survivability sweep point (the CI
+// churn smoke shape): a small world under seeded failures, one MTBF ×
+// replication coordinate, three spin jobs with the detector armed.
+func BenchmarkChurnSweepPoint(b *testing.B) {
+	cfg := churnPointConfig()
+	cfg.Strategies = []core.Strategy{core.Spread}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChurnSweep(DefaultOptions(42), cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEmitPerfBenchJSON writes BENCH_perf.json — the engine's perf
+// trajectory record, one point per commit in CI — when BENCH_PERF_JSON
+// names the output path. It measures the four numbers the fast-path
+// work is accountable for: discrete-event throughput, simulated message
+// throughput, steady-state allocations on the codec and delivery paths,
+// and the 2000-host scale sweep's wall time. See docs/PERF.md for how
+// to read it.
+func TestEmitPerfBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_PERF_JSON")
+	if out == "" {
+		t.Skip("BENCH_PERF_JSON not set")
+	}
+
+	// Discrete-event throughput: one actor sleeping through virtual
+	// ticks, the vtime.BenchmarkEventThroughput body.
+	evt := testing.Benchmark(func(b *testing.B) {
+		s := vtime.New()
+		defer s.Shutdown()
+		s.Go("ticker", func() {
+			for i := 0; i < b.N; i++ {
+				s.Sleep(time.Millisecond)
+			}
+		})
+		b.ResetTimer()
+		s.Wait()
+	})
+	evtNs := float64(evt.T.Nanoseconds()) / float64(evt.N)
+
+	// Simulated message throughput: the simnet.BenchmarkMessageDelivery
+	// body (burst of sends across a WAN link drained by one receiver).
+	msg := testing.Benchmark(func(b *testing.B) {
+		s := vtime.New()
+		defer s.Shutdown()
+		topo := &simnet.StaticTopology{
+			HostSite: map[string]string{"a1": "east", "b1": "west"},
+			DefLat:   5 * time.Millisecond,
+		}
+		n := simnet.New(s, topo, simnet.DefaultConfig(1))
+		s.Go("server", func() {
+			l, _ := n.Node("b1").Listen("b1:1")
+			c, _ := l.Accept()
+			for i := 0; i < b.N; i++ {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				m.Release()
+			}
+		})
+		s.Go("client", func() {
+			s.Sleep(time.Millisecond)
+			c, _ := n.Node("a1").Dial("b1:1")
+			m := transport.Message{Payload: []byte("0123456789abcdef")}
+			for i := 0; i < b.N; i++ {
+				c.Send(m)
+			}
+		})
+		b.ResetTimer()
+		s.Wait()
+	})
+	msgNs := float64(msg.T.Nanoseconds()) / float64(msg.N)
+
+	// Steady-state allocations, measured exactly as the enforcing tests
+	// (proto.TestRoundTripZeroAllocSteadyState, simnet.TestMessageDelivery-
+	// ZeroAllocSteadyState) do.
+	protoAllocs := func() float64 {
+		scratch := make([]byte, 0, 128)
+		req := &proto.JobPing{Nonce: 12345, JobID: "job-42"}
+		var got proto.JobPing
+		scratch, _ = proto.AppendMarshal(scratch[:0], req)
+		proto.DecodeInto(scratch, &got)
+		return testing.AllocsPerRun(200, func() {
+			scratch, _ = proto.AppendMarshal(scratch[:0], req)
+			proto.DecodeInto(scratch, &got)
+		})
+	}()
+	simnetAllocs := func() float64 {
+		s := vtime.New()
+		defer s.Shutdown()
+		topo := &simnet.StaticTopology{
+			HostSite: map[string]string{"a1": "east", "b1": "west"},
+			DefLat:   5 * time.Millisecond,
+		}
+		n := simnet.New(s, topo, simnet.DefaultConfig(1))
+		s.Go("server", func() {
+			l, _ := n.Node("b1").Listen("b1:1")
+			c, _ := l.Accept()
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				m.Release()
+			}
+		})
+		var client transport.Conn
+		s.Go("client", func() { client, _ = n.Node("a1").Dial("b1:1") })
+		s.Wait()
+		payload := []byte("0123456789abcdef")
+		step := func() {
+			client.Send(transport.Message{Payload: payload})
+			s.Wait()
+		}
+		for i := 0; i < 200; i++ {
+			step()
+		}
+		return testing.AllocsPerRun(500, step)
+	}()
+
+	// The flagship sweep, timed on the wall clock like gridbench runs it.
+	cfg := scaleSweep2000Config()
+	start := time.Now()
+	pts, err := ScaleSweep(DefaultOptions(42), cfg, DefaultWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepWall := time.Since(start)
+
+	record := map[string]any{
+		"event_ns_per_op":               evtNs,
+		"events_per_sec":                1e9 / evtNs,
+		"message_ns_per_op":             msgNs,
+		"msgs_per_sec":                  1e9 / msgNs,
+		"proto_roundtrip_allocs_per_op": protoAllocs,
+		"simnet_delivery_allocs_per_op": simnetAllocs,
+		"scale_sweep_hosts":             pts[0].Hosts,
+		"scale_sweep_points":            len(pts),
+		"scale_sweep_wall_seconds":      sweepWall.Seconds(),
+	}
+	blob, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.0f events/s, %.0f msgs/s, sweep %.2fs",
+		out, 1e9/evtNs, 1e9/msgNs, sweepWall.Seconds())
+}

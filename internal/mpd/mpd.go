@@ -264,9 +264,7 @@ func (m *MPD) Start() error {
 
 	m.rt.Go("mpd.accept."+m.cfg.Self.ID, m.acceptLoop)
 	m.rt.Go("mpd.boot."+m.cfg.Self.ID, func() {
-		if peers, err := m.registerAny(); err == nil {
-			m.cache.Update(peers)
-		}
+		m.registerAndUpdate()
 		if !m.cfg.NoBootPing {
 			m.pingRound() // measure latencies right away
 		}
@@ -338,9 +336,7 @@ func (m *MPD) Reannounce() {
 		if m.isClosed() {
 			return
 		}
-		if peers, err := m.registerAny(); err == nil {
-			m.cache.Update(peers)
-		}
+		m.registerAndUpdate()
 	})
 }
 
@@ -361,9 +357,7 @@ func (m *MPD) aliveLoop() {
 		// than the supernode's TTL (Alive alone cannot resurrect an
 		// expired entry because it carries only the peer ID).
 		if tick%5 == 0 {
-			if peers, err := m.registerAny(); err == nil {
-				m.cache.Update(peers) // free host-list refresh
-			}
+			m.registerAndUpdate() // free host-list refresh rides along
 			continue
 		}
 		m.aliveAny()
@@ -376,9 +370,7 @@ func (m *MPD) refreshLoop() {
 		if m.isClosed() {
 			return
 		}
-		if peers, err := m.fetchAny(); err == nil {
-			m.cache.Update(peers)
-		}
+		m.fetchAndUpdate()
 	}
 }
 
@@ -387,30 +379,63 @@ func (m *MPD) supernodes() []string {
 	return append([]string{m.cfg.SupernodeAddr}, m.cfg.SupernodeFallbacks...)
 }
 
-// registerAny registers with the first supernode that answers.
-func (m *MPD) registerAny() ([]proto.PeerInfo, error) {
-	var lastErr error
-	for _, sn := range m.supernodes() {
-		peers, err := overlay.RegisterWith(m.net, sn, m.cfg.Self, m.cfg.ReserveTimeout)
-		if err == nil {
-			return peers, nil
-		}
-		lastErr = err
+// peerListPool recycles the scratch slices host-list replies decode
+// into: a refresh on a multi-thousand-host world is an O(world) reply,
+// and every daemon refreshes, so per-reply slices used to be a top
+// allocation source. Each in-flight refresh owns its pooled slice
+// exclusively from Get to Put; the cache copies what it keeps, so
+// nothing aliases the scratch after the merge.
+var peerListPool = sync.Pool{New: func() any { return new([]proto.PeerInfo) }}
+
+// mergeReply decodes a raw PeerList reply into pooled scratch, merges
+// it into the cache and releases the frame. The scratch is borrowed
+// only for this park-free window — not across the network round trip —
+// so however many refreshes are in flight at once, only the handful
+// actually decoding at this instant hold a slice.
+func (m *MPD) mergeReply(reply transport.Message) error {
+	sp := peerListPool.Get().(*[]proto.PeerInfo)
+	peers, err := proto.UnmarshalPeerList(reply.Payload, (*sp)[:0])
+	reply.Release()
+	if err == nil {
+		m.cache.Update(peers)
 	}
-	return nil, lastErr
+	*sp = peers[:0]
+	peerListPool.Put(sp)
+	return err
 }
 
-// fetchAny fetches the host list from the first answering supernode.
-func (m *MPD) fetchAny() ([]proto.PeerInfo, error) {
+// registerAndUpdate registers with the first supernode that delivers a
+// decodable host list and merges it into the cache. A supernode that
+// answers with garbage counts as failed: the loop falls through to the
+// configured fallbacks, like the transport-level failures do.
+func (m *MPD) registerAndUpdate() error {
 	var lastErr error
 	for _, sn := range m.supernodes() {
-		peers, err := overlay.FetchFrom(m.net, sn, m.cfg.ReserveTimeout)
+		reply, err := overlay.RegisterRaw(m.net, sn, m.cfg.Self, m.cfg.ReserveTimeout)
 		if err == nil {
-			return peers, nil
+			if err = m.mergeReply(reply); err == nil {
+				return nil
+			}
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return lastErr
+}
+
+// fetchAndUpdate refreshes the cache from the first supernode that
+// delivers a decodable host list (see registerAndUpdate).
+func (m *MPD) fetchAndUpdate() error {
+	var lastErr error
+	for _, sn := range m.supernodes() {
+		reply, err := overlay.FetchRaw(m.net, sn, m.cfg.ReserveTimeout)
+		if err == nil {
+			if err = m.mergeReply(reply); err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 // aliveAny refreshes the last-seen stamp at the first answering
@@ -459,10 +484,11 @@ func (m *MPD) pingRound() {
 			if err != nil {
 				return
 			}
-			if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
-				if pong, ok := msg.(*proto.Pong); ok && pong.Nonce == nonce {
-					m.cache.Observe(id, m.rt.Now().Sub(t0))
-				}
+			var pong proto.Pong
+			err = proto.DecodeInto(reply.Payload, &pong)
+			reply.Release()
+			if err == nil && pong.Nonce == nonce {
+				m.cache.Observe(id, m.rt.Now().Sub(t0))
 			}
 		})
 		m.mu.Lock()

@@ -19,43 +19,74 @@ func (m *MPD) acceptLoop() {
 	}
 }
 
+// serveConn answers one connection's request/reply exchanges. The two
+// periodic message kinds — latency probes and the failure detector's
+// job heartbeats — are decoded into per-connection structs and answered
+// from a per-connection scratch frame, so the steady-state probe load
+// of a large world allocates nothing per exchange; the frames
+// themselves are released back to the transport once decoded.
 func (m *MPD) serveConn(c transport.Conn) {
 	defer c.Close()
+	var (
+		scratch []byte
+		ping    proto.Ping
+		pong    proto.Pong
+		jping   proto.JobPing
+		jpong   proto.JobPong
+	)
 	for {
 		msg, err := c.Recv()
 		if err != nil {
 			return
 		}
-		_, req, err := proto.Unmarshal(msg.Payload)
-		if err != nil {
-			return
-		}
-		var reply any
-		switch r := req.(type) {
-		case *proto.Ping:
+		switch proto.Peek(msg.Payload) {
+		case proto.TPing:
+			err := proto.DecodeInto(msg.Payload, &ping)
+			msg.Release()
+			if err != nil {
+				return
+			}
 			m.mu.Lock()
 			m.stats.PingsAnswered++
 			m.mu.Unlock()
-			reply = &proto.Pong{Nonce: r.Nonce}
-		case *proto.Prepare:
-			reply = m.handlePrepare(r)
-		case *proto.Start:
-			reply = m.handleStart(r)
-		case *proto.Cancel:
-			m.abortUnstarted(r.Key)
-			reply = &proto.CancelAck{Key: r.Key}
-		case *proto.JobPing:
-			reply = &proto.JobPong{Nonce: r.Nonce, Known: m.hostsJob(r.JobID)}
-		case *proto.JobDone:
-			m.handleJobDone(r)
-			reply = nil // one-way
+			pong.Nonce = ping.Nonce
+			scratch, _ = proto.AppendMarshal(scratch[:0], &pong)
+		case proto.TJobPing:
+			err := proto.DecodeInto(msg.Payload, &jping)
+			msg.Release()
+			if err != nil {
+				return
+			}
+			jpong.Nonce = jping.Nonce
+			jpong.Known = m.hostsJob(jping.JobID)
+			scratch, _ = proto.AppendMarshal(scratch[:0], &jpong)
 		default:
-			return
+			_, req, err := proto.Unmarshal(msg.Payload)
+			msg.Release()
+			if err != nil {
+				return
+			}
+			var reply any
+			switch r := req.(type) {
+			case *proto.Prepare:
+				reply = m.handlePrepare(r)
+			case *proto.Start:
+				reply = m.handleStart(r)
+			case *proto.Cancel:
+				m.abortUnstarted(r.Key)
+				reply = &proto.CancelAck{Key: r.Key}
+			case *proto.JobDone:
+				m.handleJobDone(r)
+				continue // one-way
+			default:
+				return
+			}
+			scratch, err = proto.AppendMarshal(scratch[:0], reply)
+			if err != nil {
+				return
+			}
 		}
-		if reply == nil {
-			continue
-		}
-		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+		if err := c.Send(transport.Message{Payload: scratch}); err != nil {
 			return
 		}
 	}

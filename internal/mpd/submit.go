@@ -183,11 +183,9 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 	fetchTarget := mathCeil(float64(need)*m.cfg.Overbook) + 2
 	for stalls, i := 0, 0; i < 2*fetchTarget+8 && stalls < 2 && m.cache.Size() < fetchTarget; i++ {
 		prev := m.cache.Size()
-		peers, err := m.fetchAny()
-		if err != nil {
+		if err := m.fetchAndUpdate(); err != nil {
 			break
 		}
-		m.cache.Update(peers)
 		if m.cache.Size() > prev {
 			stalls = 0
 		} else {
@@ -201,7 +199,7 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 	for _, id := range spec.Exclude {
 		excluded[id] = true
 	}
-	ranked := m.cache.Ranked()
+	ranked := m.cache.RankedView() // read-only iteration: no copy
 	candidates := make([]proto.PeerInfo, 0, len(ranked)+1)
 	lats := make(map[string]time.Duration, len(ranked)+1)
 	if m.cfg.P > 0 && !excluded[m.cfg.Self.ID] {
@@ -681,13 +679,14 @@ func (m *MPD) probeHosts(ids []string, hosts map[string]proto.PeerInfo, jobID st
 				transport.Message{Payload: proto.MustMarshal(&proto.JobPing{Nonce: nonce, JobID: jobID})},
 				m.cfg.ReserveTimeout)
 			if err == nil {
-				if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
-					if pong, ok := msg.(*proto.JobPong); ok && pong.Nonce == nonce {
-						if pong.Known {
-							a.res = probeAlive
-						} else {
-							a.res = probeGone
-						}
+				var pong proto.JobPong
+				perr := proto.DecodeInto(reply.Payload, &pong)
+				reply.Release()
+				if perr == nil && pong.Nonce == nonce {
+					if pong.Known {
+						a.res = probeAlive
+					} else {
+						a.res = probeGone
 					}
 				}
 			}
@@ -726,8 +725,11 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 				transport.Message{Payload: proto.MustMarshal(prep)}, m.cfg.PrepareTimeout)
 			if err != nil {
 				a.dead, a.why = true, err.Error()
-			} else if _, msg, err := proto.Unmarshal(reply.Payload); err == nil {
-				if rdy, ok := msg.(*proto.Ready); ok {
+			} else {
+				var rdy proto.Ready
+				perr := proto.DecodeInto(reply.Payload, &rdy)
+				reply.Release()
+				if perr == nil {
 					a.ok, a.why = rdy.OK, rdy.Reason
 				}
 			}

@@ -26,6 +26,18 @@ type Cache struct {
 	dead   map[string]bool // peers marked dead; hidden until re-learned
 	live   int             // len(peers) minus dead entries still in peers
 
+	// pending holds snapshots accepted by Update but not yet merged.
+	// Merging a host list is O(list) map work, and on a multi-thousand-
+	// host world most caches belong to compute peers that take snapshots
+	// at every registration yet are only ever *read* on the submitter —
+	// so until the first read, Update just queues a copy of the list.
+	// Replaying the snapshots in arrival order on first read produces
+	// exactly the state eager merging would have; a cache nobody reads
+	// never builds its map at all. Once materialized (a reader flushed),
+	// merges go straight to the table again.
+	pending      [][]proto.PeerInfo
+	materialized bool
+
 	// ranked memoizes the ascending-latency ordering. Submissions call
 	// Ranked far more often than pings and snapshots mutate the cache,
 	// so the O(n log n) sort (whose comparator does two estimator
@@ -57,6 +69,27 @@ func NewCache(selfID string, kind latency.Kind, window int) *Cache {
 func (c *Cache) Update(list []proto.PeerInfo) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.materialized {
+		if len(c.pending) < maxPendingSnapshots {
+			// Never read yet: defer the merge. The snapshot must be
+			// copied — callers reuse pooled scratch slices.
+			c.pending = append(c.pending, append([]proto.PeerInfo(nil), list...))
+			return
+		}
+		// A long-horizon run keeps refreshing a cache nobody reads;
+		// unbounded deferral would retain one O(world) snapshot per
+		// refresh. Past the cap, materialize and merge eagerly — the
+		// boot storm (the case the deferral exists for) is long over.
+		c.flushLocked()
+	}
+	c.mergeLocked(list)
+}
+
+// maxPendingSnapshots bounds the deferred-merge queue; see Update.
+const maxPendingSnapshots = 8
+
+// mergeLocked applies one snapshot to the materialized table.
+func (c *Cache) mergeLocked(list []proto.PeerInfo) {
 	for _, p := range list {
 		if p.ID == c.selfID {
 			continue
@@ -73,10 +106,39 @@ func (c *Cache) Update(list []proto.PeerInfo) {
 	}
 }
 
+// flushLocked materializes the table, replaying deferred snapshots in
+// arrival order. Every reader goes through it.
+func (c *Cache) flushLocked() {
+	if c.materialized {
+		return
+	}
+	c.materialized = true
+	pending := c.pending
+	c.pending = nil
+	if len(pending) == 0 {
+		return
+	}
+	if len(c.peers) == 0 {
+		// Size the table for the largest snapshot so the first merge
+		// does not rehash its way up.
+		max := 0
+		for _, l := range pending {
+			if len(l) > max {
+				max = len(l)
+			}
+		}
+		c.peers = make(map[string]proto.PeerInfo, max)
+	}
+	for _, l := range pending {
+		c.mergeLocked(l)
+	}
+}
+
 // Observe records a ping round-trip sample for a live peer.
 func (c *Cache) Observe(id string, rtt time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	if _, ok := c.peers[id]; ok && !c.dead[id] {
 		c.lat.Observe(id, rtt)
 		c.rankedValid = false
@@ -90,6 +152,7 @@ func (c *Cache) Observe(id string, rtt time.Duration) {
 func (c *Cache) MarkDead(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	if _, ok := c.peers[id]; ok && !c.dead[id] {
 		c.rankedValid = false
 		c.live--
@@ -102,6 +165,7 @@ func (c *Cache) MarkDead(id string) {
 func (c *Cache) Dead(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	return c.dead[id]
 }
 
@@ -109,6 +173,7 @@ func (c *Cache) Dead(id string) bool {
 func (c *Cache) Size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	return c.live
 }
 
@@ -116,6 +181,7 @@ func (c *Cache) Size() int {
 func (c *Cache) Latency(id string) time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	return c.lat.Estimate(id)
 }
 
@@ -128,6 +194,7 @@ func (c *Cache) Latency(id string) time.Duration {
 func (c *Cache) IDs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	out := make([]string, 0, c.live)
 	for id := range c.peers {
 		if !c.dead[id] {
@@ -142,6 +209,7 @@ func (c *Cache) IDs() []string {
 func (c *Cache) Peer(id string) (proto.PeerInfo, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	if c.dead[id] {
 		return proto.PeerInfo{}, false
 	}
@@ -158,27 +226,51 @@ func (c *Cache) Peer(id string) (proto.PeerInfo, bool) {
 func (c *Cache) Ranked() []RankedPeer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	if !c.rankedValid {
-		ids := make([]string, 0, c.live)
-		for id := range c.peers {
-			if !c.dead[id] {
-				ids = append(ids, id)
-			}
-		}
-		sorted := c.lat.Rank(ids)
-		ranked := make([]RankedPeer, 0, len(sorted))
-		for _, id := range sorted {
-			ranked = append(ranked, RankedPeer{
-				Info:    c.peers[id],
-				Latency: c.lat.Estimate(id),
-			})
-		}
-		c.ranked = ranked
-		c.rankedValid = true
+		c.rebuildRankedLocked()
 	}
 	out := make([]RankedPeer, len(c.ranked))
 	copy(out, c.ranked)
 	return out
+}
+
+// RankedView is Ranked without the defensive copy: it returns the
+// memoized slice itself. The slice is read-only and stable — cache
+// mutations build a fresh slice rather than editing the memoized one in
+// place — so a caller that only iterates (the booking step builds its
+// candidate list from it on every submission) sees a consistent
+// snapshot and saves an O(peers) copy per request. Callers that keep or
+// mutate the result must use Ranked.
+func (c *Cache) RankedView() []RankedPeer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+	if !c.rankedValid {
+		c.rebuildRankedLocked()
+	}
+	return c.ranked
+}
+
+// rebuildRankedLocked recomputes the memoized ordering into a fresh
+// slice (never in place: outstanding RankedView snapshots stay valid).
+func (c *Cache) rebuildRankedLocked() {
+	ids := make([]string, 0, c.live)
+	for id := range c.peers {
+		if !c.dead[id] {
+			ids = append(ids, id)
+		}
+	}
+	sorted := c.lat.Rank(ids)
+	ranked := make([]RankedPeer, 0, len(sorted))
+	for _, id := range sorted {
+		ranked = append(ranked, RankedPeer{
+			Info:    c.peers[id],
+			Latency: c.lat.Estimate(id),
+		})
+	}
+	c.ranked = ranked
+	c.rankedValid = true
 }
 
 // RankedPeer pairs a cached peer with its current latency estimate.

@@ -63,11 +63,13 @@ type Supernode struct {
 	closed bool
 	// rng draws the bounded-reply window starts (MaxPeersReturned > 0).
 	rng *rand.Rand
-	// listCache memoizes the ID-sorted table; replies on large worlds
-	// route every Register/Fetch through it, so it must not re-sort per
-	// reply. Invalidated whenever membership or peer info changes.
+	// listCache is the ID-sorted table, maintained incrementally: a new
+	// peer is spliced in at its sort position, a changed one replaced in
+	// place, an expired one removed. The boot storm of a multi-thousand-
+	// host world registers every peer once, and replies route through
+	// this list — re-sorting it per reply (or even per membership
+	// change) used to dominate world boot.
 	listCache []proto.PeerInfo
-	listValid bool
 }
 
 type peerEntry struct {
@@ -140,45 +142,33 @@ func (s *Supernode) PeerCount() int {
 func (s *Supernode) Snapshot() []proto.PeerInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]proto.PeerInfo(nil), s.sortedLocked()...)
+	return append([]proto.PeerInfo(nil), s.listCache...)
 }
 
-// peerList is the host list as shipped to peers: the full table, or —
-// when MaxPeersReturned bounds it — a window over the ID-ordered table
-// whose start is drawn from the seeded generator. Independent draws per
-// reply mean no client can get pinned to a fixed subset by an unlucky
-// congruence between its fetch cadence and the table size; repeated
-// refreshes cover the membership with probability approaching one
-// (coupon-collector over table/limit windows).
-func (s *Supernode) peerList() []proto.PeerInfo {
+// findLocked locates id in the sorted table: the index where it is (or
+// would be inserted) and whether it is present.
+func (s *Supernode) findLocked(id string) (int, bool) {
+	i := sort.Search(len(s.listCache), func(j int) bool { return s.listCache[j].ID >= id })
+	return i, i < len(s.listCache) && s.listCache[i].ID == id
+}
+
+// appendPeerListReply encodes the host-list reply straight from the
+// sorted table into dst: the full table, or — when MaxPeersReturned
+// bounds it — a window whose start is drawn from the seeded generator.
+// Independent draws per reply mean no client can get pinned to a fixed
+// subset by an unlucky congruence between its fetch cadence and the
+// table size; repeated refreshes cover the membership with probability
+// approaching one (coupon-collector over table/limit windows).
+func (s *Supernode) appendPeerListReply(dst []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	list := s.sortedLocked()
-	limit := s.cfg.MaxPeersReturned
-	if limit <= 0 || len(list) <= limit {
-		return append([]proto.PeerInfo(nil), list...)
+	list := s.listCache
+	start, count := 0, len(list)
+	if limit := s.cfg.MaxPeersReturned; limit > 0 && len(list) > limit {
+		start = s.rng.Intn(len(list))
+		count = limit
 	}
-	start := s.rng.Intn(len(list))
-	out := make([]proto.PeerInfo, 0, limit)
-	for i := 0; i < limit; i++ {
-		out = append(out, list[(start+i)%len(list)])
-	}
-	return out
-}
-
-// sortedLocked returns the memoized ID-sorted table; the returned slice
-// is the cache itself — callers must copy before handing it out.
-func (s *Supernode) sortedLocked() []proto.PeerInfo {
-	if !s.listValid {
-		out := make([]proto.PeerInfo, 0, len(s.peers))
-		for _, e := range s.peers {
-			out = append(out, e.info)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		s.listCache = out
-		s.listValid = true
-	}
-	return s.listCache
+	return proto.AppendPeerListFrame(dst, list, start, count)
 }
 
 func (s *Supernode) acceptLoop() {
@@ -191,7 +181,27 @@ func (s *Supernode) acceptLoop() {
 	}
 }
 
-// serveConn answers request/reply exchanges until the peer closes.
+// serveConn answers request/reply exchanges until the peer closes. The
+// reply frame is built in a per-connection scratch buffer (the
+// transports copy frames on Send, so it is immediately reusable) and
+// request payloads are released back to the delivering transport once
+// decoded — steady-state, the membership plane allocates nothing per
+// exchange beyond what the table itself retains.
+// aliveAckFrame is the constant AliveAck reply; Send copies frames, so
+// one shared instance serves every keep-alive.
+var aliveAckFrame = proto.MustMarshal(&proto.AliveAck{})
+
+// replyScratchPool recycles host-list reply buffers. Every Register/
+// Fetch conn is one-shot (clients dial per exchange), so a per-
+// connection scratch would regrow an O(world) buffer per reply; a
+// single daemon-wide buffer, on the other hand, races under vtime.Real,
+// where serveConn goroutines really do run concurrently. A pooled
+// buffer is owned exclusively from Get until after Send returns (both
+// transports are done with the frame by then: simnet copies it, TCP
+// writes it out synchronously), which is safe in both worlds and keeps
+// the amortized growth of the shared buffers.
+var replyScratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func (s *Supernode) serveConn(c transport.Conn) {
 	defer c.Close()
 	for {
@@ -200,23 +210,32 @@ func (s *Supernode) serveConn(c transport.Conn) {
 			return
 		}
 		_, req, err := proto.Unmarshal(m.Payload)
+		m.Release()
 		if err != nil {
 			return
 		}
-		var reply any
+		var frame []byte
+		var scratch *[]byte
 		switch r := req.(type) {
 		case *proto.Register:
 			s.register(r.Peer)
-			reply = &proto.PeerList{Peers: s.peerList()}
+			scratch = replyScratchPool.Get().(*[]byte)
+			frame = s.appendPeerListReply((*scratch)[:0])
 		case *proto.Alive:
 			s.touch(r.ID)
-			reply = &proto.AliveAck{}
+			frame = aliveAckFrame
 		case *proto.FetchPeers:
-			reply = &proto.PeerList{Peers: s.peerList()}
+			scratch = replyScratchPool.Get().(*[]byte)
+			frame = s.appendPeerListReply((*scratch)[:0])
 		default:
 			return // protocol violation: drop the connection
 		}
-		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+		err = c.Send(transport.Message{Payload: frame})
+		if scratch != nil {
+			*scratch = frame[:0]
+			replyScratchPool.Put(scratch)
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -225,10 +244,22 @@ func (s *Supernode) serveConn(c transport.Conn) {
 func (s *Supernode) register(p proto.PeerInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.peers[p.ID]; !ok || old.info != p {
-		s.listValid = false
+	now := s.rt.Now()
+	if e, ok := s.peers[p.ID]; ok {
+		if e.info != p {
+			e.info = p
+			if i, found := s.findLocked(p.ID); found {
+				s.listCache[i] = p
+			}
+		}
+		e.lastSeen = now
+		return
 	}
-	s.peers[p.ID] = &peerEntry{info: p, lastSeen: s.rt.Now()}
+	s.peers[p.ID] = &peerEntry{info: p, lastSeen: now}
+	i, _ := s.findLocked(p.ID)
+	s.listCache = append(s.listCache, proto.PeerInfo{})
+	copy(s.listCache[i+1:], s.listCache[i:])
+	s.listCache[i] = p
 }
 
 func (s *Supernode) touch(id string) {
@@ -251,7 +282,9 @@ func (s *Supernode) sweepLoop() {
 		for id, e := range s.peers {
 			if e.lastSeen.Before(cutoff) {
 				delete(s.peers, id)
-				s.listValid = false
+				if i, found := s.findLocked(id); found {
+					s.listCache = append(s.listCache[:i], s.listCache[i+1:]...)
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -262,43 +295,61 @@ func (s *Supernode) sweepLoop() {
 
 // RegisterWith announces self to the supernode and returns the host list.
 func RegisterWith(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration) ([]proto.PeerInfo, error) {
-	reply, err := transport.RequestReply(net, snAddr,
+	return RegisterWithInto(net, snAddr, self, timeout, nil)
+}
+
+// RegisterWithInto is RegisterWith appending the host list to dst
+// (reusing its capacity) — the form callers with scratch slices use, so
+// an O(world) reply does not allocate an O(world) slice per refresh.
+func RegisterWithInto(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration, dst []proto.PeerInfo) ([]proto.PeerInfo, error) {
+	reply, err := RegisterRaw(net, snAddr, self, timeout)
+	if err != nil {
+		return dst, err
+	}
+	out, err := proto.UnmarshalPeerList(reply.Payload, dst)
+	reply.Release()
+	return out, err
+}
+
+// RegisterRaw performs the Register exchange and returns the raw
+// PeerList reply frame. The caller decodes it (proto.UnmarshalPeerList)
+// and releases the message; deferring the decode lets hot refresh loops
+// borrow their scratch only for the decode itself instead of across the
+// whole network round trip.
+func RegisterRaw(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration) (transport.Message, error) {
+	return transport.RequestReply(net, snAddr,
 		transport.Message{Payload: proto.MustMarshal(&proto.Register{Peer: self})}, timeout)
-	if err != nil {
-		return nil, err
-	}
-	_, msg, err := proto.Unmarshal(reply.Payload)
-	if err != nil {
-		return nil, err
-	}
-	pl, ok := msg.(*proto.PeerList)
-	if !ok {
-		return nil, transport.ErrClosed
-	}
-	return pl.Peers, nil
 }
 
 // FetchFrom retrieves a fresh host list from the supernode.
 func FetchFrom(net transport.Network, snAddr string, timeout time.Duration) ([]proto.PeerInfo, error) {
-	reply, err := transport.RequestReply(net, snAddr,
+	return FetchFromInto(net, snAddr, timeout, nil)
+}
+
+// FetchFromInto is FetchFrom appending into dst (reusing its capacity).
+func FetchFromInto(net transport.Network, snAddr string, timeout time.Duration, dst []proto.PeerInfo) ([]proto.PeerInfo, error) {
+	reply, err := FetchRaw(net, snAddr, timeout)
+	if err != nil {
+		return dst, err
+	}
+	out, err := proto.UnmarshalPeerList(reply.Payload, dst)
+	reply.Release()
+	return out, err
+}
+
+// FetchRaw performs the FetchPeers exchange and returns the raw PeerList
+// reply frame; see RegisterRaw for why callers decode it themselves.
+func FetchRaw(net transport.Network, snAddr string, timeout time.Duration) (transport.Message, error) {
+	return transport.RequestReply(net, snAddr,
 		transport.Message{Payload: proto.MustMarshal(&proto.FetchPeers{})}, timeout)
-	if err != nil {
-		return nil, err
-	}
-	_, msg, err := proto.Unmarshal(reply.Payload)
-	if err != nil {
-		return nil, err
-	}
-	pl, ok := msg.(*proto.PeerList)
-	if !ok {
-		return nil, transport.ErrClosed
-	}
-	return pl.Peers, nil
 }
 
 // SendAlive refreshes self's last-seen stamp at the supernode.
 func SendAlive(net transport.Network, snAddr, selfID string, timeout time.Duration) error {
-	_, err := transport.RequestReply(net, snAddr,
+	reply, err := transport.RequestReply(net, snAddr,
 		transport.Message{Payload: proto.MustMarshal(&proto.Alive{ID: selfID})}, timeout)
+	if err == nil {
+		reply.Release()
+	}
 	return err
 }

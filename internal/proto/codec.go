@@ -8,16 +8,29 @@ import (
 
 // Marshal encodes any proto message into a framed byte slice.
 func Marshal(msg any) ([]byte, error) {
-	e := wire.NewEncoder(64)
+	return AppendMarshal(nil, msg)
+}
+
+// AppendMarshal encodes msg into dst (reusing its capacity) and returns
+// the extended slice. With a caller-owned scratch buffer the encode is
+// allocation-free steady-state, which is what the daemons' request/reply
+// loops use: the simulated and TCP transports both copy the frame before
+// returning from Send, so the scratch is immediately reusable.
+func AppendMarshal(dst []byte, msg any) ([]byte, error) {
+	var e wire.Encoder
+	if dst == nil {
+		dst = make([]byte, 0, 64)
+	}
+	e.Reset(dst)
 	switch m := msg.(type) {
 	case *Register:
 		e.U8(uint8(TRegister))
-		m.Peer.encode(e)
+		m.Peer.encode(&e)
 	case *PeerList:
 		e.U8(uint8(TPeerList))
 		e.Int(len(m.Peers))
 		for _, p := range m.Peers {
-			p.encode(e)
+			p.encode(&e)
 		}
 	case *Alive:
 		e.U8(uint8(TAlive)).String(m.ID)
@@ -31,7 +44,7 @@ func Marshal(msg any) ([]byte, error) {
 		e.U8(uint8(TPong)).U64(m.Nonce)
 	case *Reserve:
 		e.U8(uint8(TReserve)).String(m.Key).String(m.JobID)
-		m.Submitter.encode(e)
+		m.Submitter.encode(&e)
 		e.Int(m.N)
 	case *ReserveOK:
 		e.U8(uint8(TReserveOK)).String(m.Key).Int(m.P)
@@ -47,7 +60,7 @@ func Marshal(msg any) ([]byte, error) {
 		e.Int(m.N).Int(m.R)
 		e.Int(len(m.Table))
 		for _, s := range m.Table {
-			s.encode(e)
+			s.encode(&e)
 		}
 		e.String(m.SubmitterMPD)
 		e.Duration(m.Deadline)
@@ -76,6 +89,27 @@ func Marshal(msg any) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// AppendPeerListFrame encodes a TPeerList frame of count entries taken
+// from peers starting at index start (wrapping modulo len(peers)),
+// straight from the caller's table — no intermediate []PeerInfo copy,
+// no allocation when dst has capacity. This is the supernode's reply
+// builder: on a multi-thousand-host world every Register and FetchPeers
+// answer is an O(world) frame, and building it used to copy the table
+// twice per reply.
+func AppendPeerListFrame(dst []byte, peers []PeerInfo, start, count int) []byte {
+	var e wire.Encoder
+	e.Reset(dst)
+	e.U8(uint8(TPeerList))
+	e.Int(count)
+	if count > 0 {
+		n := len(peers)
+		for i := 0; i < count; i++ {
+			peers[(start+i)%n].encode(&e)
+		}
+	}
+	return e.Bytes()
+}
+
 // MustMarshal is Marshal for known-good messages; it panics on error.
 func MustMarshal(msg any) []byte {
 	b, err := Marshal(msg)
@@ -83,6 +117,14 @@ func MustMarshal(msg any) []byte {
 		panic(err)
 	}
 	return b
+}
+
+// Peek returns the type of a framed message without decoding it.
+func Peek(b []byte) Type {
+	if len(b) == 0 {
+		return TInvalid
+	}
+	return Type(b[0])
 }
 
 // Unmarshal decodes one framed message, returning its type and a pointer
@@ -101,6 +143,7 @@ func Unmarshal(b []byte) (Type, any, error) {
 		}
 		m := &PeerList{}
 		if n > 0 {
+			d.InternStrings() // one string copy for the whole host list
 			m.Peers = make([]PeerInfo, 0, n)
 		}
 		for i := 0; i < n; i++ {
@@ -129,6 +172,7 @@ func Unmarshal(b []byte) (Type, any, error) {
 	case TCancelAck:
 		msg = &CancelAck{Key: d.String()}
 	case TPrepare:
+		d.InternStrings() // the table repeats host IDs and addresses
 		m := &Prepare{Key: d.String(), JobID: d.String(), Program: d.String(),
 			Args: d.StringSlice(), N: d.Int(), R: d.Int()}
 		n := d.Int()
@@ -180,4 +224,109 @@ func Unmarshal(b []byte) (Type, any, error) {
 		return t, nil, err
 	}
 	return t, msg, nil
+}
+
+// UnmarshalPeerList decodes a TPeerList frame, appending the entries to
+// dst (reusing its capacity) and returning the extended slice. Hot
+// membership paths use it with a pooled scratch slice so a cache
+// refresh on a multi-thousand-host world does not allocate a fresh
+// O(world) slice per reply.
+func UnmarshalPeerList(b []byte, dst []PeerInfo) ([]PeerInfo, error) {
+	d := wire.NewDecoder(b)
+	if t := Type(d.U8()); t != TPeerList {
+		return dst, fmt.Errorf("proto: expected peerlist, got %v", t)
+	}
+	n := d.Int()
+	if n < 0 || n > d.Remaining() {
+		return dst, wire.ErrCorrupt
+	}
+	if n > 0 {
+		d.InternStrings()
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, decodePeerInfo(d))
+	}
+	if err := d.Finish(); err != nil {
+		return dst, err
+	}
+	return dst, nil
+}
+
+// DecodeInto decodes a frame into a caller-provided message struct,
+// reusing its allocations: string fields keep their existing backing
+// when the decoded bytes match (see wire.Decoder.StringInto), so
+// decoding a stream of stable values — heartbeats, handshake echoes —
+// into a reused struct is allocation-free steady-state. Only the
+// fixed-shape control messages are supported; list-carrying frames
+// (PeerList, Prepare, JobDone) go through Unmarshal.
+func DecodeInto(b []byte, msg any) error {
+	d := wire.NewDecoder(b)
+	t := Type(d.U8())
+	var want Type
+	switch m := msg.(type) {
+	case *Ping:
+		if want = TPing; t == want {
+			m.Nonce = d.U64()
+		}
+	case *Pong:
+		if want = TPong; t == want {
+			m.Nonce = d.U64()
+		}
+	case *Alive:
+		if want = TAlive; t == want {
+			d.StringInto(&m.ID)
+		}
+	case *AliveAck:
+		want = TAliveAck
+	case *FetchPeers:
+		want = TFetchPeers
+	case *ReserveOK:
+		if want = TReserveOK; t == want {
+			d.StringInto(&m.Key)
+			m.P = d.Int()
+		}
+	case *ReserveNOK:
+		if want = TReserveNOK; t == want {
+			d.StringInto(&m.Key)
+			d.StringInto(&m.Reason)
+		}
+	case *Cancel:
+		if want = TCancel; t == want {
+			d.StringInto(&m.Key)
+		}
+	case *CancelAck:
+		if want = TCancelAck; t == want {
+			d.StringInto(&m.Key)
+		}
+	case *Ready:
+		if want = TReady; t == want {
+			d.StringInto(&m.Key)
+			m.OK = d.Bool()
+			d.StringInto(&m.Reason)
+		}
+	case *Start:
+		if want = TStart; t == want {
+			d.StringInto(&m.Key)
+		}
+	case *StartAck:
+		if want = TStartAck; t == want {
+			d.StringInto(&m.Key)
+		}
+	case *JobPing:
+		if want = TJobPing; t == want {
+			m.Nonce = d.U64()
+			d.StringInto(&m.JobID)
+		}
+	case *JobPong:
+		if want = TJobPong; t == want {
+			m.Nonce = d.U64()
+			m.Known = d.Bool()
+		}
+	default:
+		return fmt.Errorf("proto: DecodeInto does not support %T", msg)
+	}
+	if t != want {
+		return fmt.Errorf("proto: frame is %v, not the expected type for %T", t, msg)
+	}
+	return d.Finish()
 }

@@ -121,12 +121,14 @@ func (s *Service) acceptLoop() {
 
 func (s *Service) serveConn(c transport.Conn) {
 	defer c.Close()
+	var scratch []byte
 	for {
 		m, err := c.Recv()
 		if err != nil {
 			return
 		}
 		_, req, err := proto.Unmarshal(m.Payload)
+		m.Release()
 		if err != nil {
 			return
 		}
@@ -140,7 +142,11 @@ func (s *Service) serveConn(c transport.Conn) {
 		default:
 			return
 		}
-		if err := c.Send(transport.Message{Payload: proto.MustMarshal(reply)}); err != nil {
+		scratch, err = proto.AppendMarshal(scratch[:0], reply)
+		if err != nil {
+			return
+		}
+		if err := c.Send(transport.Message{Payload: scratch}); err != nil {
 			return
 		}
 	}
@@ -324,6 +330,7 @@ func Broker(rt vtime.Runtime, net transport.Network, candidates []proto.PeerInfo
 						a.dead, a.ok = false, false
 					}
 				}
+				reply.Release()
 			}
 			mb.Push(a)
 		})

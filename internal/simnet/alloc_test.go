@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// TestMessageDeliveryZeroAllocSteadyState enforces the zero-allocation
+// contract of the per-message path: once the pools are warm (delivery
+// carriers, payload buffers, queue waiters, the scheduler's event slab)
+// a send + receive + release cycle must not allocate. AllocsPerRun
+// counts process-wide mallocs, so allocations on the scheduler's actor
+// goroutines are included.
+func TestMessageDeliveryZeroAllocSteadyState(t *testing.T) {
+	s := vtime.New()
+	defer s.Shutdown()
+	topo := &StaticTopology{
+		HostSite: map[string]string{"a1": "east", "b1": "west"},
+		DefLat:   5 * time.Millisecond,
+	}
+	n := New(s, topo, DefaultConfig(1))
+
+	s.Go("server", func() {
+		l, err := n.Node("b1").Listen("b1:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			m.Release() // hand the payload copy back to the pool
+		}
+	})
+
+	var client transport.Conn
+	s.Go("client", func() {
+		var err error
+		client, err = n.Node("a1").Dial("b1:1")
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	s.Wait()
+	if client == nil {
+		t.Fatal("dial failed")
+	}
+
+	payload := []byte("0123456789abcdef")
+	step := func() {
+		if err := client.Send(transport.Message{Payload: payload}); err != nil {
+			t.Error(err)
+		}
+		s.Wait() // delivery fires, server receives and releases, world idles
+	}
+	for i := 0; i < 200; i++ {
+		step() // warm every pool to its steady-state population
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("message delivery: %v allocs/op, want 0", allocs)
+	}
+}

@@ -21,10 +21,8 @@ func (nn *nodeNet) Listen(addr string) (transport.Listener, error) {
 	if host != nn.host {
 		return nil, transport.ErrUnreachable
 	}
-	nn.n.mu.Lock()
-	defer nn.n.mu.Unlock()
-	h := nn.n.hostLocked(host)
-	if h == nil || nn.n.downHost[host] {
+	h := nn.n.host(host)
+	if h == nil || h.down {
 		return nil, transport.ErrUnreachable
 	}
 	if port == "0" {
@@ -56,46 +54,37 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 		return nil, err
 	}
 	n := nn.n
-	n.mu.Lock()
-	from := n.hostLocked(nn.host)
-	to := n.hostLocked(rhost)
+	from := n.host(nn.host)
 	if from == nil {
-		n.mu.Unlock()
 		return nil, transport.ErrUnreachable
 	}
-	if n.downHost[nn.host] {
-		n.mu.Unlock()
+	if from.down {
 		return nil, transport.ErrClosed
 	}
+	to := n.host(rhost)
 	if to == nil {
-		n.mu.Unlock()
 		return nil, transport.ErrUnreachable
 	}
 	// SYN travels one way; the handshake result travels back. The dialer
 	// observes a full round trip before Dial returns, like TCP.
 	synArrival := n.planDelivery(from, to, 64)
 	resultq := vtime.NewQueue[dialResult](n.rt)
-	n.mu.Unlock()
 
-	n.rt.After(synArrival-n.rt.Elapsed(), func() {
-		n.mu.Lock()
+	n.rt.Schedule(synArrival-n.rt.Elapsed(), func() {
 		l := to.listeners[rport]
-		down := n.downHost[rhost]
-		if down || l == nil || l.closed {
+		if to.down || l == nil || l.closed {
 			// Connection refused: the RST also takes one trip back.
 			back := n.planDelivery(to, from, 64)
-			n.mu.Unlock()
-			n.rt.After(back-n.rt.Elapsed(), func() {
+			n.rt.Schedule(back-n.rt.Elapsed(), func() {
 				resultq.Push(dialResult{err: transport.ErrUnreachable})
 			})
 			return
 		}
 		local := nn.host + ":" + itoa(ephemeral(from))
-		pair := newConnPair(n, local, l.addr)
+		pair := newConnPair(n, from, to, local, l.addr)
 		back := n.planDelivery(to, from, 64)
-		n.mu.Unlock()
 		l.acceptq.Push(pair.server)
-		n.rt.After(back-n.rt.Elapsed(), func() {
+		n.rt.Schedule(back-n.rt.Elapsed(), func() {
 			resultq.Push(dialResult{c: pair.client})
 		})
 	})
@@ -149,14 +138,12 @@ func (l *listener) Accept() (transport.Conn, error) {
 }
 
 func (l *listener) Close() error {
-	l.n.mu.Lock()
 	if !l.closed {
 		l.closed = true
 		if h := l.n.hosts[l.host]; h != nil {
 			delete(h.listeners, l.port)
 		}
 	}
-	l.n.mu.Unlock()
 	l.acceptq.Close()
 	return nil
 }
@@ -171,29 +158,35 @@ type connPair struct {
 
 // conn is one endpoint. Messages pushed to inbox arrive via delivery
 // events; lastArrival clamps arrivals to per-direction FIFO order.
+//
+// The host, pipe and base-latency pointers are resolved once at
+// connection setup, so the per-message path does no map lookups at all.
 type conn struct {
 	n           *Net
 	local       string
 	remote      string
-	localHost   string
-	remoteHost  string
+	lh          *netHost    // local endpoint host
+	rh          *netHost    // remote endpoint host
+	pipe        *serializer // backbone pipe between the two sites
+	base        time.Duration
 	inbox       *vtime.Queue[transport.Message]
 	peer        *conn
 	closed      bool
 	lastArrival time.Duration // FIFO clamp for messages *arriving at peer*
 }
 
-func newConnPair(n *Net, clientAddr, serverAddr string) *connPair {
-	ch, _, _ := splitAddr(clientAddr)
-	sh, _, _ := splitAddr(serverAddr)
+func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string) *connPair {
+	pipe := n.pipe(ch.site, sh.site)
 	client := &conn{
 		n: n, local: clientAddr, remote: serverAddr,
-		localHost: ch, remoteHost: sh,
+		lh: ch, rh: sh, pipe: pipe,
+		base:  n.topo.SiteLatency(ch.site, sh.site),
 		inbox: vtime.NewQueue[transport.Message](n.rt),
 	}
 	server := &conn{
 		n: n, local: serverAddr, remote: clientAddr,
-		localHost: sh, remoteHost: ch,
+		lh: sh, rh: ch, pipe: pipe,
+		base:  n.topo.SiteLatency(sh.site, ch.site),
 		inbox: vtime.NewQueue[transport.Message](n.rt),
 	}
 	client.peer = server
@@ -201,51 +194,87 @@ func newConnPair(n *Net, clientAddr, serverAddr string) *connPair {
 	return &connPair{client: client, server: server}
 }
 
+// delivery is one in-flight message: a pooled, closure-free event
+// payload scheduled through vtime.ScheduleArg. Carriers are recycled
+// through a free list and allocated in blocks when it runs dry, so even
+// a burst of sends that outruns delivery (nothing recycled yet) costs
+// one allocation per block of messages, not one per message.
+type delivery struct {
+	n    *Net
+	peer *conn
+	msg  transport.Message
+	next *delivery // free-list link
+}
+
+const deliveryBlock = 256
+
+func (n *Net) getDelivery() *delivery {
+	d := n.delFree
+	if d == nil {
+		block := make([]delivery, deliveryBlock)
+		for i := 1; i < len(block); i++ {
+			block[i].n = n
+			block[i].next = n.delFree
+			n.delFree = &block[i]
+		}
+		block[0].n = n
+		return &block[0]
+	}
+	n.delFree = d.next
+	d.next = nil
+	return d
+}
+
+// fireDelivery delivers the message (or drops it if the destination died
+// while it was in flight) and recycles the carrier. Package-level so
+// scheduling it captures nothing.
+func fireDelivery(a any) {
+	d := a.(*delivery)
+	n, peer, msg := d.n, d.peer, d.msg
+	d.peer = nil
+	d.msg = transport.Message{}
+	d.next = n.delFree
+	n.delFree = d
+	if peer.lh.down {
+		msg.Release()
+		return
+	}
+	peer.inbox.Push(msg)
+}
+
 // frameOverhead approximates per-message header cost on the wire.
 const frameOverhead = 64
 
 func (c *conn) Send(m transport.Message) error {
 	n := c.n
-	n.mu.Lock()
 	if c.closed {
-		n.mu.Unlock()
 		return transport.ErrClosed
 	}
-	if n.downHost[c.localHost] {
-		n.mu.Unlock()
+	if c.lh.down {
 		return transport.ErrClosed
 	}
-	if n.downHost[c.remoteHost] || c.peer.closed {
+	if c.rh.down || c.peer.closed {
 		// Messages into the void are silently dropped, like TCP segments
 		// toward a dead host; the sender learns via higher-level timeout.
-		n.mu.Unlock()
 		return nil
 	}
-	from := n.hostLocked(c.localHost)
-	to := n.hostLocked(c.remoteHost)
-	arrival := n.planDelivery(from, to, m.Size()+frameOverhead)
+	arrival := n.plan(c.lh, c.rh, c.pipe, c.base, m.Size()+frameOverhead)
 	if arrival <= c.lastArrival {
 		arrival = c.lastArrival + time.Nanosecond
 	}
 	c.lastArrival = arrival
-	peer := c.peer
-	n.mu.Unlock()
 
-	// Copy the payload: the sender may reuse its buffer immediately.
+	// Copy the payload — the sender may reuse its buffer immediately —
+	// into a pooled buffer that the receiver's Release recycles.
 	var cp []byte
 	if len(m.Payload) > 0 {
-		cp = make([]byte, len(m.Payload))
+		cp = n.bufPool.Get(len(m.Payload))
 		copy(cp, m.Payload)
 	}
-	msg := transport.Message{Payload: cp, Virtual: m.Virtual}
-	n.rt.After(arrival-n.rt.Elapsed(), func() {
-		n.mu.Lock()
-		dead := n.downHost[peer.localHost]
-		n.mu.Unlock()
-		if !dead {
-			peer.inbox.Push(msg)
-		}
-	})
+	d := n.getDelivery()
+	d.peer = c.peer
+	d.msg = transport.Pooled(cp, m.Virtual, &n.bufPool)
+	n.rt.ScheduleArg(arrival-n.rt.Elapsed(), fireDelivery, d)
 	return nil
 }
 
@@ -264,24 +293,19 @@ func (c *conn) RecvTimeout(d time.Duration) (transport.Message, error) {
 }
 
 func (c *conn) Close() error {
-	n := c.n
-	n.mu.Lock()
 	if c.closed {
-		n.mu.Unlock()
 		return nil
 	}
 	c.closed = true
 	peer := c.peer
-	base := n.topo.SiteLatency(n.topo.Site(c.localHost), n.topo.Site(c.remoteHost))
 	fin := c.lastArrival
-	if e := n.rt.Elapsed() + base; e > fin {
+	if e := c.n.rt.Elapsed() + c.base; e > fin {
 		fin = e
 	}
-	n.mu.Unlock()
 	c.inbox.Close()
 	// FIN arrives after all in-flight data (FIFO), closing the peer's
 	// inbox so its pending Recv drains buffered messages then ErrClosed.
-	n.rt.After(fin-n.rt.Elapsed(), func() {
+	c.n.rt.Schedule(fin-c.n.rt.Elapsed(), func() {
 		peer.inbox.Close()
 	})
 	return nil

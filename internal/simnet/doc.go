@@ -17,4 +17,11 @@
 // its seed; independent Nets (one per experiment world) never share
 // state, which is what lets the parallel sweep harness run many worlds
 // on separate OS threads with reproducible results.
+//
+// The per-message path is single-writer and allocation-free: a Net
+// carries no lock (every call runs in scheduler context, which
+// serializes it — see docs/PERF.md), connections cache their host,
+// pipe and base-latency lookups at setup, in-flight messages ride
+// pooled delivery carriers, and payload copies come from a buffer pool
+// that receivers refill via Message.Release.
 package simnet

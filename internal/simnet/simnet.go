@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 	"time"
 
 	"p2pmpi/internal/transport"
@@ -49,25 +48,48 @@ func DefaultConfig(seed int64) Config {
 }
 
 // Net is a simulated network bound to one scheduler.
+//
+// Net carries no lock of its own: every method (and every method of the
+// conns and listeners it hands out) executes in scheduler context —
+// actor goroutines and event callbacks, of which exactly one runs at any
+// moment — so the scheduler's own synchronization serializes all state
+// and publishes it across goroutines. Callers outside that context
+// (tests poking FailHost between RunFor pumps) are safe as long as the
+// scheduler is idle at the time, which Wait/RunFor guarantee on return.
+// This is the single-writer design that keeps the per-message fast path
+// free of lock traffic; see docs/PERF.md.
 type Net struct {
 	rt   *vtime.Scheduler
 	topo Topology
 	cfg  Config
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	hosts    map[string]*netHost
-	pipes    map[string]*serializer
-	downHost map[string]bool // failed hosts drop all traffic
+	rng     *rand.Rand
+	hosts   map[string]*netHost
+	pipes   map[sitePair]*serializer
+	bufPool transport.BufferPool
+	delFree *delivery // recycled delivery events
+}
+
+// sitePair is a normalized (sorted) site pair, the backbone pipe key.
+// A comparable struct key avoids the per-lookup string concatenation the
+// old "a|b" keys paid on every message.
+type sitePair struct{ a, b string }
+
+func pipeKey(a, b string) sitePair {
+	if a > b {
+		a, b = b, a
+	}
+	return sitePair{a, b}
 }
 
 type netHost struct {
 	id        string
 	site      string
 	listeners map[string]*listener // by port
-	nicOut    *serializer
-	nicIn     *serializer
+	nicOut    serializer
+	nicIn     serializer
 	nextPort  int
+	down      bool // failed hosts drop all traffic
 }
 
 // serializer models one capacity-limited resource. A transfer starting at
@@ -91,13 +113,12 @@ func New(rt *vtime.Scheduler, topo Topology, cfg Config) *Net {
 		cfg.NICBps = 1_000_000_000
 	}
 	return &Net{
-		rt:       rt,
-		topo:     topo,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		hosts:    make(map[string]*netHost),
-		pipes:    make(map[string]*serializer),
-		downHost: make(map[string]bool),
+		rt:    rt,
+		topo:  topo,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		hosts: make(map[string]*netHost),
+		pipes: make(map[sitePair]*serializer),
 	}
 }
 
@@ -110,16 +131,16 @@ func (n *Net) Node(hostID string) transport.Network {
 // FailHost makes a host unreachable: its listeners stop accepting, new
 // messages to and from it are dropped. Used by fault-injection tests.
 func (n *Net) FailHost(hostID string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.downHost[hostID] = true
+	if h := n.host(hostID); h != nil {
+		h.down = true
+	}
 }
 
 // RestoreHost brings a failed host back (listeners must be re-created).
 func (n *Net) RestoreHost(hostID string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.downHost, hostID)
+	if h := n.host(hostID); h != nil {
+		h.down = false
+	}
 }
 
 // BaseOneWay exposes the noise-free one-way latency between two hosts,
@@ -128,7 +149,9 @@ func (n *Net) BaseOneWay(a, b string) time.Duration {
 	return n.topo.SiteLatency(n.topo.Site(a), n.topo.Site(b))
 }
 
-func (n *Net) hostLocked(id string) *netHost {
+// host returns (lazily creating) the state of one host, or nil when the
+// topology does not know it.
+func (n *Net) host(id string) *netHost {
 	h := n.hosts[id]
 	if h == nil {
 		site := n.topo.Site(id)
@@ -139,8 +162,8 @@ func (n *Net) hostLocked(id string) *netHost {
 			id:        id,
 			site:      site,
 			listeners: make(map[string]*listener),
-			nicOut:    &serializer{bps: n.cfg.NICBps},
-			nicIn:     &serializer{bps: n.cfg.NICBps},
+			nicOut:    serializer{bps: n.cfg.NICBps},
+			nicIn:     serializer{bps: n.cfg.NICBps},
 			nextPort:  20000,
 		}
 		n.hosts[id] = h
@@ -148,12 +171,10 @@ func (n *Net) hostLocked(id string) *netHost {
 	return h
 }
 
-func (n *Net) pipeLocked(siteA, siteB string) *serializer {
-	a, b := siteA, siteB
-	if a > b {
-		a, b = b, a
-	}
-	key := a + "|" + b
+// pipe returns (lazily creating) the shared backbone serializer between
+// two sites.
+func (n *Net) pipe(siteA, siteB string) *serializer {
+	key := pipeKey(siteA, siteB)
 	p := n.pipes[key]
 	if p == nil {
 		p = &serializer{bps: n.topo.SiteBps(siteA, siteB)}
@@ -162,8 +183,10 @@ func (n *Net) pipeLocked(siteA, siteB string) *serializer {
 	return p
 }
 
-// jitterLocked samples non-negative latency noise for a base latency.
-func (n *Net) jitterLocked(base time.Duration) time.Duration {
+// jitter samples non-negative latency noise for a base latency. Draw
+// order is what makes runs reproducible: calls happen in scheduler
+// order, one per planned delivery, exactly as they always have.
+func (n *Net) jitter(base time.Duration) time.Duration {
 	std := float64(base)*n.cfg.JitterFrac + float64(n.cfg.JitterFloor)
 	j := n.rng.NormFloat64() * std
 	if j < 0 {
@@ -172,20 +195,27 @@ func (n *Net) jitterLocked(base time.Duration) time.Duration {
 	return time.Duration(j)
 }
 
-// planDelivery computes the virtual arrival time of a message of the
-// given size sent now from a to b, reserving capacity along the path.
-func (n *Net) planDelivery(from, to *netHost, size int64) time.Duration {
+// plan computes the virtual arrival time of a message of the given size
+// sent now from one host to another, reserving capacity along the path.
+// The pipe and base latency are passed in so established conns pay no
+// map lookups per message.
+func (n *Net) plan(from, to *netHost, pipe *serializer, base time.Duration, size int64) time.Duration {
 	now := n.rt.Elapsed()
-	base := n.topo.SiteLatency(from.site, to.site)
-
 	finish := from.nicOut.reserve(now, size)
-	if f := n.pipeLocked(from.site, to.site).reserve(now, size); f > finish {
+	if f := pipe.reserve(now, size); f > finish {
 		finish = f
 	}
 	if f := to.nicIn.reserve(now, size); f > finish {
 		finish = f
 	}
-	return finish + base + n.jitterLocked(base)
+	return finish + base + n.jitter(base)
+}
+
+// planDelivery is plan with the per-call lookups, used by the dial path
+// (which has no established conn to cache them on).
+func (n *Net) planDelivery(from, to *netHost, size int64) time.Duration {
+	base := n.topo.SiteLatency(from.site, to.site)
+	return n.plan(from, to, n.pipe(from.site, to.site), base, size)
 }
 
 // splitAddr separates "host:port"; hosts contain dots but no colons.

@@ -23,10 +23,33 @@ var (
 type Message struct {
 	Payload []byte
 	Virtual int64
+
+	// pool, when set by the delivering transport, is where Release
+	// returns the payload buffer. Receivers that are done with Payload
+	// (typically right after decoding the frame) call Release so the
+	// transport can recycle the copy; everyone else may simply drop the
+	// message and let the GC take it.
+	pool *BufferPool
 }
 
 // Size returns the modelled size of the message on the wire.
 func (m Message) Size() int64 { return int64(len(m.Payload)) + m.Virtual }
+
+// Pooled returns a message whose payload was drawn from pool, for
+// transports that recycle delivery buffers.
+func Pooled(payload []byte, virtual int64, pool *BufferPool) Message {
+	return Message{Payload: payload, Virtual: virtual, pool: pool}
+}
+
+// Release hands the payload buffer back to the transport that delivered
+// the message. It must be the receiver's last use of Payload (and of any
+// decoded view aliasing it). Safe to call on unpooled messages: it is a
+// no-op when no pool is attached.
+func (m Message) Release() {
+	if m.pool != nil && m.Payload != nil {
+		m.pool.Put(m.Payload)
+	}
+}
 
 // Conn is a reliable, ordered, message-oriented connection.
 // Send and Recv may be used concurrently with each other; concurrent

@@ -11,10 +11,21 @@
 // parallel sweep mode, where independent worlds run on separate OS
 // threads without perturbing each other's timelines.
 //
+// The hot path is run-to-completion: pure timer events (Sleep expiries,
+// queue timeouts) fire inline on the dispatch loop under one lock
+// acquisition, events live in a pooled slab behind a 4-ary heap, and
+// when the next runnable actor is the goroutine already driving the
+// dispatch, the hand-off resolves without a channel round-trip. A Sleep
+// tick costs one mutex cycle and zero allocations; Now/Elapsed are
+// lock-free. See docs/PERF.md for the execution model and the
+// determinism rules fast-path code must follow.
+//
 // Actors are ordinary goroutines registered with (*Scheduler).Go. They may
 // block only through scheduler primitives (Sleep, Queue.Pop, Timer waits).
 // Blocking through ordinary channel operations or OS calls would stall the
-// virtual clock.
+// virtual clock. Callbacks scheduled with After/Schedule/ScheduleArg run
+// outside any actor context — never concurrently with an actor — and
+// must not block.
 //
 // The Runtime interface is the portable subset middleware is written
 // against: Scheduler implements it in virtual time, Real implements it

@@ -1,0 +1,54 @@
+package vtime
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestEventThroughputGate is the benchstat-style CI smoke: it re-times
+// the BenchmarkEventThroughput body via testing.Benchmark and fails if
+// the result regressed more than 2x against the committed baseline
+// (perf/BASELINE.json, pointed to by PERF_GATE_BASELINE). The 2x bar is
+// deliberately loose — it absorbs runner-hardware variance while still
+// catching the class of regression that matters here: accidentally
+// reintroducing a goroutine hand-off, allocation or lock round-trip on
+// the per-event path, all of which cost integer multiples.
+func TestEventThroughputGate(t *testing.T) {
+	path := os.Getenv("PERF_GATE_BASELINE")
+	if path == "" {
+		t.Skip("PERF_GATE_BASELINE not set (CI sets it to perf/BASELINE.json)")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base struct {
+		EventNs float64 `json:"event_throughput_ns_per_op"`
+	}
+	if err := json.Unmarshal(blob, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.EventNs <= 0 {
+		t.Fatalf("baseline %s has no event_throughput_ns_per_op", path)
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		s := New()
+		defer s.Shutdown()
+		s.Go("ticker", func() {
+			for i := 0; i < b.N; i++ {
+				s.Sleep(time.Millisecond)
+			}
+		})
+		b.ResetTimer()
+		s.Wait()
+	})
+	got := float64(r.T.Nanoseconds()) / float64(r.N)
+	limit := 2 * base.EventNs
+	t.Logf("event throughput: %.1f ns/op (baseline %.1f, limit %.1f)", got, base.EventNs, limit)
+	if got > limit {
+		t.Fatalf("event throughput regressed: %.1f ns/op > 2x baseline %.1f ns/op", got, base.EventNs)
+	}
+}

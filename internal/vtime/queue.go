@@ -12,11 +12,12 @@ var ErrClosed = errors.New("vtime: queue closed")
 var ErrTimeout = errors.New("vtime: timeout")
 
 // qwaiter is one actor blocked in Pop, waiting for a direct hand-off.
+// The embedded waiterCore is what the scheduler's abandon events touch;
+// waiters are recycled through the queue's free list, so steady-state
+// blocking receives do not allocate.
 type qwaiter[T any] struct {
-	a    *actor
+	waiterCore
 	item T
-	got  bool // item was handed off
-	gone bool // abandoned (timeout or close); Push must skip it
 }
 
 // Queue is an unbounded FIFO connecting actors (and event callbacks) to
@@ -25,8 +26,11 @@ type qwaiter[T any] struct {
 // FIFO order among both items and consumers.
 type Queue[T any] struct {
 	s       *Scheduler
-	items   []T
-	waiters []*qwaiter[T]
+	items   []T // ring: live items are items[head:]
+	head    int
+	waiters []*qwaiter[T] // ring: live waiters are waiters[whead:]
+	whead   int
+	free    []*qwaiter[T] // recycled waiters
 	closed  bool
 }
 
@@ -35,26 +39,69 @@ func NewQueue[T any](s *Scheduler) *Queue[T] {
 	return &Queue[T]{s: s}
 }
 
+func (q *Queue[T]) getWaiterLocked(a *actor) *qwaiter[T] {
+	if n := len(q.free); n > 0 {
+		w := q.free[n-1]
+		q.free = q.free[:n-1]
+		w.a = a
+		w.got = false
+		w.gone = false
+		return w
+	}
+	return &qwaiter[T]{waiterCore: waiterCore{a: a}}
+}
+
+func (q *Queue[T]) putWaiterLocked(w *qwaiter[T]) {
+	var zero T
+	w.item = zero
+	w.a = nil
+	q.free = append(q.free, w)
+}
+
+// popItemLocked removes and returns the buffered head item.
+func (q *Queue[T]) popItemLocked() T {
+	x := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return x
+}
+
 // Push appends x (or hands it to a waiting consumer). It is safe to call
 // from actors and from event callbacks. Push on a closed queue is a no-op.
 func (q *Queue[T]) Push(x T) {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	s := q.s
+	s.mu.Lock()
 	if q.closed {
+		s.mu.Unlock()
 		return
 	}
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for q.whead < len(q.waiters) {
+		w := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
+		if q.whead == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.whead = 0
+		}
 		if w.gone {
+			// Abandoned by a timeout. Its owner may not have resumed yet
+			// and still reads the struct, so only the owner ever recycles
+			// a waiter — the ring just drops its reference.
 			continue
 		}
 		w.item = x
 		w.got = true
-		q.s.WakeLocked(w.a)
+		s.WakeLocked(w.a)
+		s.mu.Unlock()
 		return
 	}
 	q.items = append(q.items, x)
+	s.mu.Unlock()
 }
 
 // Pop removes and returns the head item, blocking the calling actor until
@@ -68,49 +115,58 @@ func (q *Queue[T]) Pop() (T, bool) {
 // It returns ErrTimeout if d elapses first and ErrClosed after Close.
 func (q *Queue[T]) PopTimeout(d time.Duration) (T, error) {
 	var zero T
-	q.s.mu.Lock()
-	if len(q.items) > 0 {
-		x := q.items[0]
-		q.items = q.items[1:]
-		q.s.mu.Unlock()
+	s := q.s
+	s.mu.Lock()
+	if q.head < len(q.items) {
+		x := q.popItemLocked()
+		s.mu.Unlock()
 		return x, nil
 	}
 	if q.closed {
-		q.s.mu.Unlock()
+		s.mu.Unlock()
 		return zero, ErrClosed
 	}
 	if d == 0 {
-		q.s.mu.Unlock()
+		s.mu.Unlock()
 		return zero, ErrTimeout
 	}
-	a := q.s.curActorLocked("Queue.Pop")
-	w := &qwaiter[T]{a: a}
+	a := s.curActorLocked("Queue.Pop")
+	w := q.getWaiterLocked(a)
 	q.waiters = append(q.waiters, w)
 
-	var timer *event
-	if d > 0 {
-		timer = q.s.scheduleLocked(d, func() {
-			q.s.mu.Lock()
-			if !w.got && !w.gone {
-				w.gone = true
-				q.s.WakeLocked(a)
-			}
-			q.s.mu.Unlock()
-		})
+	var tid int32
+	var tgen uint32
+	timed := d > 0
+	if timed {
+		tid = s.newEventLocked(d)
+		ev := &s.slab[tid]
+		ev.kind = evAbandon
+		ev.w = &w.waiterCore
+		tgen = ev.gen
+		s.heapPush(tid)
 	}
-	q.s.parkLocked(a)
+	s.parkLocked(a)
 	// Re-acquired s.mu here.
-	if timer != nil {
-		timer.canceled = true
+	if timed {
+		s.cancelLocked(tid, tgen)
 	}
-	defer q.s.mu.Unlock()
 	if w.got {
-		return w.item, nil
+		x := w.item
+		q.putWaiterLocked(w) // Push removed it from the waiter ring
+		s.mu.Unlock()
+		return x, nil
 	}
 	w.gone = true
 	if q.closed {
+		// Close emptied the waiter ring and no new pushes can reference
+		// w, so ownership is back here: recycle. A timed-out waiter, by
+		// contrast, still sits in the ring (a later Push walks past it),
+		// so it must leak to the GC rather than be recycled twice.
+		q.putWaiterLocked(w)
+		s.mu.Unlock()
 		return zero, ErrClosed
 	}
+	s.mu.Unlock()
 	return zero, ErrTimeout
 }
 
@@ -119,35 +175,38 @@ func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
 	q.s.mu.Lock()
 	defer q.s.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	x := q.items[0]
-	q.items = q.items[1:]
-	return x, true
+	return q.popItemLocked(), true
 }
 
 // Len returns the number of buffered items.
 func (q *Queue[T]) Len() int {
 	q.s.mu.Lock()
 	defer q.s.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
 
 // Close wakes all waiting consumers with ErrClosed and drops future
 // pushes. Buffered items remain poppable. Idempotent.
 func (q *Queue[T]) Close() {
-	q.s.mu.Lock()
-	defer q.s.mu.Unlock()
+	s := q.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if q.closed {
 		return
 	}
 	q.closed = true
-	for _, w := range q.waiters {
+	for i := q.whead; i < len(q.waiters); i++ {
+		w := q.waiters[i]
+		q.waiters[i] = nil
 		if !w.gone && !w.got {
 			w.gone = true
-			q.s.WakeLocked(w.a)
+			s.WakeLocked(w.a)
 		}
+		// Never recycle here: a timed-out owner may not have resumed yet.
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
+	q.whead = 0
 }

@@ -1,10 +1,10 @@
 package vtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,67 +30,45 @@ type Runtime interface {
 
 // actor is the scheduler-side handle for one registered goroutine.
 type actor struct {
-	name string
-	ch   chan struct{} // wake token, buffered 1
-	stop bool          // set under s.mu by Shutdown
-}
-
-// event is a scheduled callback on the virtual timeline.
-type event struct {
-	at       time.Duration
-	seq      uint64 // FIFO tie-break for equal timestamps
-	fn       func() // runs with s.mu NOT held; must not block
-	canceled bool
-	index    int // heap index, -1 once popped
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	name   string
+	ch     chan struct{} // wake token, buffered 1
+	stop   bool          // set under s.mu by Shutdown
+	parked bool          // blocked in park, waiting for a wake
+	idx    int           // position in s.all, for O(1) removal
 }
 
 // Scheduler is a sequential discrete-event executor.
+//
+// The hot path is run-to-completion: pure timer events (Sleep expiries,
+// queue timeouts) fire inline on the dispatch loop under one lock
+// acquisition, and when the next runnable actor is the very goroutine
+// driving the dispatch, the hand-off resolves without touching its wake
+// channel. A Sleep tick therefore costs one mutex cycle and zero
+// allocations; goroutine parking is paid only when control genuinely
+// moves between actors.
 //
 // The zero value is not usable; call New.
 type Scheduler struct {
 	mu       sync.Mutex
 	idleCond *sync.Cond // broadcast when the scheduler goes idle
 
-	epoch time.Time     // virtual time zero
-	now   time.Duration // virtual time since epoch
+	epoch    time.Time     // virtual time zero
+	now      time.Duration // virtual time since epoch; written under mu
+	nowNanos atomic.Int64  // lock-free mirror of now for Now/Elapsed
 
-	events eventHeap
-	seq    uint64
+	// Event storage: a slab of event slots addressed by the 4-ary heap,
+	// recycled through a free list so steady-state scheduling does not
+	// allocate. See eventq.go.
+	slab []event
+	free []int32
+	heap []int32
+	seq  uint64
 
-	runq      []*actor            // runnable, not yet executing
-	cur       *actor              // the single executing actor, nil if none
-	executing bool                // true while cur runs or an event fires
-	parked    map[*actor]struct{} // actors blocked in park
-	actors    int                 // live actors
+	runq      []*actor // runnable, not yet executing; ring via rqHead
+	rqHead    int
+	cur       *actor   // the single executing actor, nil if none
+	executing bool     // true while cur runs or an event fires
+	all       []*actor // every live actor (parked ones carry a.parked)
 
 	idle    bool
 	stopped bool
@@ -103,26 +81,35 @@ type Scheduler struct {
 // (2008-04-14 00:00:00 UTC, the week of IPDPS 2008) so that timestamps in
 // traces are stable across runs.
 func New() *Scheduler {
+	a := arenaPool.Get().(*arena)
 	s := &Scheduler{
-		epoch:  time.Date(2008, 4, 14, 0, 0, 0, 0, time.UTC),
-		parked: make(map[*actor]struct{}),
+		epoch: time.Date(2008, 4, 14, 0, 0, 0, 0, time.UTC),
+		slab:  a.slab[:0],
+		free:  a.free[:0],
+		heap:  a.heap[:0],
 	}
+	*a = arena{}
+	arenaPool.Put(a)
 	s.idleCond = sync.NewCond(&s.mu)
 	return s
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is lock-free: daemon code
+// timestamps constantly, and a reader needs only a consistent snapshot
+// of the clock, never the event queue.
 func (s *Scheduler) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch.Add(s.now)
+	return s.epoch.Add(time.Duration(s.nowNanos.Load()))
 }
 
-// Elapsed returns the virtual time elapsed since the epoch.
+// Elapsed returns the virtual time elapsed since the epoch. Lock-free.
 func (s *Scheduler) Elapsed() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Duration(s.nowNanos.Load())
+}
+
+// setNowLocked advances the clock and its lock-free mirror.
+func (s *Scheduler) setNowLocked(t time.Duration) {
+	s.now = t
+	s.nowNanos.Store(int64(t))
 }
 
 // Go registers fn as a new actor and makes it runnable. It may be called
@@ -134,7 +121,8 @@ func (s *Scheduler) Go(name string, fn func()) {
 		s.mu.Unlock()
 		return
 	}
-	s.actors++
+	a.idx = len(s.all)
+	s.all = append(s.all, a)
 	s.idle = false
 	s.runq = append(s.runq, a)
 	s.mu.Unlock()
@@ -156,12 +144,24 @@ func (s *Scheduler) Go(name string, fn func()) {
 	}()
 }
 
+// removeActorLocked drops a from the live set (swap-remove).
+func (s *Scheduler) removeActorLocked(a *actor) {
+	last := len(s.all) - 1
+	if a.idx <= last {
+		moved := s.all[last]
+		s.all[a.idx] = moved
+		moved.idx = a.idx
+		s.all[last] = nil
+		s.all = s.all[:last]
+	}
+}
+
 // actorExit releases the token when an actor's function returns. A non-nil
 // recovered panic value is re-raised on the caller of Wait via a stored
 // fault so bugs are not swallowed.
 func (s *Scheduler) actorExit(a *actor, fault any) {
 	s.mu.Lock()
-	s.actors--
+	s.removeActorLocked(a)
 	s.cur = nil
 	s.executing = false
 	if fault != nil {
@@ -170,7 +170,7 @@ func (s *Scheduler) actorExit(a *actor, fault any) {
 		s.mu.Unlock()
 		panic(fmt.Sprintf("vtime: actor %q panicked: %v", a.name, fault))
 	}
-	s.dispatchLocked()
+	s.dispatchLocked(nil)
 	s.mu.Unlock()
 }
 
@@ -186,7 +186,11 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	s.scheduleLocked(d, func() { s.WakeLocked(a) })
+	id := s.newEventLocked(d)
+	ev := &s.slab[id]
+	ev.kind = evWake
+	ev.actor = a
+	s.heapPush(id)
 	s.parkLocked(a)
 	s.mu.Unlock()
 }
@@ -202,43 +206,88 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := s.scheduleLocked(d, fn)
-	return &Timer{s: s, ev: ev}
+	id := s.scheduleFuncLocked(d, fn)
+	return &Timer{s: s, id: id, gen: s.slab[id].gen}
+}
+
+// Schedule is After without the cancel handle: the allocation-free form
+// used on per-message paths (the simulator schedules one delivery event
+// per message in flight and never cancels them).
+func (s *Scheduler) Schedule(d time.Duration, fn func()) {
+	s.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	s.scheduleFuncLocked(d, fn)
+	s.mu.Unlock()
+}
+
+// ScheduleArg schedules fn(arg) at now+d. Unlike Schedule with a
+// capturing closure, a package-level fn plus a pointer-typed arg costs
+// no allocation at all — this is the form the simulator's per-message
+// delivery events use. fn runs outside any actor context, with the
+// scheduler lock released, and must not block.
+func (s *Scheduler) ScheduleArg(d time.Duration, fn func(any), arg any) {
+	s.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	id := s.newEventLocked(d)
+	ev := &s.slab[id]
+	ev.kind = evFuncArg
+	ev.fnArg = fn
+	ev.arg = arg
+	s.heapPush(id)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) scheduleFuncLocked(d time.Duration, fn func()) int32 {
+	id := s.newEventLocked(d)
+	ev := &s.slab[id]
+	ev.kind = evFunc
+	ev.fn = fn
+	s.heapPush(id)
+	return id
 }
 
 // Timer is a cancelable scheduled callback.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	id  int32
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the callback had not yet run.
 func (t *Timer) Stop() bool {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.ev.canceled || t.ev.index == -1 {
+	if int(t.id) >= len(t.s.slab) {
+		return false // slab donated by Shutdown; nothing left to cancel
+	}
+	ev := &t.s.slab[t.id]
+	if ev.gen != t.gen || ev.canceled {
 		return false
 	}
-	t.ev.canceled = true
+	ev.canceled = true
 	return true
 }
 
-// scheduleLocked inserts an event at now+d. Caller holds s.mu.
-func (s *Scheduler) scheduleLocked(d time.Duration, fn func()) *event {
-	s.seq++
-	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
-	return ev
-}
-
 // parkLocked blocks the current actor until some event or other actor
-// wakes it with WakeLocked. Caller holds s.mu; it is released while parked
-// and re-acquired before returning. Panics with ErrStopped on shutdown.
+// wakes it. Caller holds s.mu; the lock is held again when parkLocked
+// returns. When the dispatch loop selects the parking actor itself as
+// the next runner, the hand-off resolves inline — no channel round-trip,
+// no goroutine switch. Panics with ErrStopped on shutdown.
 func (s *Scheduler) parkLocked(a *actor) {
-	s.parked[a] = struct{}{}
+	if s.stopped {
+		s.mu.Unlock()
+		panic(ErrStopped)
+	}
+	a.parked = true
 	s.cur = nil
 	s.executing = false
-	s.dispatchLocked()
+	if s.dispatchLocked(a) {
+		return // resumed inline: cur == a, executing == true
+	}
 	s.mu.Unlock()
 	<-a.ch
 	s.mu.Lock()
@@ -249,54 +298,103 @@ func (s *Scheduler) parkLocked(a *actor) {
 }
 
 // WakeLocked makes a parked actor runnable. It is exported for use by
-// scheduler-integrated primitives in this package and by simnet; callers
-// must hold no scheduler-visible locks of their own (the scheduler mutex
-// is taken internally when called via Wake).
+// scheduler-integrated primitives in this package; callers must hold no
+// scheduler-visible locks of their own.
 func (s *Scheduler) WakeLocked(a *actor) {
-	if _, ok := s.parked[a]; ok {
-		delete(s.parked, a)
+	if a.parked {
+		a.parked = false
 		s.runq = append(s.runq, a)
 	}
+}
+
+// popRunqLocked removes and returns the head of the run queue.
+func (s *Scheduler) popRunqLocked() *actor {
+	a := s.runq[s.rqHead]
+	s.runq[s.rqHead] = nil
+	s.rqHead++
+	if s.rqHead == len(s.runq) {
+		s.runq = s.runq[:0]
+		s.rqHead = 0
+	}
+	return a
 }
 
 // dispatchLocked hands the execution token to the next runnable actor, or
 // advances the clock by firing events until an actor becomes runnable. If
 // neither is possible the scheduler goes idle. Caller holds s.mu.
-func (s *Scheduler) dispatchLocked() {
+//
+// Internal events (actor wakes, queue-waiter expiries) run to completion
+// right here, under the lock — they only mutate scheduler state, so a
+// run of pure timer events costs one lock acquisition total. User
+// callbacks (After/Schedule) run with the lock released, exactly as
+// before, so they can re-enter public APIs; no actor executes meanwhile,
+// which keeps callbacks serialized with all actor code.
+//
+// It returns true when the selected next runner is self (the actor whose
+// goroutine is driving this dispatch, parked moments ago): the caller
+// resumes inline instead of bouncing a token through its wake channel.
+func (s *Scheduler) dispatchLocked(self *actor) bool {
 	if s.executing {
-		return
+		return false
 	}
 	for {
-		if len(s.runq) > 0 {
-			a := s.runq[0]
-			copy(s.runq, s.runq[1:])
-			s.runq = s.runq[:len(s.runq)-1]
+		if s.rqHead < len(s.runq) {
+			a := s.popRunqLocked()
 			s.cur = a
 			s.executing = true
+			if a == self {
+				return true
+			}
 			a.ch <- struct{}{}
-			return
+			return false
 		}
-		if s.stopped || len(s.events) == 0 ||
-			(s.limited && s.events[0].at > s.limit) {
+		if s.stopped || len(s.heap) == 0 ||
+			(s.limited && s.slab[s.heap[0]].at > s.limit) {
 			s.idle = true
 			s.idleCond.Broadcast()
-			return
+			return false
 		}
-		ev := heap.Pop(&s.events).(*event)
+		id := s.heapPop()
+		ev := &s.slab[id]
 		if ev.canceled {
+			s.freeEventLocked(id)
 			continue
 		}
 		if ev.at > s.now {
-			s.now = ev.at
+			s.setNowLocked(ev.at)
 		}
-		// Run the callback without the lock so it can use public APIs
-		// (Queue.Push, Wake, After). No actor executes meanwhile, so the
-		// callback is still serialized with all actor code.
-		s.executing = true
-		s.mu.Unlock()
-		ev.fn()
-		s.mu.Lock()
-		s.executing = false
+		switch ev.kind {
+		case evWake:
+			a := ev.actor
+			s.freeEventLocked(id)
+			s.WakeLocked(a)
+		case evAbandon:
+			w := ev.w
+			s.freeEventLocked(id)
+			if !w.got && !w.gone {
+				w.gone = true
+				s.WakeLocked(w.a)
+			}
+		case evFuncArg:
+			fn, arg := ev.fnArg, ev.arg
+			s.freeEventLocked(id)
+			s.executing = true
+			s.mu.Unlock()
+			fn(arg)
+			s.mu.Lock()
+			s.executing = false
+		default:
+			// Run the callback without the lock so it can use public APIs
+			// (Queue.Push, After, Schedule). No actor executes meanwhile,
+			// so the callback is still serialized with all actor code.
+			fn := ev.fn
+			s.freeEventLocked(id)
+			s.executing = true
+			s.mu.Unlock()
+			fn()
+			s.mu.Lock()
+			s.executing = false
+		}
 	}
 }
 
@@ -307,7 +405,7 @@ func (s *Scheduler) Wait() {
 	s.mu.Lock()
 	if !s.executing {
 		s.idle = false
-		s.dispatchLocked()
+		s.dispatchLocked(nil)
 	}
 	for !s.idle {
 		s.idleCond.Wait()
@@ -333,7 +431,7 @@ func (s *Scheduler) RunFor(d time.Duration) time.Duration {
 	if s.now < start+d {
 		// Ran out of events early: jump the clock to the fence so that
 		// consecutive RunFor calls tile the timeline predictably.
-		s.now = start + d
+		s.setNowLocked(start + d)
 	}
 	advanced := s.now - start
 	s.mu.Unlock()
@@ -349,17 +447,31 @@ func (s *Scheduler) Shutdown() {
 		return
 	}
 	s.stopped = true
-	s.events = nil
+	for _, id := range s.heap {
+		s.freeEventLocked(id)
+	}
+	// Donate the (fully freed and cleared) event storage for the next
+	// scheduler; late API calls on this one see empty slices and still
+	// behave (events on a stopped scheduler never fire anyway).
+	arenaPool.Put(&arena{slab: s.slab, free: s.free, heap: s.heap[:0]})
+	s.slab = nil
+	s.free = nil
+	s.heap = nil
 	// Unwind runnable-but-not-started actors and parked actors.
-	for _, a := range s.runq {
+	for i := s.rqHead; i < len(s.runq); i++ {
+		a := s.runq[i]
+		s.runq[i] = nil
 		a.stop = true
 		a.ch <- struct{}{}
 	}
-	s.runq = nil
-	for a := range s.parked {
-		a.stop = true
-		delete(s.parked, a)
-		a.ch <- struct{}{}
+	s.runq = s.runq[:0]
+	s.rqHead = 0
+	for _, a := range s.all {
+		if a.parked {
+			a.parked = false
+			a.stop = true
+			a.ch <- struct{}{}
+		}
 	}
 	s.idle = true
 	s.idleCond.Broadcast()
@@ -370,7 +482,7 @@ func (s *Scheduler) Shutdown() {
 func (s *Scheduler) Actors() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.actors
+	return len(s.all)
 }
 
 // PendingEvents returns the number of scheduled, uncanceled events.
@@ -378,16 +490,16 @@ func (s *Scheduler) PendingEvents() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for _, ev := range s.events {
-		if !ev.canceled {
+	for _, id := range s.heap {
+		if !s.slab[id].canceled {
 			n++
 		}
 	}
 	return n
 }
 
-// cur returns the executing actor, panicking when called from outside an
-// actor. Caller holds s.mu.
+// curActorLocked returns the executing actor, panicking when called from
+// outside an actor. Caller holds s.mu.
 func (s *Scheduler) curActorLocked(op string) *actor {
 	if s.cur == nil {
 		s.mu.Unlock()

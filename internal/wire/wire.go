@@ -29,6 +29,14 @@ func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
 }
 
+// Reset points the encoder at the front of buf, reusing its capacity.
+// It is how hot paths encode into caller-owned scratch without
+// allocating: var e Encoder; e.Reset(scratch); ...; scratch = e.Bytes().
+func (e *Encoder) Reset(buf []byte) *Encoder {
+	e.buf = buf[:0]
+	return e
+}
+
 // Bytes returns the encoded frame. The slice aliases the encoder buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
@@ -115,6 +123,12 @@ type Decoder struct {
 	buf []byte
 	off int
 	err error
+
+	// intern, when armed by InternStrings, is one shared string copy of
+	// the buffer tail; String reads return substrings of it instead of
+	// allocating one copy per field.
+	intern     string
+	internBase int
 }
 
 // NewDecoder returns a decoder over b. The decoder does not copy b.
@@ -211,6 +225,19 @@ func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 // Duration reads a time.Duration.
 func (d *Decoder) Duration() time.Duration { return time.Duration(d.Varint()) }
 
+// InternStrings arms string interning: every later String read returns a
+// substring of one shared copy of the remaining buffer, so a frame with
+// thousands of string fields (a full host-list reply) costs one string
+// allocation instead of one per field. Worth arming only on
+// string-dense frames — the shared copy stays alive as long as any
+// substring does.
+func (d *Decoder) InternStrings() {
+	if d.intern == "" && d.off < len(d.buf) {
+		d.intern = string(d.buf[d.off:])
+		d.internBase = d.off
+	}
+}
+
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
 	n := d.Varint()
@@ -221,9 +248,35 @@ func (d *Decoder) String() string {
 		d.fail(ErrCorrupt)
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	var s string
+	if d.intern != "" {
+		s = d.intern[d.off-d.internBase : d.off-d.internBase+int(n)]
+	} else {
+		s = string(d.buf[d.off : d.off+int(n)])
+	}
 	d.off += int(n)
 	return s
+}
+
+// StringInto reads a length-prefixed string into *s, keeping the
+// existing allocation when the decoded bytes are identical. The
+// comparison is allocation-free, so decoding a stable value (a repeated
+// heartbeat's job ID, a reservation key echoed through a handshake)
+// into a reused struct costs nothing steady-state.
+func (d *Decoder) StringInto(s *string) {
+	n := d.Varint()
+	if d.err != nil {
+		return
+	}
+	if n < 0 || n > int64(d.Remaining()) {
+		d.fail(ErrCorrupt)
+		return
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	if *s != string(b) { // compiler-optimized: no allocation to compare
+		*s = string(b)
+	}
 }
 
 // Blob reads a length-prefixed byte slice. The result is a copy.
