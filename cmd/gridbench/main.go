@@ -9,6 +9,8 @@
 //	gridbench -exp all               # everything above
 //	gridbench -exp conc              # beyond the paper: K concurrent jobs
 //	gridbench -exp scale -grid synth:S=10,H=100   # beyond the paper: world-size sweep
+//	gridbench -exp scale -grid synth:S=16,H=100 -hosts 5000,20000,50000 -sn 1,4,16
+//	                                 # beyond the paper: federated membership tier at 50k hosts
 //	gridbench -exp churn -grid synth:S=12,H=400 -mtbf 600,1800,3600 -R 1,2,3
 //	                                 # beyond the paper: survivability under host churn
 //	gridbench -exp estimators        # beyond the paper: latency-estimator ablation
@@ -36,7 +38,12 @@
 // size, reporting completion time, allocation footprint and
 // reservation-conflict rate per (strategy, size) point as CSV with
 // -format csv. -a selects a strategy subset ("all" by default; any
-// comma-separated registered names, e.g. -a comm-aware,minsites).
+// comma-separated registered names, e.g. -a comm-aware,minsites). -sn
+// adds the membership-tier axis: each K boots a federation of K
+// gossiping supernode shards (registration latency, gossip staleness
+// and membership bytes join the CSV columns), which is what pushes the
+// sweeps into the 50k-host regime — a single supernode's O(world)
+// replies saturate long before the simulation core does.
 //
 // Experiments built from independent worlds (fig4's two strategy
 // worlds, every conc sweep point) run across a -workers wide pool;
@@ -73,6 +80,7 @@ func main() {
 	gridSpec := flag.String("grid", "grid5000", "topology: grid5000 or synth:S=12,H=400,C=2,seed=7,rttmin=5ms,rttmax=25ms")
 	alloc := flag.String("a", "all", "conc/scale/churn: strategies, \"all\" or comma-separated names from: "+strings.Join(core.Names(), "|"))
 	hosts := flag.String("hosts", "", "scale: comma-separated world sizes (hosts); default: the -grid spec's own size")
+	sn := flag.String("sn", "", "supernode-federation width K; scale takes a comma-separated axis (e.g. 1,4,16), conc/churn a single value; default: the -grid spec's sn value (1)")
 	workers := flag.Int("workers", exp.DefaultWorkers(), "pool width for fig4, conc, scale and churn sweeps (independent worlds)")
 	// The churn duration flags all accept bare seconds ("600") or Go
 	// durations ("10m"), matching the -mtbf axis syntax.
@@ -139,11 +147,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var snAxis []int
+	if *sn != "" {
+		var err error
+		if snAxis, err = parseKs(*sn); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -sn: %v\n", err)
+			os.Exit(2)
+		}
+		if *which != "scale" && *which != "conc" && *which != "churn" {
+			fmt.Fprintf(os.Stderr, "gridbench: -sn only applies to -exp scale, conc and churn; the paper figures are pinned to the single supernode\n")
+			os.Exit(2)
+		}
+		if *which != "scale" && len(snAxis) != 1 {
+			fmt.Fprintf(os.Stderr, "gridbench: -sn: %s takes a single federation width\n", *which)
+			os.Exit(2)
+		}
+	}
+
 	// The paper's figures stay pinned to the Grid5000 inventory; -grid
 	// steers the beyond-the-paper families (conc, scale).
 	opts := exp.DefaultOptions(*seed)
 	topoOpts := opts
 	topoOpts.Topology = topo
+	if len(snAxis) == 1 {
+		topoOpts.Supernodes = snAxis[0]
+	}
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		if err := fn(); err != nil {
@@ -259,15 +287,25 @@ func main() {
 				Base:       topo,
 				Strategies: strategies,
 				HostCounts: hostCounts,
+				Supernodes: snAxis,
 				N:          *n,
 				R:          *r,
 			}, *workers)
 			if err != nil {
 				return err
 			}
-			if csv {
+			federated := false
+			for _, p := range pts {
+				if p.SN > 1 {
+					federated = true
+				}
+			}
+			switch {
+			case csv && (federated || len(snAxis) > 1):
+				fmt.Print(exp.FederationPointsCSV(pts))
+			case csv:
 				fmt.Print(exp.ScalePointsCSV(pts))
-			} else {
+			default:
 				fmt.Print(exp.RenderScalePoints(
 					fmt.Sprintf("Scale sweep — %s, n=%d r=%d", topo, *n, *r), pts))
 			}
@@ -304,7 +342,7 @@ func main() {
 		siteMTBFD := durFlag("sitemtbf", *siteMTBF)
 		siteMTTRD := durFlag("sitemttr", *siteMTTR)
 		run("churn", func() error {
-			pts, err := exp.ChurnSweep(opts, exp.ChurnConfig{
+			pts, err := exp.ChurnSweep(topoOpts, exp.ChurnConfig{
 				Base:         topo,
 				Strategies:   strategies,
 				MTBFs:        mtbfs,

@@ -58,6 +58,7 @@ func main() {
 	sim := flag.Bool("sim", false, "run against a simulated testbed (see -grid)")
 	gridSpec := flag.String("grid", "grid5000", "simulated testbed (with -sim): grid5000 or synth:S=12,H=400,...")
 	seed := flag.Int64("seed", 42, "simulation seed (with -sim)")
+	snCount := flag.Int("sn", 0, "supernode-federation width K (with -sim; 0 defers to the -grid spec's sn value, default 1)")
 	snAddr := flag.String("supernode", "127.0.0.1:8800", "supernode address (real mode)")
 	mpdAddr := flag.String("mpd", "127.0.0.1:9050", "ephemeral submitter MPD address (real mode)")
 	rsAddr := flag.String("rs", "127.0.0.1:9051", "ephemeral submitter RS address (real mode)")
@@ -92,6 +93,7 @@ func main() {
 	}
 	opts := exp.DefaultOptions(*seed)
 	opts.Topology = topo
+	opts.Supernodes = *snCount
 	spec := mpd.JobSpec{
 		Program:  flag.Arg(0),
 		Args:     flag.Args()[1:],

@@ -2,6 +2,17 @@
 // entry point every peer contacts to join the overlay (§3.2).
 //
 //	supernode -addr :8800 -ttl 90s
+//
+// A federated tier runs one process per shard, each given the full
+// shard-ordered member list and its own index:
+//
+//	supernode -addr :8800 -shard 0 -federation host0:8800,host1:8800
+//	supernode -addr :8800 -shard 1 -federation host0:8800,host1:8800
+//
+// Members gossip membership digests on -gossip and answer host-list
+// queries from their merged federation view; peers register with their
+// rendezvous home shard (MPDs configured with the same -federation list
+// compute it themselves) and fail over across shards.
 package main
 
 import (
@@ -9,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -20,17 +32,39 @@ import (
 func main() {
 	addr := flag.String("addr", ":8800", "listen address")
 	ttl := flag.Duration("ttl", 90*time.Second, "peer expiry without alive signals")
+	shard := flag.Int("shard", 0, "this member's shard index (with -federation)")
+	federation := flag.String("federation", "", "comma-separated federation member addresses in shard order (empty: standalone)")
+	gossip := flag.Duration("gossip", time.Second, "digest-exchange period between federation members")
 	flag.Parse()
 
+	var members []string
+	for _, m := range strings.Split(*federation, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			members = append(members, m)
+		}
+	}
+	if len(members) > 0 && (*shard < 0 || *shard >= len(members)) {
+		fmt.Fprintf(os.Stderr, "supernode: -shard %d out of range for %d members\n", *shard, len(members))
+		os.Exit(2)
+	}
+
 	sn := overlay.NewSupernode(vtime.Real{}, transport.TCP{}, overlay.SupernodeConfig{
-		Addr: *addr,
-		TTL:  *ttl,
+		Addr:           *addr,
+		TTL:            *ttl,
+		Shard:          *shard,
+		Federation:     members,
+		GossipInterval: *gossip,
 	})
 	if err := sn.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "supernode: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("supernode listening on %s (ttl %v)\n", sn.Addr(), *ttl)
+	if len(members) > 1 {
+		fmt.Printf("supernode listening on %s (ttl %v, shard %d of %d, gossip %v)\n",
+			sn.Addr(), *ttl, *shard, len(members), *gossip)
+	} else {
+		fmt.Printf("supernode listening on %s (ttl %v)\n", sn.Addr(), *ttl)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -39,7 +73,12 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			fmt.Printf("supernode: %d peers listed\n", sn.PeerCount())
+			if len(members) > 1 {
+				fmt.Printf("supernode: %d peers owned, %d in merged view\n",
+					sn.PeerCount(), sn.MergedCount())
+			} else {
+				fmt.Printf("supernode: %d peers listed\n", sn.PeerCount())
+			}
 		case <-sig:
 			fmt.Println("supernode: shutting down")
 			sn.Close()

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -17,7 +18,8 @@ import (
 // behave as the platform grows — the axis Table 1 pinned that a
 // production co-allocation service must sweep.
 
-// ScalePoint is one (strategy, world size) measurement.
+// ScalePoint is one (strategy, world size, federation width)
+// measurement.
 type ScalePoint struct {
 	Strategy core.Strategy
 	// Hosts, Cores and Sites describe the booted world.
@@ -33,6 +35,18 @@ type ScalePoint struct {
 	// is NOK / (OK + NOK).
 	ReserveOK, ReserveNOK int
 	ConflictRate          float64
+	// SN is the supernode-federation width of the measured world.
+	SN int
+	// RegMS is the mean supernode-registration round trip over the
+	// world's compute peers, in milliseconds. StaleMS is the mean gossip
+	// propagation lag of applied shard snapshots (how far behind a
+	// merged host-list answer can run about another shard; 0 when SN=1,
+	// where every answer is authoritative). MembBytes counts the
+	// membership-plane frame bytes (registers, keep-alives, fetches and
+	// gossip, requests plus replies) the supernode tier served during
+	// this strategy's submission window.
+	RegMS, StaleMS float64
+	MembBytes      int64
 }
 
 // ScaleConfig tunes a scale sweep.
@@ -47,6 +61,11 @@ type ScaleConfig struct {
 	// HostCounts is the world-size axis (default: the base spec's own
 	// size). Counts are rounded up to a multiple of the site count.
 	HostCounts []int
+	// Supernodes is the federation-width axis (default: the base spec's
+	// sn value, i.e. {1} unless the -grid string says otherwise). Each
+	// (host count, K) coordinate boots its own world, so the sweep
+	// compares K = 1/4/16 membership tiers on identical grids.
+	Supernodes []int
 	// N and R shape the per-strategy job (defaults 128 / 1).
 	N, R int
 	// Timeout bounds each submission in virtual time (default 10m).
@@ -62,6 +81,14 @@ func (c *ScaleConfig) fillDefaults() error {
 	}
 	if len(c.HostCounts) == 0 {
 		c.HostCounts = []int{c.Base.TotalHosts()}
+	}
+	if len(c.Supernodes) == 0 {
+		c.Supernodes = []int{c.Base.Defaulted().Supernodes}
+	}
+	for _, k := range c.Supernodes {
+		if k < 1 {
+			return fmt.Errorf("exp: bad federation width %d", k)
+		}
 	}
 	if c.N <= 0 {
 		c.N = 128
@@ -95,21 +122,29 @@ func specForHosts(base grid.TopologySpec, hosts int) grid.TopologySpec {
 	return spec
 }
 
-// ScaleSweep measures every configured strategy at every world size.
-// Each world size owns an independent, freshly booted world (runnable in
-// parallel across the pool); within one world the strategies submit
-// sequentially, each charged only the reservation traffic of its own
-// brokering. Results are ordered (host count, strategy) and independent
-// of the worker count.
+// ScaleSweep measures every configured strategy at every (world size,
+// federation width) coordinate. Each coordinate owns an independent,
+// freshly booted world (runnable in parallel across the pool); within
+// one world the strategies submit sequentially, each charged only the
+// reservation and membership traffic of its own window. Results are
+// ordered (host count, federation width, strategy) and independent of
+// the worker count.
 func ScaleSweep(opts Options, cfg ScaleConfig, workers int) ([]ScalePoint, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	perWorld := make([][]ScalePoint, len(cfg.HostCounts))
-	err := runPool(len(cfg.HostCounts), workers, func(i int) error {
-		pts, err := scaleAt(opts, cfg, cfg.HostCounts[i])
+	type coord struct{ hosts, sn int }
+	var coords []coord
+	for _, h := range cfg.HostCounts {
+		for _, k := range cfg.Supernodes {
+			coords = append(coords, coord{h, k})
+		}
+	}
+	perWorld := make([][]ScalePoint, len(coords))
+	err := runPool(len(coords), workers, func(i int) error {
+		pts, err := scaleAt(opts, cfg, coords[i].hosts, coords[i].sn)
 		if err != nil {
-			return fmt.Errorf("hosts=%d: %w", cfg.HostCounts[i], err)
+			return fmt.Errorf("hosts=%d sn=%d: %w", coords[i].hosts, coords[i].sn, err)
 		}
 		perWorld[i] = pts
 		return nil
@@ -124,18 +159,40 @@ func ScaleSweep(opts Options, cfg ScaleConfig, workers int) ([]ScalePoint, error
 	return out, nil
 }
 
-// scaleAt boots one world of ~hosts hosts and runs every strategy on it.
-func scaleAt(opts Options, cfg ScaleConfig, hosts int) ([]ScalePoint, error) {
+// scaleAt boots one world of ~hosts hosts under a K-wide supernode
+// tier and runs every strategy on it.
+func scaleAt(opts Options, cfg ScaleConfig, hosts, sn int) ([]ScalePoint, error) {
 	o := opts
 	o.Topology = specForHosts(cfg.Base, hosts)
+	o.Supernodes = sn
+	if hosts > 2000 {
+		// Past a few thousand hosts unbounded host-list replies dominate
+		// the simulation the same way they dominate churn horizons (see
+		// churnAt): bound the supernode replies well above the booking
+		// fan-out and slow the compute peers' refreshes — their cached
+		// lists are never consulted, only the frontal's view feeds the
+		// measurement. Both knobs stay caller-overridable.
+		if o.MaxPeersReturned == 0 {
+			bound := 4 * (int(math.Ceil(1.2*float64(cfg.N*cfg.R))) + 2)
+			if bound < 512 {
+				bound = 512
+			}
+			o.MaxPeersReturned = bound
+		}
+		if o.PeerRefreshInterval == 0 {
+			o.PeerRefreshInterval = time.Hour
+		}
+	}
 	w := NewWorld(o)
 	defer w.Close()
 	if err := w.Boot(); err != nil {
 		return nil, err
 	}
+	regMS := float64(w.MeanRegistrationLatency()) / float64(time.Millisecond)
 	var out []ScalePoint
 	for _, strategy := range cfg.Strategies {
 		ok0, nok0 := w.ReserveStats()
+		fed0 := w.FederationStats()
 		res, err := w.Submit(mpd.JobSpec{
 			Program:  "hostname",
 			N:        cfg.N,
@@ -150,6 +207,7 @@ func scaleAt(opts Options, cfg ScaleConfig, hosts int) ([]ScalePoint, error) {
 			return out, fmt.Errorf("%s: %d slots failed", strategy, f)
 		}
 		ok1, nok1 := w.ReserveStats()
+		fed1 := w.FederationStats()
 		pt := ScalePoint{
 			Strategy:   strategy,
 			Hosts:      w.Grid.TotalHosts(),
@@ -162,6 +220,10 @@ func scaleAt(opts Options, cfg ScaleConfig, hosts int) ([]ScalePoint, error) {
 			SitesUsed:  len(res.Assignment.HostsBySite()),
 			ReserveOK:  ok1 - ok0,
 			ReserveNOK: nok1 - nok0,
+			SN:         len(w.SNs),
+			RegMS:      regMS,
+			StaleMS:    float64(fed1.MeanStaleness()) / float64(time.Millisecond),
+			MembBytes:  (fed1.BytesIn + fed1.BytesOut) - (fed0.BytesIn + fed0.BytesOut),
 		}
 		if total := pt.ReserveOK + pt.ReserveNOK; total > 0 {
 			pt.ConflictRate = float64(pt.ReserveNOK) / float64(total)
@@ -173,6 +235,11 @@ func scaleAt(opts Options, cfg ScaleConfig, hosts int) ([]ScalePoint, error) {
 
 // ScalePointsCSV renders a scale sweep as CSV, one row per (host count,
 // strategy) point — the per-strategy figure data of the scale family.
+// The columns are the placement-facing ones only: a federated and a
+// standalone membership tier produce byte-identical output here on a
+// static world (the committed K=1 vs K=4 identity test), because the
+// gossip staleness bound is tight enough not to move any placement.
+// FederationPointsCSV adds the membership-tier columns.
 func ScalePointsCSV(pts []ScalePoint) string {
 	var b strings.Builder
 	b.WriteString("strategy,hosts,cores,sites,n,r,seconds,hosts_used,sites_used," +
@@ -185,17 +252,35 @@ func ScalePointsCSV(pts []ScalePoint) string {
 	return b.String()
 }
 
+// FederationPointsCSV is ScalePointsCSV plus the membership-tier
+// columns: the federation width, the mean registration round trip, the
+// mean gossip propagation staleness and the membership-plane bytes
+// served during each strategy's submission window.
+func FederationPointsCSV(pts []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString("strategy,hosts,cores,sites,n,r,sn,seconds,hosts_used,sites_used," +
+		"reserve_ok,reserve_nok,conflict_rate,reg_ms,stale_ms,memb_bytes\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%d\n",
+			p.Strategy, p.Hosts, p.Cores, p.Sites, p.N, p.R, p.SN, p.Seconds,
+			p.HostsUsed, p.SitesUsed, p.ReserveOK, p.ReserveNOK, p.ConflictRate,
+			p.RegMS, p.StaleMS, p.MembBytes)
+	}
+	return b.String()
+}
+
 // RenderScalePoints prints a scale sweep as a table grouped by world
 // size.
 func RenderScalePoints(title string, pts []ScalePoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%6s %-12s %10s %10s %10s %11s %10s\n",
-		"hosts", "strategy", "n", "time(s)", "hosts-used", "sites-used", "conflicts")
+	fmt.Fprintf(&b, "%6s %3s %-12s %10s %10s %10s %11s %10s %8s %9s %10s\n",
+		"hosts", "sn", "strategy", "n", "time(s)", "hosts-used", "sites-used",
+		"conflicts", "reg(ms)", "stale(ms)", "memb(KB)")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%6d %-12s %10d %10.3f %10d %11d %9.1f%%\n",
-			p.Hosts, p.Strategy, p.N, p.Seconds, p.HostsUsed, p.SitesUsed,
-			100*p.ConflictRate)
+		fmt.Fprintf(&b, "%6d %3d %-12s %10d %10.3f %10d %11d %9.1f%% %8.2f %9.2f %10.1f\n",
+			p.Hosts, p.SN, p.Strategy, p.N, p.Seconds, p.HostsUsed, p.SitesUsed,
+			100*p.ConflictRate, p.RegMS, p.StaleMS, float64(p.MembBytes)/1024)
 	}
 	return b.String()
 }

@@ -60,6 +60,19 @@ type Options struct {
 	// — only the submitter's view feeds the experiments. The frontal's
 	// refresh period is never touched.
 	PeerRefreshInterval time.Duration
+	// Supernodes is the membership-federation width K. 0 defers to the
+	// topology spec's sn value (itself defaulting to 1). K = 1 deploys
+	// the paper's single supernode on the frontal host — the historical
+	// world, bit-for-bit. K > 1 shards the membership across K
+	// supernodes on dedicated hosts placed round-robin over the sites
+	// (site-aware: a whole-site outage cannot take the whole tier down),
+	// gossiping digests so each can answer with a near-complete merged
+	// view; peers register with their rendezvous-hash home shard and
+	// fail over across shards.
+	Supernodes int
+	// GossipInterval overrides the federation's digest-exchange period
+	// (default 250ms; only meaningful when Supernodes > 1).
+	GossipInterval time.Duration
 }
 
 // DefaultOptions returns the harness configuration used for the paper's
@@ -73,22 +86,34 @@ func DefaultOptions(seed int64) Options {
 	}
 }
 
-// World is one booted deployment: one compute peer per grid host, one
-// supernode, one submitter frontend, all under a virtual clock.
+// World is one booted deployment: one compute peer per grid host, a
+// supernode tier (one member, or a K-shard federation), one submitter
+// frontend, all under a virtual clock.
 type World struct {
 	S       *vtime.Scheduler
 	Net     *simnet.Net
 	Grid    *grid.Grid
-	SN      *overlay.Supernode
+	SN      *overlay.Supernode // SNs[0], kept for single-supernode callers
+	SNs     []*overlay.Supernode
 	Frontal *mpd.MPD
 	Peers   []*mpd.MPD
 	// FrontalID and SNAddr locate the submitter frontend and supernode
 	// inside this world ("frontal.<origin>" / "frontal.<origin>:8800";
 	// equal to the FrontalHost/SupernodeAddr constants on Grid5000).
+	// SNAddrs lists the whole federation in shard order (len 1 when
+	// Supernodes <= 1).
 	FrontalID string
 	SNAddr    string
-	opts      Options
+	SNAddrs   []string
+	// snHosts names the dedicated supernode hosts of a federation (empty
+	// when the single supernode rides on the frontal) with their sites —
+	// churn injects failures on them too.
+	snHosts []snHost
+	opts    Options
 }
+
+// snHost pins one dedicated supernode host to its site.
+type snHost struct{ id, site string }
 
 // Programs returns the registry every peer runs: the paper's hostname
 // experiment, the Class-B NAS pattern programs, and spin (a
@@ -107,6 +132,13 @@ func Programs(cost nas.CostModel) map[string]mpd.Program {
 func NewWorld(opts Options) *World {
 	s := vtime.New()
 	g := opts.Topology.Build()
+	k := opts.Supernodes
+	if k <= 0 {
+		k = opts.Topology.Defaulted().Supernodes
+	}
+	if k < 1 {
+		k = 1
+	}
 	frontalID := "frontal." + g.Origin
 	snAddr := frontalID + ":8800"
 	topo := simnet.NewGridTopology(g)
@@ -114,19 +146,64 @@ func NewWorld(opts Options) *World {
 	net := simnet.New(s, topo, simnet.DefaultConfig(opts.Seed))
 
 	w := &World{S: s, Net: net, Grid: g, FrontalID: frontalID, SNAddr: snAddr, opts: opts}
-	w.SN = overlay.NewSupernode(s, net.Node(frontalID), overlay.SupernodeConfig{
-		Addr:             snAddr,
-		TTL:              10 * time.Minute,
-		MaxPeersReturned: opts.MaxPeersReturned,
-		Seed:             opts.Seed,
-	})
+	if k == 1 {
+		// The historical world: one supernode co-located with the
+		// frontal. Every pre-federation experiment replays bit-for-bit.
+		w.SNAddrs = []string{snAddr}
+		w.SNs = []*overlay.Supernode{overlay.NewSupernode(s, net.Node(frontalID), overlay.SupernodeConfig{
+			Addr:             snAddr,
+			TTL:              10 * time.Minute,
+			MaxPeersReturned: opts.MaxPeersReturned,
+			Seed:             opts.Seed,
+		})}
+	} else {
+		// A K-shard federation on dedicated hosts, spread round-robin
+		// over the sites (site-aware: one switch or power domain cannot
+		// take the whole membership tier down). Dedicated hosts keep the
+		// tier's traffic off the frontal's and the compute peers' NICs,
+		// which is what lets a federated world reproduce a standalone
+		// world's data-plane timeline exactly.
+		w.SNAddrs = make([]string, k)
+		for i := 0; i < k; i++ {
+			site := g.SiteOrder[i%len(g.SiteOrder)]
+			id := fmt.Sprintf("snfed%02d.%s", i+1, site)
+			w.snHosts = append(w.snHosts, snHost{id: id, site: site})
+			w.SNAddrs[i] = id + ":8800"
+			topo.AddHost(id, site)
+		}
+		w.SNAddr = w.SNAddrs[0]
+		for i := 0; i < k; i++ {
+			w.SNs = append(w.SNs, overlay.NewSupernode(s, net.Node(w.snHosts[i].id), overlay.SupernodeConfig{
+				Addr:             w.SNAddrs[i],
+				TTL:              10 * time.Minute,
+				MaxPeersReturned: opts.MaxPeersReturned,
+				Seed:             opts.Seed + int64(i)*1013,
+				Shard:            i,
+				Federation:       w.SNAddrs,
+				GossipInterval:   opts.GossipInterval,
+			}))
+		}
+	}
+	w.SN = w.SNs[0]
 
-	// On synthetic (usually much larger) worlds the peers skip their
+	// On synthetic (usually much larger) worlds the daemons skip their
 	// boot-time ping round: all-pairs probing is quadratic in world size
-	// and only the submitter's latency view feeds the experiments. The
-	// Grid5000 path keeps the historical behaviour so published figures
-	// replay byte-for-byte.
-	peerBootPing := !opts.Topology.IsSynthetic()
+	// and only the submitter's latency view feeds the experiments — and
+	// the submitter's warm-up (Boot) explicitly waits out one full
+	// periodic probe round, so its boot round is redundant too. Skipping
+	// the frontal's boot round also keeps its probe flows a pure
+	// function of the warmed cache rather than of which peers happened
+	// to beat it to its supernode shard, which is what makes K=1 and
+	// K>1 worlds probe identically. The Grid5000 path keeps the
+	// historical behaviour so published figures replay byte-for-byte.
+	bootPing := !opts.Topology.IsSynthetic()
+
+	// In a federation every daemon learns the whole shard-ordered
+	// address list and computes its own home shard.
+	var federation []string
+	if k > 1 {
+		federation = w.SNAddrs
+	}
 
 	programs := Programs(opts.Cost)
 	w.Frontal = mpd.New(s, net.Node(frontalID), mpd.Config{
@@ -134,12 +211,14 @@ func NewWorld(opts Options) *World {
 			ID: frontalID, Site: g.Origin,
 			MPDAddr: frontalID + ":9000", RSAddr: frontalID + ":9001",
 		},
-		SupernodeAddr:   snAddr,
+		SupernodeAddr:   w.SNAddr,
+		Federation:      federation,
 		P:               0, // the frontend submits, it does not compute
 		Programs:        programs,
 		PingInterval:    opts.FrontalPingInterval,
 		Estimator:       opts.Estimator,
 		EstimatorWindow: opts.EstimatorWindow,
+		NoBootPing:      !bootPing,
 		Seed:            opts.Seed,
 	})
 
@@ -150,7 +229,8 @@ func NewWorld(opts Options) *World {
 				ID: h.ID, Site: h.Site,
 				MPDAddr: h.ID + ":9000", RSAddr: h.ID + ":9001",
 			},
-			SupernodeAddr: snAddr,
+			SupernodeAddr: w.SNAddr,
+			Federation:    federation,
 			// The experiments set P to the number of cores of the host
 			// (§5: "their P parameter is set to the number of cores").
 			P: h.Cores,
@@ -163,7 +243,7 @@ func NewWorld(opts Options) *World {
 			Programs:        programs,
 			PingInterval:    opts.PeerPingInterval,
 			RefreshInterval: opts.PeerRefreshInterval,
-			NoBootPing:      !peerBootPing,
+			NoBootPing:      !bootPing,
 			Seed:            opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
 		}))
 	}
@@ -175,9 +255,11 @@ func NewWorld(opts Options) *World {
 func (w *World) Boot() error {
 	var bootErr error
 	w.S.Go("exp.boot", func() {
-		if err := w.SN.Start(); err != nil {
-			bootErr = err
-			return
+		for _, sn := range w.SNs {
+			if err := sn.Start(); err != nil {
+				bootErr = err
+				return
+			}
 		}
 		if err := w.Frontal.Start(); err != nil {
 			bootErr = err
@@ -231,16 +313,28 @@ func (w *World) Boot() error {
 // injection and read the injected totals.
 func (w *World) StartChurn(cfg churn.Config) *churn.Driver {
 	byID := make(map[string]*mpd.MPD, len(w.Peers))
-	hosts := make([]string, 0, len(w.Grid.Hosts))
+	hosts := make([]string, 0, len(w.Grid.Hosts)+len(w.snHosts))
 	for i, h := range w.Grid.Hosts {
 		hosts = append(hosts, h.ID)
 		byID[h.ID] = w.Peers[i]
+	}
+	// A federation's dedicated supernode hosts churn too: killing a
+	// shard forces its peers through the cross-shard failover path and
+	// the revival through anti-entropy healing. (The single supernode of
+	// a K=1 world rides on the exempt frontal, the paper's surviving
+	// observer.) Each host's renewal trace is independently seeded, so
+	// adding the supernode hosts does not move any compute host's
+	// failure timeline.
+	snSites := make(map[string]string, len(w.snHosts))
+	for _, sh := range w.snHosts {
+		hosts = append(hosts, sh.id)
+		snSites[sh.id] = sh.site
 	}
 	siteOf := func(id string) string {
 		if h := w.Grid.HostByID(id); h != nil {
 			return h.Site
 		}
-		return ""
+		return snSites[id]
 	}
 	tr := churn.Trace(hosts, siteOf, cfg)
 	d := churn.NewDriver(w.S, tr, churn.Hooks{
@@ -264,12 +358,51 @@ func (w *World) StartChurn(cfg churn.Config) *churn.Driver {
 
 // Close shuts every daemon down and stops the scheduler.
 func (w *World) Close() {
-	w.SN.Close()
+	for _, sn := range w.SNs {
+		sn.Close()
+	}
 	w.Frontal.Close()
 	for _, p := range w.Peers {
 		p.Close()
 	}
 	w.S.Shutdown()
+}
+
+// FederationStats sums the supernode tier's membership-plane counters
+// over every member.
+func (w *World) FederationStats() overlay.SupernodeStats {
+	var out overlay.SupernodeStats
+	for _, sn := range w.SNs {
+		s := sn.Stats()
+		out.BytesIn += s.BytesIn
+		out.BytesOut += s.BytesOut
+		out.GossipExchanges += s.GossipExchanges
+		out.GossipBytesIn += s.GossipBytesIn
+		out.GossipBytesOut += s.GossipBytesOut
+		out.Fostered += s.Fostered
+		out.Redirects += s.Redirects
+		out.StaleSamples += s.StaleSamples
+		out.StaleSumNS += s.StaleSumNS
+		if s.StaleMaxNS > out.StaleMaxNS {
+			out.StaleMaxNS = s.StaleMaxNS
+		}
+	}
+	return out
+}
+
+// MeanRegistrationLatency averages the successful supernode
+// registration round trips over every compute peer.
+func (w *World) MeanRegistrationLatency() time.Duration {
+	var sum, n int64
+	for _, p := range w.Peers {
+		st := p.Stats()
+		sum += st.RegNanos
+		n += st.Registrations
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(sum / n)
 }
 
 // ErrPumpExhausted is returned when a submission exceeds the pump budget.

@@ -41,6 +41,13 @@ type TopologySpec struct {
 	// Table 1 values).
 	CoreGFLOPS   float64
 	HostMemBWGBs float64
+	// Supernodes is the membership-federation width K deployed on this
+	// topology (default 1, the paper's single supernode; K > 1 shards
+	// the host list across K gossiping supernodes placed round-robin
+	// over the sites). It does not change the generated grid itself —
+	// supernodes ride on extra non-compute hosts — but travels with the
+	// spec so a "-grid synth:...,sn=4" world is self-describing.
+	Supernodes int
 }
 
 // IsSynthetic reports whether the spec builds a generated grid.
@@ -88,6 +95,9 @@ func (s *TopologySpec) fillDefaults() {
 	}
 	if s.HostMemBWGBs <= 0 {
 		s.HostMemBWGBs = 6.0
+	}
+	if s.Supernodes <= 0 {
+		s.Supernodes = 1
 	}
 }
 
@@ -139,6 +149,9 @@ func (s TopologySpec) String() string {
 	}
 	if s.HostMemBWGBs != def.HostMemBWGBs {
 		out += fmt.Sprintf(",membw=%g", s.HostMemBWGBs)
+	}
+	if s.Supernodes != def.Supernodes {
+		out += fmt.Sprintf(",sn=%d", s.Supernodes)
 	}
 	return out
 }
@@ -214,8 +227,8 @@ func Synthetic(spec TopologySpec) *Grid {
 //
 // Keys (case-insensitive): S/sites, H/hosts (hosts per site), C/cores
 // (cores per host), seed, rttmin, rttmax, local (intra-site RTT), bw
-// (bits per second), gflops, membw. Omitted keys take the TopologySpec
-// defaults.
+// (bits per second), gflops, membw, sn/supernodes (membership
+// federation width). Omitted keys take the TopologySpec defaults.
 func ParseTopologySpec(s string) (TopologySpec, error) {
 	s = strings.TrimSpace(s)
 	switch s {
@@ -263,6 +276,8 @@ func ParseTopologySpec(s string) (TopologySpec, error) {
 			spec.CoreGFLOPS, err = strconv.ParseFloat(strings.TrimSpace(val), 64)
 		case "membw":
 			spec.HostMemBWGBs, err = strconv.ParseFloat(strings.TrimSpace(val), 64)
+		case "sn", "supernodes":
+			spec.Supernodes, err = parsePositiveInt(val)
 		default:
 			return TopologySpec{}, fmt.Errorf("grid: unknown topology key %q", key)
 		}

@@ -1,0 +1,165 @@
+package mpd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/overlay"
+	"p2pmpi/internal/proto"
+	"p2pmpi/internal/simnet"
+	"p2pmpi/internal/vtime"
+)
+
+// TestSupernodeDeathMidRegistrationFailsOverOnce: a peer starts
+// registering while churn kills its home shard's supernode — the
+// register frame is already in flight when the host dies. The peer must
+// fail over to the surviving shard exactly once: one forced (foster)
+// registration, one entry in the survivor's owned table, one entry in
+// every merged host-list answer and in the submitter's ranked view. Run
+// under -race in CI, this also exercises the registration/failover path
+// for data races against the concurrently gossiping supernodes.
+func TestSupernodeDeathMidRegistrationFailsOverOnce(t *testing.T) {
+	s := vtime.New()
+	t.Cleanup(s.Shutdown)
+	hostSite := map[string]string{
+		"fsn0": "east", "fsn1": "west", "frontal": "east", "obs": "east",
+	}
+	// The victim peer: any ID works, its rendezvous home just decides
+	// which supernode dies.
+	const victim = "px.east"
+	hostSite[victim] = "east"
+	net := simnet.New(s, &simnet.StaticTopology{HostSite: hostSite, DefLat: 2 * time.Millisecond},
+		simnet.Config{Seed: 17, NICBps: 1e9})
+
+	federation := []string{"fsn0:8800", "fsn1:8800"}
+	sns := make([]*overlay.Supernode, 2)
+	for i := range sns {
+		sns[i] = overlay.NewSupernode(s, net.Node(fmt.Sprintf("fsn%d", i)), overlay.SupernodeConfig{
+			Addr: federation[i], Shard: i, Federation: federation,
+			GossipInterval: 100 * time.Millisecond,
+			TTL:            45 * time.Second, SweepInterval: 5 * time.Second,
+		})
+	}
+	home := overlay.ShardAssign(victim, 2)
+	survivor := 1 - home
+
+	mk := func(id string, p int) *MPD {
+		return New(s, net.Node(id), Config{
+			Self: proto.PeerInfo{ID: id, Site: hostSite[id],
+				MPDAddr: id + ":9000", RSAddr: id + ":9001"},
+			Federation:      federation,
+			P:               p,
+			Programs:        programs(),
+			PingInterval:    5 * time.Second,
+			RefreshInterval: 5 * time.Second,
+			ReserveTimeout:  time.Second,
+			Seed:            int64(len(id)),
+		})
+	}
+	front := mk("frontal", 0)
+	obs := mk("obs", 2)
+	px := mk(victim, 2)
+
+	s.Go("main", func() {
+		defer func() {
+			for _, sn := range sns {
+				sn.Close()
+			}
+			front.Close()
+			obs.Close()
+			px.Close()
+		}()
+		for _, sn := range sns {
+			if err := sn.Start(); err != nil {
+				t.Errorf("supernode start: %v", err)
+				return
+			}
+		}
+		if err := front.Start(); err != nil {
+			t.Errorf("frontal start: %v", err)
+			return
+		}
+		if err := obs.Start(); err != nil {
+			t.Errorf("obs start: %v", err)
+			return
+		}
+		if err := px.Start(); err != nil {
+			t.Errorf("px start: %v", err)
+			return
+		}
+		// The register frame needs ~2ms to reach the home supernode;
+		// kill the host while it is in flight.
+		s.Sleep(500 * time.Microsecond)
+		net.FailHost(fmt.Sprintf("fsn%d", home))
+		// Timeout (1s) + forced fallback + a couple of refresh/gossip
+		// rounds.
+		s.Sleep(15 * time.Second)
+
+		if got := px.Stats().SNFailovers; got != 1 {
+			t.Errorf("px recorded %d shard failovers, want exactly 1", got)
+		}
+		owned := 0
+		for _, id := range sns[survivor].OwnedIDs() {
+			if id == victim {
+				owned++
+			}
+		}
+		if owned != 1 {
+			t.Errorf("survivor shard owns the victim %d times, want 1", owned)
+		}
+		inMerged := 0
+		for _, p := range sns[survivor].Snapshot() {
+			if p.ID == victim {
+				inMerged++
+			}
+		}
+		if inMerged != 1 {
+			t.Errorf("survivor merged view lists the victim %d times, want 1", inMerged)
+		}
+		seen := 0
+		for _, rp := range front.Cache().Ranked() {
+			if rp.Info.ID == victim {
+				seen++
+			}
+		}
+		if seen != 1 {
+			t.Errorf("submitter ranked view lists the victim %d times, want 1", seen)
+		}
+
+		// Revive the home shard: the peer's next full re-registration
+		// (every 5th 30s alive tick) drifts it home, the foster entry
+		// expires by TTL, and the merged views still hold exactly one
+		// entry throughout.
+		net.RestoreHost(fmt.Sprintf("fsn%d", home))
+		s.Sleep(4 * time.Minute)
+		if got := countOwned(sns[home], victim); got != 1 {
+			t.Errorf("home shard owns the victim %d times after revival, want 1", got)
+		}
+		if got := countOwned(sns[survivor], victim); got != 0 {
+			t.Errorf("survivor still owns the victim %d times after revival", got)
+		}
+		for i, sn := range sns {
+			inMerged := 0
+			for _, p := range sn.Snapshot() {
+				if p.ID == victim {
+					inMerged++
+				}
+			}
+			if inMerged != 1 {
+				t.Errorf("healed shard %d merged view lists the victim %d times, want 1", i, inMerged)
+			}
+		}
+	})
+	s.Wait()
+}
+
+func countOwned(sn *overlay.Supernode, id string) int {
+	n := 0
+	for _, o := range sn.OwnedIDs() {
+		if o == id {
+			n++
+		}
+	}
+	return n
+}

@@ -105,6 +105,14 @@ type Config struct {
 	// SupernodeFallbacks and are tried in order when the primary fails.
 	SupernodeAddr      string
 	SupernodeFallbacks []string
+	// Federation lists every supernode of a federated membership tier in
+	// shard order. When set (len > 1) it supersedes SupernodeAddr and
+	// SupernodeFallbacks: the daemon computes its home shard with
+	// overlay.ShardAssign(Self.ID, K), registers there first, and fails
+	// over across the remaining shards in a deterministic home-anchored
+	// rotation — a foreign shard fosters the peer (Forced register) until
+	// the home member answers again.
+	Federation []string
 	// P and J are the owner preferences (§4.1); Deny lists refused
 	// submitters.
 	P, J int
@@ -198,6 +206,15 @@ type Stats struct {
 	PingsAnswered int64
 	JobsHosted    int64
 	JobsSubmitted int64
+	// Registrations counts successful supernode registrations and
+	// RegNanos their summed exchange round-trip time (the federation
+	// scale sweeps report the mean).
+	Registrations int64
+	RegNanos      int64
+	// SNFailovers counts registrations that landed on a non-home shard
+	// (fostered); SNRedirects counts ShardRedirect answers followed.
+	SNFailovers int64
+	SNRedirects int64
 }
 
 // localJob is one hosted application on this peer.
@@ -374,8 +391,20 @@ func (m *MPD) refreshLoop() {
 	}
 }
 
-// supernodes lists the configured supernode addresses, primary first.
+// supernodes lists the supernode addresses to try, primary (or home
+// shard) first. In a federation the order is the home-anchored rotation
+// Federation[home], Federation[home+1], ... — deterministic per peer,
+// so a failed-over peer always fosters at the same member and ranked
+// views stay replayable.
 func (m *MPD) supernodes() []string {
+	if k := len(m.cfg.Federation); k > 1 {
+		home := overlay.ShardAssign(m.cfg.Self.ID, k)
+		out := make([]string, 0, k)
+		for i := 0; i < k; i++ {
+			out = append(out, m.cfg.Federation[(home+i)%k])
+		}
+		return out
+	}
 	return append([]string{m.cfg.SupernodeAddr}, m.cfg.SupernodeFallbacks...)
 }
 
@@ -407,13 +436,41 @@ func (m *MPD) mergeReply(reply transport.Message) error {
 // registerAndUpdate registers with the first supernode that delivers a
 // decodable host list and merges it into the cache. A supernode that
 // answers with garbage counts as failed: the loop falls through to the
-// configured fallbacks, like the transport-level failures do.
+// configured fallbacks (the federation's home-anchored rotation), like
+// the transport-level failures do. In a federation the first attempt is
+// the peer's home shard; later attempts are forced (foster) ones. A
+// ShardRedirect answer — the home shard moved, e.g. the peer computed
+// it against a stale federation size — is followed once.
 func (m *MPD) registerAndUpdate() error {
 	var lastErr error
-	for _, sn := range m.supernodes() {
-		reply, err := overlay.RegisterRaw(m.net, sn, m.cfg.Self, m.cfg.ReserveTimeout)
+	federated := len(m.cfg.Federation) > 1
+	for i, sn := range m.supernodes() {
+		forced := federated && i > 0
+		t0 := m.rt.Now()
+		reply, err := overlay.RegisterRaw(m.net, sn, m.cfg.Self, forced, m.cfg.ReserveTimeout)
+		if err == nil && proto.Peek(reply.Payload) == proto.TShardRedirect {
+			var rd proto.ShardRedirect
+			decErr := proto.DecodeInto(reply.Payload, &rd)
+			reply.Release()
+			if decErr == nil && rd.Addr != "" && rd.Addr != sn {
+				m.mu.Lock()
+				m.stats.SNRedirects++
+				m.mu.Unlock()
+				reply, err = overlay.RegisterRaw(m.net, rd.Addr, m.cfg.Self, false, m.cfg.ReserveTimeout)
+			} else {
+				err = fmt.Errorf("mpd: unusable shard redirect from %s", sn)
+			}
+		}
 		if err == nil {
+			rtt := m.rt.Now().Sub(t0)
 			if err = m.mergeReply(reply); err == nil {
+				m.mu.Lock()
+				m.stats.Registrations++
+				m.stats.RegNanos += int64(rtt)
+				if forced {
+					m.stats.SNFailovers++
+				}
+				m.mu.Unlock()
 				return nil
 			}
 		}
@@ -440,12 +497,21 @@ func (m *MPD) fetchAndUpdate() error {
 
 // aliveAny refreshes the last-seen stamp at the first answering
 // supernode; on failure it falls through the configured list so the
-// peer stays listed somewhere while the primary is down.
+// peer stays listed somewhere while the primary is down. An answering
+// supernode that does not actually list the peer (its entry expired, or
+// it was fostered elsewhere and the home shard just revived) triggers
+// an immediate re-registration instead of refreshing a ghost until the
+// next full re-register tick.
 func (m *MPD) aliveAny() {
 	for _, sn := range m.supernodes() {
-		if overlay.SendAlive(m.net, sn, m.cfg.Self.ID, m.cfg.ReserveTimeout) == nil {
-			return
+		known, err := overlay.SendAlive(m.net, sn, m.cfg.Self.ID, m.cfg.ReserveTimeout)
+		if err != nil {
+			continue
 		}
+		if !known {
+			m.registerAndUpdate()
+		}
+		return
 	}
 }
 

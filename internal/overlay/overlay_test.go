@@ -67,8 +67,11 @@ func TestAliveKeepsPeerListed(t *testing.T) {
 		// p1 stays alive, p2 goes silent.
 		for i := 0; i < 10; i++ {
 			s.Sleep(4 * time.Second)
-			if err := SendAlive(n.Node("p1"), "sn:8800", "p1", time.Second); err != nil {
+			known, err := SendAlive(n.Node("p1"), "sn:8800", "p1", time.Second)
+			if err != nil {
 				t.Errorf("alive: %v", err)
+			} else if !known {
+				t.Errorf("alive: supernode forgot p1")
 			}
 		}
 		list, err := FetchFrom(n.Node("p3"), "sn:8800", time.Second)

@@ -1,0 +1,97 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardHosts generates n synthetic host IDs shaped like the grids'
+// ("c04-17.s04" style): realistic key structure for the hash.
+func shardHosts(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("c%02d-%d.s%02d", i%16+1, i/16+1, i%16+1))
+	}
+	return out
+}
+
+// TestShardAssignDeterministic: the assignment is a pure function of
+// (hostID, K) — repeated calls and permuted evaluation order agree.
+func TestShardAssignDeterministic(t *testing.T) {
+	hosts := shardHosts(1000)
+	for _, k := range []int{1, 2, 4, 16} {
+		first := make(map[string]int, len(hosts))
+		for _, h := range hosts {
+			first[h] = ShardAssign(h, k)
+		}
+		for i := len(hosts) - 1; i >= 0; i-- {
+			h := hosts[i]
+			if got := ShardAssign(h, k); got != first[h] {
+				t.Fatalf("K=%d: ShardAssign(%q) flapped %d -> %d", k, h, first[h], got)
+			}
+		}
+	}
+}
+
+// TestShardAssignRange: results stay in [0, K), and K <= 1 pins to 0.
+func TestShardAssignRange(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 16} {
+		for _, h := range shardHosts(200) {
+			got := ShardAssign(h, k)
+			if got < 0 || got >= k || (k <= 1 && got != 0) {
+				t.Fatalf("ShardAssign(%q, %d) = %d out of range", h, k, got)
+			}
+		}
+	}
+}
+
+// TestShardAssignBalance: at 10k hosts every shard's population stays
+// within ±20% of the ideal N/K, for every federation width the sweeps
+// use. Rendezvous scores are i.i.d. per shard, so this is a tight bound
+// the hash must actually earn.
+func TestShardAssignBalance(t *testing.T) {
+	hosts := shardHosts(10000)
+	for _, k := range []int{2, 4, 8, 16} {
+		counts := make([]int, k)
+		for _, h := range hosts {
+			counts[ShardAssign(h, k)]++
+		}
+		ideal := float64(len(hosts)) / float64(k)
+		for s, c := range counts {
+			if dev := float64(c)/ideal - 1; dev > 0.2 || dev < -0.2 {
+				t.Errorf("K=%d shard %d holds %d hosts (ideal %.0f, deviation %+.1f%%)",
+					k, s, c, ideal, 100*dev)
+			}
+		}
+	}
+}
+
+// TestShardAssignMinimalReshuffle: growing the federation K -> K+1
+// moves only hosts whose new home is the added shard — nobody shuffles
+// between pre-existing shards — and the moved fraction stays near the
+// rendezvous ideal 1/(K+1) (within 2x).
+func TestShardAssignMinimalReshuffle(t *testing.T) {
+	hosts := shardHosts(10000)
+	for _, k := range []int{1, 3, 4, 15} {
+		moved := 0
+		for _, h := range hosts {
+			before, after := ShardAssign(h, k), ShardAssign(h, k+1)
+			if before == after {
+				continue
+			}
+			if after != k {
+				t.Fatalf("K=%d->%d: host %q moved %d -> %d, not to the new shard",
+					k, k+1, h, before, after)
+			}
+			moved++
+		}
+		frac, ideal := float64(moved)/float64(len(hosts)), 1/float64(k+1)
+		if frac > 2*ideal {
+			t.Errorf("K=%d->%d moved %.1f%% of hosts (ideal %.1f%%)",
+				k, k+1, 100*frac, 100*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("K=%d->%d moved nobody; the added shard would start empty", k, k+1)
+		}
+	}
+}

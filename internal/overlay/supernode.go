@@ -6,6 +6,16 @@
 // last-seen timestamp refreshed by periodic alive signals. Entries that
 // miss alive signals for a TTL are swept out, which is how dead peers
 // eventually disappear from the overlay.
+//
+// Beyond the paper, supernodes federate: K supernodes each own a shard
+// of the membership space (rendezvous hashing on the host ID, see
+// ShardAssign) and exchange versioned digests on a gossip cadence so
+// that any one member can answer a host-list query with a near-complete
+// merged view. A peer registers with its home shard and fails over to a
+// foreign shard (a forced "foster" registration) when the home member
+// is unreachable; anti-entropy on digest mismatch ships whole shard
+// snapshots, so a member that was partitioned or rebooted converges
+// back to the federation view within a few gossip rounds.
 package overlay
 
 import (
@@ -49,9 +59,76 @@ type SupernodeConfig struct {
 	// Seed drives the bounded-reply window draws (used only when
 	// MaxPeersReturned > 0).
 	Seed int64
+
+	// Shard is this member's index in the federation (0 ≤ Shard < K).
+	Shard int
+	// Federation lists every member's listen address in shard order.
+	// Empty or single-entry runs the historical standalone mode: no
+	// gossip, no redirects, every registration accepted.
+	Federation []string
+	// GossipInterval is the digest-exchange period between federation
+	// members (default 250ms of simulated/real time). Each tick the
+	// member pulls from the next peer in a deterministic rotation;
+	// because replies forward every shard the replier knows (not just
+	// its own), the federation view spreads transitively and a K-member
+	// federation converges in O(log K) rounds.
+	GossipInterval time.Duration
 }
 
-// Supernode is the bootstrap/membership daemon.
+// federated reports whether the config describes a multi-member tier.
+func (c *SupernodeConfig) federated() bool { return len(c.Federation) > 1 }
+
+// SupernodeStats counts membership-plane work for experiments and tests.
+type SupernodeStats struct {
+	// BytesIn / BytesOut cover every served exchange (register, alive,
+	// fetch and gossip), request and reply frame payloads.
+	BytesIn, BytesOut int64
+	// GossipExchanges counts completed digest round trips this member
+	// initiated; GossipBytesIn/Out their frame payload totals from the
+	// initiator's side. The replying member charges the same frames to
+	// its own BytesIn/BytesOut (it serves the exchange), so summing
+	// BytesIn+BytesOut across the federation counts every frame exactly
+	// once.
+	GossipExchanges               int64
+	GossipBytesIn, GossipBytesOut int64
+	// Fostered counts forced registrations accepted for hosts whose
+	// home is another shard; Redirects counts unforced registrations
+	// bounced toward their home shard.
+	Fostered, Redirects int64
+	// StaleSamples/StaleSumNS/StaleMaxNS measure gossip propagation lag:
+	// each applied snapshot contributes (apply time − version creation
+	// stamp). This is the measured bound on how stale a merged host-list
+	// answer can be about another shard's membership.
+	StaleSamples           int64
+	StaleSumNS, StaleMaxNS int64
+}
+
+// MeanStaleness returns the average snapshot propagation lag.
+func (s SupernodeStats) MeanStaleness() time.Duration {
+	if s.StaleSamples == 0 {
+		return 0
+	}
+	return time.Duration(s.StaleSumNS / s.StaleSamples)
+}
+
+// remoteShard is this member's snapshot of another member's owned set.
+type remoteShard struct {
+	version   uint64
+	stamp     int64 // owner's version-creation instant (unix nanos)
+	peers     []proto.PeerInfo
+	seen      []int64
+	appliedAt time.Time // when this snapshot landed here (liveness anchor)
+}
+
+// entryMeta attributes one merged-view entry to the shard snapshot it
+// came from, with its last-seen stamp for failover tie-breaking.
+type entryMeta struct {
+	shard int
+	seen  int64
+}
+
+// Supernode is the bootstrap/membership daemon — standalone, or one
+// member of a federated tier.
 type Supernode struct {
 	rt  vtime.Runtime
 	net transport.Network
@@ -63,13 +140,32 @@ type Supernode struct {
 	closed bool
 	// rng draws the bounded-reply window starts (MaxPeersReturned > 0).
 	rng *rand.Rand
-	// listCache is the ID-sorted table, maintained incrementally: a new
-	// peer is spliced in at its sort position, a changed one replaced in
-	// place, an expired one removed. The boot storm of a multi-thousand-
-	// host world registers every peer once, and replies route through
-	// this list — re-sorting it per reply (or even per membership
-	// change) used to dominate world boot.
+	// listCache is the ID-sorted owned table, maintained incrementally: a
+	// new peer is spliced in at its sort position, a changed one replaced
+	// in place, an expired one removed. The boot storm of a multi-
+	// thousand-host world registers every peer once, and standalone
+	// replies route through this list — re-sorting it per reply (or even
+	// per membership change) used to dominate world boot.
 	listCache []proto.PeerInfo
+
+	// Federation state. ownVersion/ownStamp version the owned set (bumped
+	// on add/remove/info-change, NOT on bare keep-alives); remote holds
+	// the freshest snapshot gossip delivered for every other shard;
+	// merged is the ID-sorted union the replies are encoded from, with
+	// meta attributing each entry to its source shard. Standalone mode
+	// leaves all of this nil and serves straight from listCache.
+	ownVersion uint64
+	ownStamp   int64
+	remote     map[int]*remoteShard
+	merged     []proto.PeerInfo
+	meta       map[string]entryMeta
+	// memberSeen records the last direct evidence that a federation
+	// member is alive (it answered our digest, or it sent us one). A
+	// member silent past the TTL has its snapshot swept — otherwise a
+	// permanently dead shard's peers would be served in merged replies
+	// forever, breaking the package's TTL contract.
+	memberSeen map[int]time.Time
+	stats      SupernodeStats
 }
 
 type peerEntry struct {
@@ -85,14 +181,24 @@ func NewSupernode(rt vtime.Runtime, net transport.Network, cfg SupernodeConfig) 
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = cfg.TTL / 3
 	}
-	return &Supernode{
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 250 * time.Millisecond
+	}
+	s := &Supernode{
 		rt: rt, net: net, cfg: cfg,
 		peers: make(map[string]*peerEntry),
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 	}
+	if cfg.federated() {
+		s.remote = make(map[int]*remoteShard)
+		s.meta = make(map[string]entryMeta)
+		s.memberSeen = make(map[int]time.Time)
+	}
+	return s
 }
 
-// Start binds the listener and spawns the accept and sweep loops.
+// Start binds the listener and spawns the accept, sweep and (in a
+// federation) gossip loops.
 func (s *Supernode) Start() error {
 	ln, err := s.net.Listen(s.cfg.Addr)
 	if err != nil {
@@ -103,6 +209,9 @@ func (s *Supernode) Start() error {
 	s.mu.Unlock()
 	s.rt.Go("supernode.accept", s.acceptLoop)
 	s.rt.Go("supernode.sweep", s.sweepLoop)
+	if s.cfg.federated() {
+		s.rt.Go("supernode.gossip", s.gossipLoop)
+	}
 	return nil
 }
 
@@ -131,25 +240,79 @@ func (s *Supernode) Addr() string {
 	return s.ln.Addr()
 }
 
-// PeerCount returns the number of currently listed peers.
+// Shard returns this member's shard index (0 when standalone).
+func (s *Supernode) Shard() int { return s.cfg.Shard }
+
+// PeerCount returns the number of peers registered directly with this
+// member (its owned shard; the full table when standalone).
 func (s *Supernode) PeerCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.peers)
 }
 
-// Snapshot returns the current host list (for tests and tooling).
+// MergedCount returns the number of distinct peers in this member's
+// federation view (equal to PeerCount when standalone).
+func (s *Supernode) MergedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.replyListLocked())
+}
+
+// Stats returns a copy of the membership-plane counters.
+func (s *Supernode) Stats() SupernodeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// OwnedIDs returns the IDs registered directly with this member, sorted
+// (tests and tooling).
+func (s *Supernode) OwnedIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.listCache))
+	for i := range s.listCache {
+		out = append(out, s.listCache[i].ID)
+	}
+	return out
+}
+
+// Snapshot returns the current host list — the merged federation view —
+// for tests and tooling.
 func (s *Supernode) Snapshot() []proto.PeerInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]proto.PeerInfo(nil), s.listCache...)
+	return append([]proto.PeerInfo(nil), s.replyListLocked()...)
 }
 
-// findLocked locates id in the sorted table: the index where it is (or
+// replyListLocked is the table replies encode from: the merged view in
+// a federation, the owned table standalone.
+func (s *Supernode) replyListLocked() []proto.PeerInfo {
+	if s.cfg.federated() {
+		return s.merged
+	}
+	return s.listCache
+}
+
+// findSorted locates id in a sorted table: the index where it is (or
 // would be inserted) and whether it is present.
-func (s *Supernode) findLocked(id string) (int, bool) {
-	i := sort.Search(len(s.listCache), func(j int) bool { return s.listCache[j].ID >= id })
-	return i, i < len(s.listCache) && s.listCache[i].ID == id
+func findSorted(list []proto.PeerInfo, id string) (int, bool) {
+	i := sort.Search(len(list), func(j int) bool { return list[j].ID >= id })
+	return i, i < len(list) && list[i].ID == id
+}
+
+// spliceIn inserts p at its sort position (i from findSorted).
+func spliceIn(list []proto.PeerInfo, i int, p proto.PeerInfo) []proto.PeerInfo {
+	list = append(list, proto.PeerInfo{})
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	return list
+}
+
+// spliceOut removes index i.
+func spliceOut(list []proto.PeerInfo, i int) []proto.PeerInfo {
+	return append(list[:i], list[i+1:]...)
 }
 
 // appendPeerListReply encodes the host-list reply straight from the
@@ -162,7 +325,7 @@ func (s *Supernode) findLocked(id string) (int, bool) {
 func (s *Supernode) appendPeerListReply(dst []byte) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	list := s.listCache
+	list := s.replyListLocked()
 	start, count := 0, len(list)
 	if limit := s.cfg.MaxPeersReturned; limit > 0 && len(list) > limit {
 		start = s.rng.Intn(len(list))
@@ -187,9 +350,12 @@ func (s *Supernode) acceptLoop() {
 // request payloads are released back to the delivering transport once
 // decoded — steady-state, the membership plane allocates nothing per
 // exchange beyond what the table itself retains.
-// aliveAckFrame is the constant AliveAck reply; Send copies frames, so
-// one shared instance serves every keep-alive.
-var aliveAckFrame = proto.MustMarshal(&proto.AliveAck{})
+// aliveAck{Known,Unknown}Frame are the two constant AliveAck replies;
+// Send copies frames, so shared instances serve every keep-alive.
+var (
+	aliveAckKnownFrame   = proto.MustMarshal(&proto.AliveAck{Known: true})
+	aliveAckUnknownFrame = proto.MustMarshal(&proto.AliveAck{})
+)
 
 // replyScratchPool recycles host-list reply buffers. Every Register/
 // Fetch conn is one-shot (clients dial per exchange), so a per-
@@ -209,6 +375,7 @@ func (s *Supernode) serveConn(c transport.Conn) {
 		if err != nil {
 			return
 		}
+		reqLen := int64(len(m.Payload))
 		_, req, err := proto.Unmarshal(m.Payload)
 		m.Release()
 		if err != nil {
@@ -218,19 +385,45 @@ func (s *Supernode) serveConn(c transport.Conn) {
 		var scratch *[]byte
 		switch r := req.(type) {
 		case *proto.Register:
+			if s.cfg.federated() {
+				if home := ShardAssign(r.Peer.ID, len(s.cfg.Federation)); home != s.cfg.Shard {
+					if !r.Forced {
+						s.mu.Lock()
+						s.stats.Redirects++
+						s.mu.Unlock()
+						scratch = replyScratchPool.Get().(*[]byte)
+						frame, _ = proto.AppendMarshal((*scratch)[:0],
+							&proto.ShardRedirect{Shard: home, Addr: s.cfg.Federation[home]})
+						break
+					}
+					s.mu.Lock()
+					s.stats.Fostered++
+					s.mu.Unlock()
+				}
+			}
 			s.register(r.Peer)
 			scratch = replyScratchPool.Get().(*[]byte)
 			frame = s.appendPeerListReply((*scratch)[:0])
 		case *proto.Alive:
-			s.touch(r.ID)
-			frame = aliveAckFrame
+			if s.touch(r.ID) {
+				frame = aliveAckKnownFrame
+			} else {
+				frame = aliveAckUnknownFrame
+			}
 		case *proto.FetchPeers:
 			scratch = replyScratchPool.Get().(*[]byte)
 			frame = s.appendPeerListReply((*scratch)[:0])
+		case *proto.Digest:
+			scratch = replyScratchPool.Get().(*[]byte)
+			frame = s.appendDeltaReply((*scratch)[:0], r)
 		default:
 			return // protocol violation: drop the connection
 		}
 		err = c.Send(transport.Message{Payload: frame})
+		s.mu.Lock()
+		s.stats.BytesIn += reqLen
+		s.stats.BytesOut += int64(len(frame))
+		s.mu.Unlock()
 		if scratch != nil {
 			*scratch = frame[:0]
 			replyScratchPool.Put(scratch)
@@ -248,26 +441,89 @@ func (s *Supernode) register(p proto.PeerInfo) {
 	if e, ok := s.peers[p.ID]; ok {
 		if e.info != p {
 			e.info = p
-			if i, found := s.findLocked(p.ID); found {
+			if i, found := findSorted(s.listCache, p.ID); found {
 				s.listCache[i] = p
 			}
+			s.bumpVersionLocked(now)
+			if s.cfg.federated() {
+				s.mergedUpsertLocked(p, s.cfg.Shard, now.UnixNano())
+			}
+		} else if s.cfg.federated() {
+			// Info unchanged, but the stamp refresh matters: it is what
+			// lets a re-homed registration win the failover tie-break
+			// against a stale foster copy in another shard's snapshot.
+			s.mergedUpsertLocked(p, s.cfg.Shard, now.UnixNano())
 		}
 		e.lastSeen = now
 		return
 	}
 	s.peers[p.ID] = &peerEntry{info: p, lastSeen: now}
-	i, _ := s.findLocked(p.ID)
-	s.listCache = append(s.listCache, proto.PeerInfo{})
-	copy(s.listCache[i+1:], s.listCache[i:])
-	s.listCache[i] = p
+	i, _ := findSorted(s.listCache, p.ID)
+	s.listCache = spliceIn(s.listCache, i, p)
+	s.bumpVersionLocked(now)
+	if s.cfg.federated() {
+		s.mergedUpsertLocked(p, s.cfg.Shard, now.UnixNano())
+	}
 }
 
-func (s *Supernode) touch(id string) {
+// touch refreshes a peer's last-seen stamp, reporting whether the peer
+// is actually listed here.
+func (s *Supernode) touch(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.peers[id]; ok {
+	e, ok := s.peers[id]
+	if ok {
 		e.lastSeen = s.rt.Now()
+		if s.cfg.federated() {
+			if m, here := s.meta[id]; here && m.shard == s.cfg.Shard {
+				m.seen = e.lastSeen.UnixNano()
+				s.meta[id] = m
+			}
+		}
 	}
+	return ok
+}
+
+// bumpVersionLocked advances the owned-set version and stamps the
+// instant, the quantity gossip digests compare.
+func (s *Supernode) bumpVersionLocked(now time.Time) {
+	s.ownVersion++
+	s.ownStamp = now.UnixNano()
+}
+
+// mergedUpsertLocked inserts or refreshes one entry of the merged view,
+// attributed to the given shard. A fresher last-seen stamp wins a
+// conflict; ties go to the lower shard index so replays are exact.
+func (s *Supernode) mergedUpsertLocked(p proto.PeerInfo, shard int, seen int64) {
+	if m, ok := s.meta[p.ID]; ok {
+		if m.shard != shard && (m.seen > seen || (m.seen == seen && m.shard < shard)) {
+			return // the other shard's claim is fresher
+		}
+		if i, found := findSorted(s.merged, p.ID); found {
+			s.merged[i] = p
+		}
+		s.meta[p.ID] = entryMeta{shard: shard, seen: seen}
+		return
+	}
+	i, _ := findSorted(s.merged, p.ID)
+	s.merged = spliceIn(s.merged, i, p)
+	s.meta[p.ID] = entryMeta{shard: shard, seen: seen}
+}
+
+// mergedDropLocked removes an entry attributed to the given shard from
+// the merged view; if another shard's snapshot still lists the host,
+// the freshest surviving claim is reinstated so an owned expiry cannot
+// erase a peer the federation still believes in.
+func (s *Supernode) mergedDropLocked(id string, shard int) {
+	m, ok := s.meta[id]
+	if !ok || m.shard != shard {
+		return
+	}
+	if i, found := findSorted(s.merged, id); found {
+		s.merged = spliceOut(s.merged, i)
+	}
+	delete(s.meta, id)
+	s.reinstateLocked(id, shard)
 }
 
 func (s *Supernode) sweepLoop() {
@@ -278,16 +534,284 @@ func (s *Supernode) sweepLoop() {
 			s.mu.Unlock()
 			return
 		}
-		cutoff := s.rt.Now().Add(-s.cfg.TTL)
+		now := s.rt.Now()
+		cutoff := now.Add(-s.cfg.TTL)
 		for id, e := range s.peers {
 			if e.lastSeen.Before(cutoff) {
 				delete(s.peers, id)
-				if i, found := s.findLocked(id); found {
-					s.listCache = append(s.listCache[:i], s.listCache[i+1:]...)
+				if i, found := findSorted(s.listCache, id); found {
+					s.listCache = spliceOut(s.listCache, i)
+				}
+				s.bumpVersionLocked(now)
+				if s.cfg.federated() {
+					s.mergedDropLocked(id, s.cfg.Shard)
+				}
+			}
+		}
+		// A federation member silent past the TTL (no digest served, no
+		// digest answered — its snapshot's arrival anchors a member we
+		// only ever learned about transitively) gets its shard swept
+		// from the merged view: a permanently dead shard must not keep
+		// its expired peers listed forever. Peers that failed over are
+		// owned elsewhere by now and survive via reinstatement.
+		for k, r := range s.remote {
+			anchor := s.memberSeen[k]
+			if anchor.IsZero() || r.appliedAt.After(anchor) {
+				anchor = r.appliedAt
+			}
+			if anchor.Before(cutoff) {
+				delete(s.remote, k)
+				delete(s.memberSeen, k)
+				for _, p := range r.peers {
+					s.mergedDropLocked(p.ID, k)
 				}
 			}
 		}
 		s.mu.Unlock()
+	}
+}
+
+// --- Gossip: digest exchange and anti-entropy ---
+
+// gossipLoop pulls from the next federation member in a deterministic
+// rotation every GossipInterval. Pull replies carry every shard the
+// replier knows, so information spreads transitively (O(log K) rounds
+// to converge) even though each member contacts one peer per tick.
+func (s *Supernode) gossipLoop() {
+	k := len(s.cfg.Federation)
+	for tick := 0; ; tick++ {
+		s.rt.Sleep(s.cfg.GossipInterval)
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		s.gossipWith((s.cfg.Shard + 1 + tick%(k-1)) % k)
+	}
+}
+
+// gossipScratchPool recycles digest request frames (the version vector
+// is a fresh small slice per tick — one allocation every
+// GossipInterval, nowhere near a hot path).
+var gossipScratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// gossipWith runs one digest round trip against the member at the
+// given shard index and applies whatever snapshots come back.
+func (s *Supernode) gossipWith(shard int) {
+	addr := s.cfg.Federation[shard]
+	k := len(s.cfg.Federation)
+	versions := make([]uint64, k)
+	s.mu.Lock()
+	s.knownVersionsLocked(versions)
+	from := s.cfg.Shard
+	s.mu.Unlock()
+
+	scratch := gossipScratchPool.Get().(*[]byte)
+	frame, err := proto.AppendMarshal((*scratch)[:0], &proto.Digest{From: from, Versions: versions})
+	if err != nil {
+		return
+	}
+	sent := int64(len(frame))
+	reply, err := transport.RequestReply(s.net, addr,
+		transport.Message{Payload: frame}, s.cfg.GossipInterval*4)
+	*scratch = frame[:0]
+	gossipScratchPool.Put(scratch)
+	if err != nil {
+		return
+	}
+	got := int64(len(reply.Payload))
+	_, msg, err := proto.Unmarshal(reply.Payload)
+	reply.Release()
+	if err != nil {
+		return
+	}
+	delta, ok := msg.(*proto.ShardDelta)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.stats.GossipExchanges++
+	s.stats.GossipBytesOut += sent
+	s.stats.GossipBytesIn += got
+	// The replying member's serveConn already charges both frames to its
+	// BytesIn/BytesOut — charging them here too would double-count every
+	// gossip exchange in federation-wide sums (exp.World.FederationStats).
+	s.memberSeen[shard] = s.rt.Now()
+	for i := range delta.Shards {
+		s.applyShardLocked(&delta.Shards[i])
+	}
+	s.mu.Unlock()
+}
+
+// knownVersionsLocked fills v with the freshest version this member
+// knows per shard.
+func (s *Supernode) knownVersionsLocked(v []uint64) {
+	for i := range v {
+		v[i] = 0
+	}
+	v[s.cfg.Shard] = s.ownVersion
+	for k, r := range s.remote {
+		if k < len(v) {
+			v[k] = r.version
+		}
+	}
+}
+
+// appendDeltaReply encodes, under the lock, a ShardDelta holding every
+// shard on which the digest's sender trails this member's knowledge.
+// The frame is built straight from the stored snapshots (and the owned
+// table), no intermediate copies.
+func (s *Supernode) appendDeltaReply(dst []byte, d *proto.Digest) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := len(s.cfg.Federation)
+	if d.From >= 0 && d.From < k {
+		s.memberSeen[d.From] = s.rt.Now() // the sender is provably alive
+	}
+	var states []proto.ShardState
+	reqVersion := func(i int) uint64 {
+		if i < len(d.Versions) {
+			return d.Versions[i]
+		}
+		return 0
+	}
+	if s.ownVersion > reqVersion(s.cfg.Shard) {
+		states = append(states, s.ownShardStateLocked())
+	}
+	for i := 0; i < k; i++ {
+		if r := s.remote[i]; r != nil && r.version > reqVersion(i) {
+			states = append(states, proto.ShardState{
+				Shard: i, Version: r.version, Stamp: r.stamp,
+				Peers: r.peers, Seen: r.seen,
+			})
+		}
+	}
+	frame, _ := proto.AppendMarshal(dst, &proto.ShardDelta{Shards: states})
+	return frame
+}
+
+// ownShardStateLocked snapshots the owned set for a gossip reply. The
+// Peers slice aliases the sorted owned table (the encoder reads it
+// under the same lock); Seen is built on the fly.
+func (s *Supernode) ownShardStateLocked() proto.ShardState {
+	seen := make([]int64, len(s.listCache))
+	for i := range s.listCache {
+		if e := s.peers[s.listCache[i].ID]; e != nil {
+			seen[i] = e.lastSeen.UnixNano()
+		}
+	}
+	return proto.ShardState{
+		Shard: s.cfg.Shard, Version: s.ownVersion, Stamp: s.ownStamp,
+		Peers: s.listCache, Seen: seen,
+	}
+}
+
+// applyShardLocked folds one received snapshot into the federation
+// view: it replaces the stored snapshot for that shard and rebuilds the
+// affected slice of the merged view with one linear merge pass.
+func (s *Supernode) applyShardLocked(st *proto.ShardState) {
+	k := st.Shard
+	if k == s.cfg.Shard || k < 0 || k >= len(s.cfg.Federation) {
+		return // own shard is authoritative locally; bogus index dropped
+	}
+	old := s.remote[k]
+	if old != nil && st.Version <= old.version {
+		return
+	}
+	if st.Stamp > 0 {
+		lag := s.rt.Now().UnixNano() - st.Stamp
+		if lag > 0 {
+			s.stats.StaleSamples++
+			s.stats.StaleSumNS += lag
+			if lag > s.stats.StaleMaxNS {
+				s.stats.StaleMaxNS = lag
+			}
+		}
+	}
+	s.remote[k] = &remoteShard{version: st.Version, stamp: st.Stamp,
+		peers: st.Peers, seen: st.Seen, appliedAt: s.rt.Now()}
+	// Rebuild the merged view with one linear two-pointer pass over the
+	// (both ID-sorted) current view and the new snapshot — per-entry
+	// splices would make a boot-storm convergence O(world²). Entries the
+	// shard no longer claims are collected and reinstated from the other
+	// shards' snapshots afterwards (drops are rare; the common applies —
+	// boot fill and steady refresh — never take that path).
+	claimSeen := func(j int) int64 {
+		if j < len(st.Seen) {
+			return st.Seen[j]
+		}
+		return 0
+	}
+	out := make([]proto.PeerInfo, 0, len(s.merged)+len(st.Peers))
+	var dropped []string
+	i, j := 0, 0
+	for i < len(s.merged) || j < len(st.Peers) {
+		switch {
+		case j >= len(st.Peers) || (i < len(s.merged) && s.merged[i].ID < st.Peers[j].ID):
+			id := s.merged[i].ID
+			if m := s.meta[id]; m.shard == k {
+				// Previously attributed to this shard, no longer claimed.
+				delete(s.meta, id)
+				dropped = append(dropped, id)
+			} else {
+				out = append(out, s.merged[i])
+			}
+			i++
+		case i >= len(s.merged) || st.Peers[j].ID < s.merged[i].ID:
+			// New host for the merged view.
+			out = append(out, st.Peers[j])
+			s.meta[st.Peers[j].ID] = entryMeta{shard: k, seen: claimSeen(j)}
+			j++
+		default: // same ID: resolve precedence
+			id := st.Peers[j].ID
+			m := s.meta[id]
+			seen := claimSeen(j)
+			if m.shard == k || seen > m.seen || (seen == m.seen && k < m.shard) {
+				out = append(out, st.Peers[j])
+				s.meta[id] = entryMeta{shard: k, seen: seen}
+			} else {
+				out = append(out, s.merged[i])
+			}
+			i++
+			j++
+		}
+	}
+	s.merged = out
+	for _, id := range dropped {
+		s.reinstateLocked(id, k)
+	}
+}
+
+// reinstateLocked re-adds the freshest surviving claim for a host whose
+// previous attribution just disappeared (the owned table and every
+// other shard's snapshot are consulted).
+func (s *Supernode) reinstateLocked(id string, exclude int) {
+	bestShard, bestSeen, bestIdx := -1, int64(0), -1
+	for k, r := range s.remote {
+		if k == exclude {
+			continue
+		}
+		if i, found := findSorted(r.peers, id); found {
+			seen := int64(0)
+			if i < len(r.seen) {
+				seen = r.seen[i]
+			}
+			if bestShard == -1 || seen > bestSeen || (seen == bestSeen && k < bestShard) {
+				bestShard, bestSeen, bestIdx = k, seen, i
+			}
+		}
+	}
+	if exclude != s.cfg.Shard {
+		if e, owned := s.peers[id]; owned {
+			if bestShard == -1 || e.lastSeen.UnixNano() >= bestSeen {
+				s.mergedUpsertLocked(e.info, s.cfg.Shard, e.lastSeen.UnixNano())
+				return
+			}
+		}
+	}
+	if bestShard >= 0 {
+		s.mergedUpsertLocked(s.remote[bestShard].peers[bestIdx], bestShard, bestSeen)
 	}
 }
 
@@ -302,7 +826,7 @@ func RegisterWith(net transport.Network, snAddr string, self proto.PeerInfo, tim
 // (reusing its capacity) — the form callers with scratch slices use, so
 // an O(world) reply does not allocate an O(world) slice per refresh.
 func RegisterWithInto(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration, dst []proto.PeerInfo) ([]proto.PeerInfo, error) {
-	reply, err := RegisterRaw(net, snAddr, self, timeout)
+	reply, err := RegisterRaw(net, snAddr, self, false, timeout)
 	if err != nil {
 		return dst, err
 	}
@@ -311,14 +835,16 @@ func RegisterWithInto(net transport.Network, snAddr string, self proto.PeerInfo,
 	return out, err
 }
 
-// RegisterRaw performs the Register exchange and returns the raw
-// PeerList reply frame. The caller decodes it (proto.UnmarshalPeerList)
-// and releases the message; deferring the decode lets hot refresh loops
+// RegisterRaw performs the Register exchange and returns the raw reply
+// frame — a PeerList, or (in a federation) possibly a ShardRedirect.
+// The caller decodes it (proto.UnmarshalPeerList after a Peek) and
+// releases the message; deferring the decode lets hot refresh loops
 // borrow their scratch only for the decode itself instead of across the
-// whole network round trip.
-func RegisterRaw(net transport.Network, snAddr string, self proto.PeerInfo, timeout time.Duration) (transport.Message, error) {
+// whole network round trip. forced marks a failover registration that a
+// foreign shard must foster rather than redirect.
+func RegisterRaw(net transport.Network, snAddr string, self proto.PeerInfo, forced bool, timeout time.Duration) (transport.Message, error) {
 	return transport.RequestReply(net, snAddr,
-		transport.Message{Payload: proto.MustMarshal(&proto.Register{Peer: self})}, timeout)
+		transport.Message{Payload: proto.MustMarshal(&proto.Register{Peer: self, Forced: forced})}, timeout)
 }
 
 // FetchFrom retrieves a fresh host list from the supernode.
@@ -344,12 +870,21 @@ func FetchRaw(net transport.Network, snAddr string, timeout time.Duration) (tran
 		transport.Message{Payload: proto.MustMarshal(&proto.FetchPeers{})}, timeout)
 }
 
-// SendAlive refreshes self's last-seen stamp at the supernode.
-func SendAlive(net transport.Network, snAddr, selfID string, timeout time.Duration) error {
+// SendAlive refreshes self's last-seen stamp at the supernode. The
+// returned flag reports whether that supernode actually lists the peer;
+// false (an expired or foreign entry) means the sender should
+// re-register rather than keep refreshing a ghost.
+func SendAlive(net transport.Network, snAddr, selfID string, timeout time.Duration) (bool, error) {
 	reply, err := transport.RequestReply(net, snAddr,
 		transport.Message{Payload: proto.MustMarshal(&proto.Alive{ID: selfID})}, timeout)
-	if err == nil {
-		reply.Release()
+	if err != nil {
+		return false, err
 	}
-	return err
+	var ack proto.AliveAck
+	err = proto.DecodeInto(reply.Payload, &ack)
+	reply.Release()
+	if err != nil {
+		return false, err
+	}
+	return ack.Known, nil
 }

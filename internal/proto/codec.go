@@ -26,6 +26,7 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 	case *Register:
 		e.U8(uint8(TRegister))
 		m.Peer.encode(&e)
+		e.Bool(m.Forced)
 	case *PeerList:
 		e.U8(uint8(TPeerList))
 		e.Int(len(m.Peers))
@@ -35,7 +36,7 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 	case *Alive:
 		e.U8(uint8(TAlive)).String(m.ID)
 	case *AliveAck:
-		e.U8(uint8(TAliveAck))
+		e.U8(uint8(TAliveAck)).Bool(m.Known)
 	case *FetchPeers:
 		e.U8(uint8(TFetchPeers))
 	case *Ping:
@@ -83,6 +84,20 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		e.U8(uint8(TJobPing)).U64(m.Nonce).String(m.JobID)
 	case *JobPong:
 		e.U8(uint8(TJobPong)).U64(m.Nonce).Bool(m.Known)
+	case *Digest:
+		e.U8(uint8(TDigest)).Int(m.From)
+		e.Int(len(m.Versions))
+		for _, v := range m.Versions {
+			e.U64(v)
+		}
+	case *ShardDelta:
+		e.U8(uint8(TShardDelta))
+		e.Int(len(m.Shards))
+		for i := range m.Shards {
+			appendShardState(&e, &m.Shards[i])
+		}
+	case *ShardRedirect:
+		e.U8(uint8(TShardRedirect)).Int(m.Shard).String(m.Addr)
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", msg)
 	}
@@ -110,6 +125,42 @@ func AppendPeerListFrame(dst []byte, peers []PeerInfo, start, count int) []byte 
 	return e.Bytes()
 }
 
+// appendShardState encodes one shard snapshot: header, then the entries
+// with their parallel last-seen stamps.
+func appendShardState(e *wire.Encoder, s *ShardState) {
+	e.Int(s.Shard)
+	e.U64(s.Version)
+	e.Varint(s.Stamp)
+	e.Int(len(s.Peers))
+	for i, p := range s.Peers {
+		p.encode(e)
+		var seen int64
+		if i < len(s.Seen) {
+			seen = s.Seen[i]
+		}
+		e.Varint(seen)
+	}
+}
+
+// decodeShardState decodes one shard snapshot, validating the entry
+// count against the remaining bytes.
+func decodeShardState(d *wire.Decoder) (ShardState, bool) {
+	st := ShardState{Shard: d.Int(), Version: d.U64(), Stamp: d.Varint()}
+	n := d.Int()
+	if n < 0 || n > d.Remaining() {
+		return st, false
+	}
+	if n > 0 {
+		st.Peers = make([]PeerInfo, 0, n)
+		st.Seen = make([]int64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		st.Peers = append(st.Peers, decodePeerInfo(d))
+		st.Seen = append(st.Seen, d.Varint())
+	}
+	return st, d.Err() == nil
+}
+
 // MustMarshal is Marshal for known-good messages; it panics on error.
 func MustMarshal(msg any) []byte {
 	b, err := Marshal(msg)
@@ -135,7 +186,7 @@ func Unmarshal(b []byte) (Type, any, error) {
 	var msg any
 	switch t {
 	case TRegister:
-		msg = &Register{Peer: decodePeerInfo(d)}
+		msg = &Register{Peer: decodePeerInfo(d), Forced: d.Bool()}
 	case TPeerList:
 		n := d.Int()
 		if n < 0 || n > d.Remaining() {
@@ -153,7 +204,7 @@ func Unmarshal(b []byte) (Type, any, error) {
 	case TAlive:
 		msg = &Alive{ID: d.String()}
 	case TAliveAck:
-		msg = &AliveAck{}
+		msg = &AliveAck{Known: d.Bool()}
 	case TFetchPeers:
 		msg = &FetchPeers{}
 	case TPing:
@@ -217,6 +268,39 @@ func Unmarshal(b []byte) (Type, any, error) {
 		msg = &JobPing{Nonce: d.U64(), JobID: d.String()}
 	case TJobPong:
 		msg = &JobPong{Nonce: d.U64(), Known: d.Bool()}
+	case TDigest:
+		m := &Digest{From: d.Int()}
+		n := d.Int()
+		if n < 0 || n > d.Remaining() {
+			return t, nil, wire.ErrCorrupt
+		}
+		if n > 0 {
+			m.Versions = make([]uint64, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			m.Versions = append(m.Versions, d.U64())
+		}
+		msg = m
+	case TShardDelta:
+		n := d.Int()
+		if n < 0 || n > d.Remaining() {
+			return t, nil, wire.ErrCorrupt
+		}
+		m := &ShardDelta{}
+		if n > 0 {
+			d.InternStrings() // snapshots are string-dense, like PeerList
+			m.Shards = make([]ShardState, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			st, ok := decodeShardState(d)
+			if !ok {
+				return t, nil, wire.ErrCorrupt
+			}
+			m.Shards = append(m.Shards, st)
+		}
+		msg = m
+	case TShardRedirect:
+		msg = &ShardRedirect{Shard: d.Int(), Addr: d.String()}
 	default:
 		return t, nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 	}
@@ -277,9 +361,16 @@ func DecodeInto(b []byte, msg any) error {
 			d.StringInto(&m.ID)
 		}
 	case *AliveAck:
-		want = TAliveAck
+		if want = TAliveAck; t == want {
+			m.Known = d.Bool()
+		}
 	case *FetchPeers:
 		want = TFetchPeers
+	case *ShardRedirect:
+		if want = TShardRedirect; t == want {
+			m.Shard = d.Int()
+			d.StringInto(&m.Addr)
+		}
 	case *ReserveOK:
 		if want = TReserveOK; t == want {
 			d.StringInto(&m.Key)

@@ -1,0 +1,158 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The decoders sit on the untrusted edge of the daemons: every frame a
+// supernode or MPD receives goes through Unmarshal, UnmarshalPeerList or
+// DecodeInto before anything else looks at it. The fuzz targets pin the
+// two safety properties the pooled zero-alloc paths depend on:
+//
+//   - malformed frames error out; they never panic (no slice
+//     over-reads, no unbounded make() from a hostile length prefix);
+//   - decoded values never alias the input buffer, because receivers
+//     release frames back to pooled transport buffers right after
+//     decoding — an aliasing decode would corrupt silently when the
+//     buffer is recycled.
+
+// corpusFrames returns one well-formed frame per message type,
+// including the federation frames, so the seed corpus reaches every
+// decoder arm.
+func corpusFrames() [][]byte {
+	pi := PeerInfo{ID: "c01-1.s01", Site: "s01", MPDAddr: "c01-1.s01:9000", RSAddr: "c01-1.s01:9001"}
+	msgs := []any{
+		&Register{Peer: pi, Forced: true},
+		&PeerList{Peers: []PeerInfo{pi, {ID: "b"}}},
+		&Alive{ID: "c01-1.s01"},
+		&AliveAck{Known: true},
+		&FetchPeers{},
+		&Ping{Nonce: 7}, &Pong{Nonce: 7},
+		&Reserve{Key: "k", JobID: "j", Submitter: pi, N: 4},
+		&ReserveOK{Key: "k", P: 2},
+		&ReserveNOK{Key: "k", Reason: "full"},
+		&Cancel{Key: "k"}, &CancelAck{Key: "k"},
+		&Prepare{Key: "k", JobID: "j", Program: "hostname", Args: []string{"a"},
+			N: 1, R: 1, Table: []Slot{{Rank: 0, Replica: 0, Global: 0, HostID: pi.ID, Addr: "a:1"}},
+			SubmitterMPD: "f:9000"},
+		&Ready{Key: "k", OK: true},
+		&Start{Key: "k"}, &StartAck{Key: "k"},
+		&JobDone{JobID: "j", HostID: pi.ID, Results: []SlotResult{{OK: true, Output: []byte("x")}}},
+		&JobPing{Nonce: 9, JobID: "j"}, &JobPong{Nonce: 9, Known: true},
+		&Digest{From: 2, Versions: []uint64{3, 0, 9, 1}},
+		&ShardDelta{Shards: []ShardState{{
+			Shard: 1, Version: 9, Stamp: 123456789,
+			Peers: []PeerInfo{pi}, Seen: []int64{42},
+		}}},
+		&ShardRedirect{Shard: 3, Addr: "snfed04.s02:8800"},
+	}
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, MustMarshal(m))
+	}
+	return out
+}
+
+// FuzzUnmarshal: any byte string either decodes or errors — no panics —
+// and whatever decodes must survive the input buffer being clobbered
+// (no aliasing of the frame).
+func FuzzUnmarshal(f *testing.F) {
+	for _, frame := range corpusFrames() {
+		f.Add(frame)
+		if len(frame) > 1 {
+			f.Add(frame[:len(frame)-1]) // truncation
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := append([]byte(nil), data...)
+		_, msg, err := Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		// Re-marshal, clobber the input, re-marshal again: a decode that
+		// aliased buf would change its encoding.
+		first, merr := Marshal(msg)
+		if merr != nil {
+			t.Fatalf("decoded %T does not re-marshal: %v", msg, merr)
+		}
+		firstCopy := append([]byte(nil), first...)
+		for i := range buf {
+			buf[i] ^= 0xff
+		}
+		second, merr := Marshal(msg)
+		if merr != nil {
+			t.Fatalf("re-marshal after clobber: %v", merr)
+		}
+		if !bytes.Equal(firstCopy, second) {
+			t.Fatalf("decoded %T aliases its input buffer:\nbefore clobber %x\nafter  clobber %x",
+				msg, firstCopy, second)
+		}
+	})
+}
+
+// FuzzUnmarshalPeerList: the host-list fast path (pooled scratch
+// decode) must reject garbage without panicking and without aliasing.
+func FuzzUnmarshalPeerList(f *testing.F) {
+	pi := PeerInfo{ID: "c01-1.s01", Site: "s01", MPDAddr: "m:9000", RSAddr: "r:9001"}
+	f.Add(MustMarshal(&PeerList{Peers: []PeerInfo{pi, {ID: "b", Site: "s02"}}}))
+	f.Add(MustMarshal(&PeerList{}))
+	f.Add([]byte{uint8(TPeerList), 0x7f}) // huge count prefix
+	f.Add([]byte{uint8(TAlive)})          // wrong type
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := append([]byte(nil), data...)
+		scratch := make([]PeerInfo, 0, 4)
+		peers, err := UnmarshalPeerList(buf, scratch)
+		if err != nil {
+			return
+		}
+		snapshot := append([]PeerInfo(nil), peers...)
+		for i := range buf {
+			buf[i] ^= 0xff
+		}
+		for i := range peers {
+			if peers[i] != snapshot[i] {
+				t.Fatalf("peer %d aliases the input buffer: %+v != %+v", i, peers[i], snapshot[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeInto: the fixed-shape reuse decoder (heartbeats, handshake
+// echoes, shard redirects) across every supported target type. The
+// reused strings must not alias the frame either.
+func FuzzDecodeInto(f *testing.F) {
+	for _, frame := range corpusFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := append([]byte(nil), data...)
+		targets := []any{
+			&Ping{}, &Pong{}, &Alive{}, &AliveAck{}, &FetchPeers{},
+			&ReserveOK{}, &ReserveNOK{}, &Cancel{}, &CancelAck{},
+			&Ready{}, &Start{}, &StartAck{}, &JobPing{}, &JobPong{},
+			&ShardRedirect{},
+		}
+		for _, target := range targets {
+			if err := DecodeInto(buf, target); err != nil {
+				continue
+			}
+			first, merr := Marshal(target)
+			if merr != nil {
+				t.Fatalf("decoded %T does not re-marshal: %v", target, merr)
+			}
+			firstCopy := append([]byte(nil), first...)
+			saved := append([]byte(nil), buf...)
+			for i := range buf {
+				buf[i] ^= 0xff
+			}
+			second, _ := Marshal(target)
+			if !bytes.Equal(firstCopy, second) {
+				t.Fatalf("%T decode aliases the input buffer", target)
+			}
+			copy(buf, saved) // restore for the remaining targets
+		}
+	})
+}

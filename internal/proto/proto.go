@@ -43,6 +43,11 @@ const (
 	// Mid-run failure detection: job-level heartbeat.
 	TJobPing
 	TJobPong
+	// Federated supernode tier: gossip digest exchange between shards
+	// and the registration redirect toward a peer's home shard.
+	TDigest
+	TShardDelta
+	TShardRedirect
 )
 
 // String returns the mnemonic of the message type.
@@ -50,7 +55,8 @@ func (t Type) String() string {
 	names := [...]string{"invalid", "register", "peerlist", "alive",
 		"aliveack", "fetchpeers", "ping", "pong", "reserve", "reserveok",
 		"reservenok", "cancel", "cancelack", "prepare", "ready", "start",
-		"startack", "jobdone", "jobping", "jobpong"}
+		"startack", "jobdone", "jobping", "jobpong",
+		"digest", "sharddelta", "shardredirect"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -73,9 +79,15 @@ func decodePeerInfo(d *wire.Decoder) PeerInfo {
 	return PeerInfo{ID: d.String(), Site: d.String(), MPDAddr: d.String(), RSAddr: d.String()}
 }
 
-// Register announces a peer to the supernode; the reply is a PeerList.
+// Register announces a peer to the supernode; the reply is a PeerList
+// (or, in a federation, a ShardRedirect toward the peer's home shard).
 type Register struct {
 	Peer PeerInfo
+	// Forced marks a failover registration: the peer's home-shard
+	// supernode is unreachable and it is asking this (foreign) shard to
+	// foster it. An unforced Register at the wrong shard is answered
+	// with a ShardRedirect instead of being accepted.
+	Forced bool
 }
 
 // PeerList is the supernode's host list snapshot.
@@ -88,8 +100,14 @@ type Alive struct {
 	ID string
 }
 
-// AliveAck acknowledges an Alive.
-type AliveAck struct{}
+// AliveAck acknowledges an Alive. Known reports whether the answering
+// supernode actually lists the peer: a false answer tells the sender
+// its entry expired (or lives on another shard) and an immediate
+// re-registration is worth more than waiting for the next full
+// re-register tick.
+type AliveAck struct {
+	Known bool
+}
 
 // FetchPeers requests a fresh PeerList.
 type FetchPeers struct{}
@@ -231,4 +249,45 @@ type JobPing struct {
 type JobPong struct {
 	Nonce uint64
 	Known bool
+}
+
+// Digest opens one gossip exchange between federation members: the
+// sender's shard index and the membership version it knows for every
+// shard (its own version is authoritative; the others are whatever its
+// snapshots carry, zero when it has none). The reply is a ShardDelta
+// holding a snapshot of every shard the sender trails on.
+type Digest struct {
+	From     int
+	Versions []uint64
+}
+
+// ShardState is one shard's membership snapshot inside a ShardDelta:
+// the registrar's shard index, the version of its owned set, the
+// wall/virtual instant (unix nanoseconds) at which that version was
+// created by its owner — forwarded unchanged through transitive gossip
+// so receivers can measure propagation staleness — and the entries
+// themselves with their last-seen stamps (unix nanoseconds, used to
+// break ties when a host transiently appears in two shards during a
+// failover).
+type ShardState struct {
+	Shard   int
+	Version uint64
+	Stamp   int64
+	Peers   []PeerInfo
+	Seen    []int64
+}
+
+// ShardDelta answers a Digest: one ShardState per shard on which the
+// digest's sender was behind the replier's knowledge. An empty delta
+// means the peers agree.
+type ShardDelta struct {
+	Shards []ShardState
+}
+
+// ShardRedirect answers an unforced Register that arrived at the wrong
+// shard: the peer's home shard index and the address of the supernode
+// that owns it.
+type ShardRedirect struct {
+	Shard int
+	Addr  string
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"math/rand"
 	"time"
 
 	"p2pmpi/internal/transport"
@@ -65,24 +66,29 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 	if to == nil {
 		return nil, transport.ErrUnreachable
 	}
+	// The whole connection — handshake and both directions of later
+	// traffic — draws its jitter from one per-flow stream minted here,
+	// keyed by (dialer, destination host, destination port, dial
+	// sequence). See flowKey for why.
+	rng := n.flowRNG(flowKey{from: nn.host, to: rhost, port: rport})
 	// SYN travels one way; the handshake result travels back. The dialer
 	// observes a full round trip before Dial returns, like TCP.
-	synArrival := n.planDelivery(from, to, 64)
+	synArrival := n.planDelivery(rng, from, to, 64)
 	resultq := vtime.NewQueue[dialResult](n.rt)
 
 	n.rt.Schedule(synArrival-n.rt.Elapsed(), func() {
 		l := to.listeners[rport]
 		if to.down || l == nil || l.closed {
 			// Connection refused: the RST also takes one trip back.
-			back := n.planDelivery(to, from, 64)
+			back := n.planDelivery(rng, to, from, 64)
 			n.rt.Schedule(back-n.rt.Elapsed(), func() {
 				resultq.Push(dialResult{err: transport.ErrUnreachable})
 			})
 			return
 		}
 		local := nn.host + ":" + itoa(ephemeral(from))
-		pair := newConnPair(n, from, to, local, l.addr)
-		back := n.planDelivery(to, from, 64)
+		pair := newConnPair(n, from, to, local, l.addr, rng)
+		back := n.planDelivery(rng, to, from, 64)
 		l.acceptq.Push(pair.server)
 		n.rt.Schedule(back-n.rt.Elapsed(), func() {
 			resultq.Push(dialResult{c: pair.client})
@@ -169,24 +175,27 @@ type conn struct {
 	rh          *netHost    // remote endpoint host
 	pipe        *serializer // backbone pipe between the two sites
 	base        time.Duration
+	rng         *rand.Rand // the flow's jitter stream (shared with peer)
 	inbox       *vtime.Queue[transport.Message]
 	peer        *conn
 	closed      bool
 	lastArrival time.Duration // FIFO clamp for messages *arriving at peer*
 }
 
-func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string) *connPair {
+func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string, rng *rand.Rand) *connPair {
 	pipe := n.pipe(ch.site, sh.site)
 	client := &conn{
 		n: n, local: clientAddr, remote: serverAddr,
 		lh: ch, rh: sh, pipe: pipe,
 		base:  n.topo.SiteLatency(ch.site, sh.site),
+		rng:   rng,
 		inbox: vtime.NewQueue[transport.Message](n.rt),
 	}
 	server := &conn{
 		n: n, local: serverAddr, remote: clientAddr,
 		lh: sh, rh: ch, pipe: pipe,
 		base:  n.topo.SiteLatency(sh.site, ch.site),
+		rng:   rng,
 		inbox: vtime.NewQueue[transport.Message](n.rt),
 	}
 	client.peer = server
@@ -258,7 +267,7 @@ func (c *conn) Send(m transport.Message) error {
 		// toward a dead host; the sender learns via higher-level timeout.
 		return nil
 	}
-	arrival := n.plan(c.lh, c.rh, c.pipe, c.base, m.Size()+frameOverhead)
+	arrival := n.plan(c.rng, c.lh, c.rh, c.pipe, c.base, m.Size()+frameOverhead)
 	if arrival <= c.lastArrival {
 		arrival = c.lastArrival + time.Nanosecond
 	}

@@ -63,11 +63,67 @@ type Net struct {
 	topo Topology
 	cfg  Config
 
-	rng     *rand.Rand
+	flowSeq map[flowKey]uint64
 	hosts   map[string]*netHost
 	pipes   map[sitePair]*serializer
 	bufPool transport.BufferPool
 	delFree *delivery // recycled delivery events
+}
+
+// flowKey identifies one flow for jitter purposes: the dialing host,
+// the destination host and the destination port (the service). Jitter
+// noise is drawn from an independent seeded stream per (flow, dial
+// sequence), so the draws one service's traffic consumes can never
+// perturb the timing of another's — membership gossip, keep-alives and
+// job traffic coexist without entangling their randomness. That
+// compositionality is what lets a federated world (extra supernodes,
+// extra control traffic) reproduce the data-plane timeline of a
+// standalone one bit for bit.
+type flowKey struct {
+	from, to, port string
+}
+
+// flowSource is a SplitMix64 stream, the per-flow jitter source: one
+// word of state instead of rand.NewSource's 607, since every
+// request/reply exchange dials a fresh conn and pays this allocation.
+type flowSource struct{ state uint64 }
+
+func (s *flowSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *flowSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+func (s *flowSource) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// flowRNG mints the jitter stream for the seq-th dial of a flow. The
+// seed folds the config seed with the flow identity and the per-flow
+// dial sequence, so a flow's noise is a pure function of (world seed,
+// flow, its own dial history) — independent of any other traffic.
+func (n *Net) flowRNG(key flowKey) *rand.Rand {
+	seq := n.flowSeq[key]
+	n.flowSeq[key] = seq + 1
+	h := fnvMix(uint64(n.cfg.Seed), key.from)
+	h = fnvMix(h, key.to)
+	h = fnvMix(h, key.port)
+	return rand.New(&flowSource{state: h ^ (seq * 0x9e3779b97f4a7c15)})
+}
+
+// fnvMix folds a string into a running FNV-1a style hash.
+func fnvMix(h uint64, s string) uint64 {
+	const prime64 = 1099511628211
+	h ^= 14695981039346656037
+	h *= prime64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // sitePair is a normalized (sorted) site pair, the backbone pipe key.
@@ -113,12 +169,12 @@ func New(rt *vtime.Scheduler, topo Topology, cfg Config) *Net {
 		cfg.NICBps = 1_000_000_000
 	}
 	return &Net{
-		rt:    rt,
-		topo:  topo,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		hosts: make(map[string]*netHost),
-		pipes: make(map[sitePair]*serializer),
+		rt:      rt,
+		topo:    topo,
+		cfg:     cfg,
+		flowSeq: make(map[flowKey]uint64),
+		hosts:   make(map[string]*netHost),
+		pipes:   make(map[sitePair]*serializer),
 	}
 }
 
@@ -183,12 +239,13 @@ func (n *Net) pipe(siteA, siteB string) *serializer {
 	return p
 }
 
-// jitter samples non-negative latency noise for a base latency. Draw
-// order is what makes runs reproducible: calls happen in scheduler
-// order, one per planned delivery, exactly as they always have.
-func (n *Net) jitter(base time.Duration) time.Duration {
+// jitter samples non-negative latency noise for a base latency from the
+// flow's own stream. One message consumes one draw, in per-flow order —
+// reproducibility holds flow by flow, so unrelated traffic cannot shift
+// another flow's noise.
+func (n *Net) jitter(rng *rand.Rand, base time.Duration) time.Duration {
 	std := float64(base)*n.cfg.JitterFrac + float64(n.cfg.JitterFloor)
-	j := n.rng.NormFloat64() * std
+	j := rng.NormFloat64() * std
 	if j < 0 {
 		j = -j
 	}
@@ -199,7 +256,7 @@ func (n *Net) jitter(base time.Duration) time.Duration {
 // sent now from one host to another, reserving capacity along the path.
 // The pipe and base latency are passed in so established conns pay no
 // map lookups per message.
-func (n *Net) plan(from, to *netHost, pipe *serializer, base time.Duration, size int64) time.Duration {
+func (n *Net) plan(rng *rand.Rand, from, to *netHost, pipe *serializer, base time.Duration, size int64) time.Duration {
 	now := n.rt.Elapsed()
 	finish := from.nicOut.reserve(now, size)
 	if f := pipe.reserve(now, size); f > finish {
@@ -208,14 +265,14 @@ func (n *Net) plan(from, to *netHost, pipe *serializer, base time.Duration, size
 	if f := to.nicIn.reserve(now, size); f > finish {
 		finish = f
 	}
-	return finish + base + n.jitter(base)
+	return finish + base + n.jitter(rng, base)
 }
 
 // planDelivery is plan with the per-call lookups, used by the dial path
 // (which has no established conn to cache them on).
-func (n *Net) planDelivery(from, to *netHost, size int64) time.Duration {
+func (n *Net) planDelivery(rng *rand.Rand, from, to *netHost, size int64) time.Duration {
 	base := n.topo.SiteLatency(from.site, to.site)
-	return n.plan(from, to, n.pipe(from.site, to.site), base, size)
+	return n.plan(rng, from, to, n.pipe(from.site, to.site), base, size)
 }
 
 // splitAddr separates "host:port"; hosts contain dots but no colons.

@@ -119,11 +119,20 @@ type (
 	HostProfile = mpd.HostProfile
 	// PeerInfo identifies a peer and its service addresses.
 	PeerInfo = proto.PeerInfo
-	// Supernode is the bootstrap/membership daemon.
+	// Supernode is the bootstrap/membership daemon — standalone, or one
+	// member of a federated K-shard tier (SupernodeConfig.Federation).
 	Supernode = overlay.Supernode
 	// SupernodeConfig configures a supernode.
 	SupernodeConfig = overlay.SupernodeConfig
+	// SupernodeStats counts a supernode's membership-plane work
+	// (gossip exchanges, fostered/redirected registrations, staleness).
+	SupernodeStats = overlay.SupernodeStats
 )
+
+// ShardAssign returns a host's home shard in a K-shard supernode
+// federation: rendezvous hashing, the same function daemons and
+// supernodes compute independently.
+func ShardAssign(hostID string, k int) int { return overlay.ShardAssign(hostID, k) }
 
 // NewMPD creates an MPD daemon over the given runtime and network.
 func NewMPD(rt vtime.Runtime, net transport.Network, cfg MPDConfig) *MPD {
