@@ -108,6 +108,52 @@ func (d *Driver) Start() {
 	d.rt.Go("churn.driver", d.replay)
 }
 
+// GlobalRuntime is the slice of a sharded scheduler domain
+// (vtime.Domain) the barrier-scheduled replay needs.
+type GlobalRuntime interface {
+	Now() time.Time
+	Elapsed() time.Duration
+	// ScheduleGlobal runs fn at an absolute virtual elapsed time, with
+	// every shard parked at that time.
+	ScheduleGlobal(at time.Duration, fn func())
+}
+
+// StartGlobal replays the trace as domain-global events instead of a
+// replay actor: each transition fires at a window barrier, when every
+// shard is parked at the event's exact virtual time. That makes the
+// hooks' world mutations (failing a host's network links, crashing its
+// daemon) race-free against all shard event loops — the barrier is the
+// happens-before edge — which is what a sharded world requires. The
+// timeline is the same one Start would replay. Idempotent.
+func (d *Driver) StartGlobal(g GlobalRuntime) {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.startAt = g.Now()
+	base := g.Elapsed()
+	d.mu.Unlock()
+	for _, ev := range d.trace {
+		ev := ev
+		g.ScheduleGlobal(base+ev.At, func() { d.fireGlobal(ev) })
+	}
+}
+
+func (d *Driver) fireGlobal(ev Event) {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	fire := d.applyLocked(ev)
+	d.mu.Unlock()
+	if fire != nil {
+		fire(ev.Host)
+	}
+}
+
 func (d *Driver) replay() {
 	start := d.rt.Now()
 	d.mu.Lock()

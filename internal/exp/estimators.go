@@ -41,7 +41,7 @@ func EstimatorStudy(opts Options, kinds []latency.Kind, rounds int) ([]Estimator
 		}
 		// Boot already ran one probe round; run the remaining ones.
 		for r := 1; r < rounds; r++ {
-			w.S.RunFor(o.FrontalPingInterval + 5*time.Second)
+			w.RunFor(o.FrontalPingInterval + 5*time.Second)
 		}
 		out = append(out, EstimatorPoint{
 			Kind:   kind,

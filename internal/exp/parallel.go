@@ -139,7 +139,7 @@ func submitPumped[T any](w *World, budget int, name string, fn func() (T, error)
 		ch <- outcome{v, err}
 	})
 	for i := 0; i < budget; i++ {
-		w.S.RunFor(time.Second)
+		w.RunFor(time.Second)
 		select {
 		case o := <-ch:
 			return o.v, o.err

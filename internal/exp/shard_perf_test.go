@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/grid"
+)
+
+// shard50kOptions returns the 50,000-host federated flagship — 16
+// sites × 3125 hosts under a K=16 supernode tier — partitioned onto
+// the given number of shard event loops.
+func shard50kOptions(shards int) Options {
+	spec, err := grid.ParseTopologySpec("synth:S=16,H=3125")
+	if err != nil {
+		panic(err)
+	}
+	o := DefaultOptions(42)
+	o.Topology = spec
+	o.Supernodes = 16
+	o.Shards = shards
+	// The big-world knobs every >2000-host sweep point runs with (see
+	// scaleAt): bounded host-list replies and slow compute-peer
+	// refreshes, without which the boot storm dominates everything.
+	o.MaxPeersReturned = 512
+	o.PeerRefreshInterval = time.Hour
+	return o
+}
+
+// shard50kSpan is the virtual span the speedup numbers time: four full
+// keep-alive cycles of steady-state membership traffic on the booted
+// world, long enough that per-window barrier costs are amortized and
+// short enough to run per commit.
+const shard50kSpan = 2 * time.Minute
+
+// BenchmarkShardedScaleSweep50k times steady-state advancement of the
+// 50k-host K=16 world across shard counts. Boot is excluded — the
+// benchmark measures the within-world event path the sharding exists
+// to parallelize, per virtual span. SHARD_BENCH_50K gates it: one
+// sample costs a 50k boot per shard count, which is too heavy for the
+// default `-benchtime=1x ./...` CI smoke.
+func BenchmarkShardedScaleSweep50k(b *testing.B) {
+	if os.Getenv("SHARD_BENCH_50K") == "" {
+		b.Skip("SHARD_BENCH_50K not set (one sample boots three 50k-host worlds)")
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w := NewWorld(shard50kOptions(shards))
+			defer w.Close()
+			if err := w.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunFor(shard50kSpan)
+			}
+		})
+	}
+}
+
+// shard50kWall boots the 50k/K=16 world at the given shard count and
+// returns the wall time of advancing it one measurement span.
+func shard50kWall(t *testing.T, shards int) time.Duration {
+	t.Helper()
+	w := NewWorld(shard50kOptions(shards))
+	defer w.Close()
+	start := time.Now()
+	if err := w.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	boot := time.Since(start)
+	start = time.Now()
+	w.RunFor(shard50kSpan)
+	wall := time.Since(start)
+	t.Logf("shards=%d: boot %.1fs, %v virtual span in %.1fs wall",
+		shards, boot.Seconds(), shard50kSpan, wall.Seconds())
+	return wall
+}
+
+// TestShardSpeedupGate measures the within-world speedup of `-shards 8`
+// over `-shards 1` on the 50k-host K=16 world — the acceptance number
+// for the conservative-parallel engine — and merges it into the
+// BENCH_perf.json record named by SHARD_SPEEDUP_JSON.
+//
+// The numbers are recorded honestly wherever they are measured: on a
+// single-core runner the sharded run *loses* (barriers and outbox
+// merges with zero concurrency to pay for them), so the ≥4× bar is
+// enforced only when at least 8 cores are available to run 8 shards.
+// `shard_speedup_cores` rides along in the record so a trajectory
+// reader can tell the two regimes apart.
+func TestShardSpeedupGate(t *testing.T) {
+	out := os.Getenv("SHARD_SPEEDUP_JSON")
+	if out == "" {
+		t.Skip("SHARD_SPEEDUP_JSON not set (boots two 50k-host worlds)")
+	}
+
+	seq := shard50kWall(t, 1)
+	sh8 := shard50kWall(t, 8)
+	cores := runtime.GOMAXPROCS(0)
+	speedup := seq.Seconds() / sh8.Seconds()
+	t.Logf("within-world speedup at -shards 8: %.2fx on %d cores", speedup, cores)
+
+	// Merge into the existing perf record (TestEmitPerfBenchJSON writes
+	// it earlier in the CI job) rather than clobbering it.
+	record := map[string]any{}
+	if blob, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(blob, &record); err != nil {
+			t.Fatalf("existing %s is not a JSON object: %v", out, err)
+		}
+	}
+	record["shard_speedup_8"] = speedup
+	record["shard_speedup_cores"] = cores
+	record["shard_wall_seconds_1"] = seq.Seconds()
+	record["shard_wall_seconds_8"] = sh8.Seconds()
+	record["shard_sweep_hosts"] = 50000
+	record["shard_sweep_sn"] = 16
+	blob, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if cores >= 8 && speedup < 4 {
+		t.Fatalf("shards=8 speedup %.2fx on %d cores, want >= 4x", speedup, cores)
+	}
+}

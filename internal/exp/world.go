@@ -3,6 +3,7 @@ package exp
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"p2pmpi/internal/churn"
@@ -73,6 +74,14 @@ type Options struct {
 	// GossipInterval overrides the federation's digest-exchange period
 	// (default 250ms; only meaningful when Supernodes > 1).
 	GossipInterval time.Duration
+	// Shards partitions the world's sites onto that many independent
+	// event-loop shards run as a conservative parallel simulation
+	// (windowed barriers, cross-site lookahead — see vtime.Domain and
+	// docs/PERF.md). 0 or 1 keeps the historical single sequential
+	// scheduler, bit-for-bit. Clamped to the site count. The CSV outputs
+	// of the sweep families are identical across shard counts; only
+	// wall-clock time changes.
+	Shards int
 }
 
 // DefaultOptions returns the harness configuration used for the paper's
@@ -90,7 +99,15 @@ func DefaultOptions(seed int64) Options {
 // supernode tier (one member, or a K-shard federation), one submitter
 // frontend, all under a virtual clock.
 type World struct {
-	S       *vtime.Scheduler
+	// S is the scheduler daemon code on shard 0 (the origin site, the
+	// frontal, every K=1 supernode) runs under — in an unsharded world,
+	// the only scheduler. External actors that talk to the frontal
+	// (submission, warm-up) spawn here.
+	S *vtime.Scheduler
+	// D is the shard domain of a sharded world (Options.Shards > 1),
+	// nil otherwise. Use World.RunFor — not S.RunFor — to advance time
+	// so both layouts pump correctly.
+	D       *vtime.Domain
 	Net     *simnet.Net
 	Grid    *grid.Grid
 	SN      *overlay.Supernode // SNs[0], kept for single-supernode callers
@@ -108,8 +125,9 @@ type World struct {
 	// snHosts names the dedicated supernode hosts of a federation (empty
 	// when the single supernode rides on the frontal) with their sites —
 	// churn injects failures on them too.
-	snHosts []snHost
-	opts    Options
+	snHosts   []snHost
+	siteShard map[string]int // site -> shard index (nil unsharded)
+	opts      Options
 }
 
 // snHost pins one dedicated supernode host to its site.
@@ -130,7 +148,6 @@ func Programs(cost nas.CostModel) map[string]mpd.Program {
 // NewWorld builds (without booting) the full testbed described by
 // opts.Topology (Grid5000 by default).
 func NewWorld(opts Options) *World {
-	s := vtime.New()
 	g := opts.Topology.Build()
 	k := opts.Supernodes
 	if k <= 0 {
@@ -143,19 +160,10 @@ func NewWorld(opts Options) *World {
 	snAddr := frontalID + ":8800"
 	topo := simnet.NewGridTopology(g)
 	topo.AddHost(frontalID, g.Origin)
-	net := simnet.New(s, topo, simnet.DefaultConfig(opts.Seed))
 
-	w := &World{S: s, Net: net, Grid: g, FrontalID: frontalID, SNAddr: snAddr, opts: opts}
+	w := &World{Grid: g, FrontalID: frontalID, SNAddr: snAddr, opts: opts}
 	if k == 1 {
-		// The historical world: one supernode co-located with the
-		// frontal. Every pre-federation experiment replays bit-for-bit.
 		w.SNAddrs = []string{snAddr}
-		w.SNs = []*overlay.Supernode{overlay.NewSupernode(s, net.Node(frontalID), overlay.SupernodeConfig{
-			Addr:             snAddr,
-			TTL:              10 * time.Minute,
-			MaxPeersReturned: opts.MaxPeersReturned,
-			Seed:             opts.Seed,
-		})}
 	} else {
 		// A K-shard federation on dedicated hosts, spread round-robin
 		// over the sites (site-aware: one switch or power domain cannot
@@ -172,8 +180,56 @@ func NewWorld(opts Options) *World {
 			topo.AddHost(id, site)
 		}
 		w.SNAddr = w.SNAddrs[0]
+	}
+
+	// Scheduler fabric: the historical single sequential scheduler, or a
+	// conservative parallel domain partitioned by site. Shard 0 always
+	// holds the origin site (Partition contract), so the frontal and its
+	// external actors stay on w.S either way.
+	if nsh := opts.Shards; nsh > 1 {
+		part := g.PartitionSites(nsh)
+		if part.SiteShard[g.Origin] != 0 {
+			panic("exp: origin site not on shard 0")
+		}
+		dom := vtime.NewDomain(part.N(), g.MinCrossLatency(part))
+		w.D = dom
+		w.S = dom.Shard(0)
+		w.siteShard = part.SiteShard
+		// Host ranks in sequential boot-spawn order (supernode tier,
+		// frontal, grid hosts): the cross-shard merge breaks timestamp
+		// ties by rank, which reproduces the sequential ordering of the
+		// vtime-0 registration storm.
+		ranked := make([]string, 0, len(w.snHosts)+1+len(g.Hosts))
+		for _, sh := range w.snHosts {
+			ranked = append(ranked, sh.id)
+		}
+		ranked = append(ranked, frontalID)
+		for _, h := range g.Hosts {
+			ranked = append(ranked, h.ID)
+		}
+		w.Net = simnet.NewSharded(dom, topo, simnet.DefaultConfig(opts.Seed), simnet.ShardConfig{
+			SiteShard: part.SiteShard,
+			Hosts:     ranked,
+			Check:     os.Getenv("VTIME_CHECK") == "1",
+		})
+	} else {
+		w.S = vtime.New()
+		w.Net = simnet.New(w.S, topo, simnet.DefaultConfig(opts.Seed))
+	}
+	s, net := w.S, w.Net
+
+	if k == 1 {
+		// The historical world: one supernode co-located with the
+		// frontal. Every pre-federation experiment replays bit-for-bit.
+		w.SNs = []*overlay.Supernode{overlay.NewSupernode(s, net.Node(frontalID), overlay.SupernodeConfig{
+			Addr:             snAddr,
+			TTL:              10 * time.Minute,
+			MaxPeersReturned: opts.MaxPeersReturned,
+			Seed:             opts.Seed,
+		})}
+	} else {
 		for i := 0; i < k; i++ {
-			w.SNs = append(w.SNs, overlay.NewSupernode(s, net.Node(w.snHosts[i].id), overlay.SupernodeConfig{
+			w.SNs = append(w.SNs, overlay.NewSupernode(w.shardFor(w.snHosts[i].site), net.Node(w.snHosts[i].id), overlay.SupernodeConfig{
 				Addr:             w.SNAddrs[i],
 				TTL:              10 * time.Minute,
 				MaxPeersReturned: opts.MaxPeersReturned,
@@ -224,7 +280,7 @@ func NewWorld(opts Options) *World {
 
 	for _, h := range g.Hosts {
 		cl := g.ClusterOf(h)
-		w.Peers = append(w.Peers, mpd.New(s, net.Node(h.ID), mpd.Config{
+		w.Peers = append(w.Peers, mpd.New(w.shardFor(h.Site), net.Node(h.ID), mpd.Config{
 			Self: proto.PeerInfo{
 				ID: h.ID, Site: h.Site,
 				MPDAddr: h.ID + ":9000", RSAddr: h.ID + ":9001",
@@ -250,31 +306,91 @@ func NewWorld(opts Options) *World {
 	return w
 }
 
+// shardFor returns the scheduler of the shard owning a site (the single
+// scheduler when unsharded). Every daemon runs on the shard of its
+// host's site, so its actors only ever touch that shard's network state.
+func (w *World) shardFor(site string) *vtime.Scheduler {
+	if w.D == nil {
+		return w.S
+	}
+	return w.D.Shard(w.siteShard[site])
+}
+
+// shard returns shard i's scheduler (the single scheduler unsharded).
+func (w *World) shard(i int) *vtime.Scheduler {
+	if w.D == nil {
+		return w.S
+	}
+	return w.D.Shard(i)
+}
+
+// RunFor advances the world's virtual clock by d — the whole shard
+// domain when sharded, the single scheduler otherwise. Harness code must
+// pump through this (not w.S.RunFor) to drive every shard.
+func (w *World) RunFor(d time.Duration) {
+	if w.D != nil {
+		w.D.RunFor(d)
+		return
+	}
+	w.S.RunFor(d)
+}
+
 // Boot starts every daemon and warms up the submitter's latency table
 // (one cache refresh plus a ping round over all 350 peers).
 func (w *World) Boot() error {
-	var bootErr error
-	w.S.Go("exp.boot", func() {
-		for _, sn := range w.SNs {
-			if err := sn.Start(); err != nil {
-				bootErr = err
-				return
+	// Group the daemon starts by shard, preserving the global order
+	// (supernode tier, frontal, grid hosts) within each shard: one boot
+	// actor per shard spawns its daemons in that order, so every shard's
+	// vtime-0 registration storm executes in host-rank order and the
+	// cross-shard merge's rank tiebreak stitches the shards back into
+	// the sequential ordering. In an unsharded world this degenerates to
+	// the single historical "exp.boot" actor.
+	nsh := 1
+	if w.D != nil {
+		nsh = w.D.Shards()
+	}
+	starts := make([][]func() error, nsh)
+	shardIdx := func(site string) int {
+		if w.D == nil {
+			return 0
+		}
+		return w.siteShard[site]
+	}
+	for i, sn := range w.SNs {
+		site := w.Grid.Origin
+		if len(w.snHosts) > 0 {
+			site = w.snHosts[i].site
+		}
+		si := shardIdx(site)
+		starts[si] = append(starts[si], sn.Start)
+	}
+	fs := shardIdx(w.Grid.Origin)
+	starts[fs] = append(starts[fs], w.Frontal.Start)
+	for i, h := range w.Grid.Hosts {
+		si := shardIdx(h.Site)
+		starts[si] = append(starts[si], w.Peers[i].Start)
+	}
+	bootErrs := make([]error, nsh)
+	for si := range starts {
+		si := si
+		list := starts[si]
+		if len(list) == 0 {
+			continue
+		}
+		w.shard(si).Go("exp.boot", func() {
+			for _, start := range list {
+				if err := start(); err != nil {
+					bootErrs[si] = err
+					return
+				}
 			}
+		})
+	}
+	w.RunFor(2 * time.Second)
+	for _, err := range bootErrs {
+		if err != nil {
+			return err
 		}
-		if err := w.Frontal.Start(); err != nil {
-			bootErr = err
-			return
-		}
-		for _, p := range w.Peers {
-			if err := p.Start(); err != nil {
-				bootErr = err
-				return
-			}
-		}
-	})
-	w.S.RunFor(2 * time.Second)
-	if bootErr != nil {
-		return bootErr
 	}
 	// The frontal registered before the peers: refresh its view and
 	// measure everyone, as the MPD does before booking (§4.2 step 2).
@@ -283,8 +399,8 @@ func (w *World) Boot() error {
 			w.Frontal.Cache().Update(peers)
 		}
 	})
-	w.S.RunFor(5 * time.Second)
-	w.S.RunFor(w.opts.FrontalPingInterval + 10*time.Second) // one full probe round
+	w.RunFor(5 * time.Second)
+	w.RunFor(w.opts.FrontalPingInterval + 10*time.Second) // one full probe round
 	want := len(w.Peers)
 	if limit := w.opts.MaxPeersReturned; limit > 0 && limit-1 < want {
 		// A bounded reply window may include the frontal's own registry
@@ -352,7 +468,14 @@ func (w *World) StartChurn(cfg churn.Config) *churn.Driver {
 		},
 	})
 	d.SetHostCount(len(hosts)) // normalize DownFraction over the platform
-	d.Start()
+	if w.D != nil {
+		// Sharded worlds apply churn at window barriers: the hooks fail
+		// hosts and crash daemons across shards, which is only race-free
+		// with every shard parked at the transition's exact virtual time.
+		d.StartGlobal(w.D)
+	} else {
+		d.Start()
+	}
 	return d
 }
 
@@ -364,6 +487,10 @@ func (w *World) Close() {
 	w.Frontal.Close()
 	for _, p := range w.Peers {
 		p.Close()
+	}
+	if w.D != nil {
+		w.D.Shutdown()
+		return
 	}
 	w.S.Shutdown()
 }
@@ -421,7 +548,7 @@ func (w *World) Submit(spec mpd.JobSpec) (*mpd.JobResult, error) {
 		ch <- outcome{res, err}
 	})
 	for i := 0; i < 3600; i++ {
-		w.S.RunFor(time.Second)
+		w.RunFor(time.Second)
 		select {
 		case o := <-ch:
 			return o.res, o.err

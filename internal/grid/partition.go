@@ -1,0 +1,97 @@
+package grid
+
+import "time"
+
+// Partition assigns every site of a grid to one of n shards for the
+// conservative parallel simulator. Sites are never split: a site's LAN
+// traffic (87 µs RTTs, the vast majority of message volume once a
+// supernode shard is co-located) stays inside one shard's event loop,
+// and only inter-site backbone traffic crosses shards.
+type Partition struct {
+	// Shards holds contiguous runs of the grid's SiteOrder. Contiguity
+	// in SiteOrder matters for determinism: host ranks are assigned in
+	// site order, so shard k owns exactly one contiguous rank range and
+	// the cross-shard merge's rank tiebreak reproduces the sequential
+	// boot order. Shard 0 always contains the origin site (where the
+	// frontal/submitter lives).
+	Shards [][]string
+	// SiteShard maps each site name to its shard index.
+	SiteShard map[string]int
+}
+
+// PartitionSites splits the grid's sites into at most n contiguous,
+// host-balanced shards. n is clamped to [1, number of sites]; the
+// returned partition always has at least one site per shard. Balancing
+// is greedy by host count over the SiteOrder walk — deterministic, and
+// within a site of optimal for the synthetic grids (equal hosts per
+// site) this exists to serve.
+func (g *Grid) PartitionSites(n int) *Partition {
+	sites := g.SiteOrder
+	if n < 1 {
+		n = 1
+	}
+	if n > len(sites) {
+		n = len(sites)
+	}
+	counts := g.HostsBySite()
+	total := 0
+	for _, s := range sites {
+		total += counts[s]
+	}
+	p := &Partition{SiteShard: make(map[string]int, len(sites))}
+	// Greedy walk: each shard takes at least one site, then keeps taking
+	// until it holds its fair share of the remaining hosts — but always
+	// leaves one site apiece for the shards still to come. The last
+	// shard's target equals everything left, so the walk consumes the
+	// whole site list.
+	start := 0
+	remaining := total
+	for k := 0; k < n; k++ {
+		shardsLeft := n - k
+		target := (remaining + shardsLeft - 1) / shardsLeft
+		end := start + 1
+		acc := counts[sites[start]]
+		for end < len(sites) && len(sites)-end > shardsLeft-1 && acc < target {
+			acc += counts[sites[end]]
+			end++
+		}
+		run := sites[start:end]
+		p.Shards = append(p.Shards, run)
+		for _, s := range run {
+			p.SiteShard[s] = k
+		}
+		remaining -= acc
+		start = end
+	}
+	return p
+}
+
+// N returns the number of shards.
+func (p *Partition) N() int { return len(p.Shards) }
+
+// MinCrossLatency returns the minimum one-way base latency between any
+// pair of sites in different shards — the conservative lookahead for the
+// windowed parallel protocol. One-way latency is SiteRTT/2, matching
+// what the simulated network charges per hop. Returns 0 when the
+// partition has a single shard (no cross traffic, no lookahead needed).
+func (g *Grid) MinCrossLatency(p *Partition) time.Duration {
+	if p.N() <= 1 {
+		return 0
+	}
+	var min time.Duration
+	first := true
+	for i, run := range p.Shards {
+		for _, a := range run {
+			for j := i + 1; j < len(p.Shards); j++ {
+				for _, b := range p.Shards[j] {
+					l := g.SiteRTT(a, b) / 2
+					if first || l < min {
+						min = l
+						first = false
+					}
+				}
+			}
+		}
+	}
+	return min
+}

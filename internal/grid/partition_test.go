@@ -1,0 +1,114 @@
+package grid
+
+import (
+	"testing"
+	"time"
+)
+
+func testGrid(t *testing.T, spec string) *Grid {
+	t.Helper()
+	s, err := ParseTopologySpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Build()
+}
+
+// TestPartitionSitesInvariants: every partition is contiguous over
+// SiteOrder, covers every site exactly once, puts the origin in shard
+// 0, and never makes an empty shard.
+func TestPartitionSitesInvariants(t *testing.T) {
+	for _, spec := range []string{"synth:S=3,H=8", "synth:S=5,H=4", "synth:S=9,H=2"} {
+		g := testGrid(t, spec)
+		for n := 1; n <= len(g.SiteOrder)+3; n++ {
+			p := g.PartitionSites(n)
+			want := n
+			if want > len(g.SiteOrder) {
+				want = len(g.SiteOrder)
+			}
+			if p.N() != want {
+				t.Fatalf("%s n=%d: got %d shards, want %d", spec, n, p.N(), want)
+			}
+			// Concatenating the shards must reproduce SiteOrder — the
+			// contiguity that keeps shard 0's host ranks a prefix.
+			var flat []string
+			for i, shard := range p.Shards {
+				if len(shard) == 0 {
+					t.Fatalf("%s n=%d: shard %d empty", spec, n, i)
+				}
+				for _, s := range shard {
+					if p.SiteShard[s] != i {
+						t.Fatalf("%s n=%d: SiteShard[%s]=%d, want %d", spec, n, s, p.SiteShard[s], i)
+					}
+				}
+				flat = append(flat, shard...)
+			}
+			if len(flat) != len(g.SiteOrder) {
+				t.Fatalf("%s n=%d: %d sites partitioned, want %d", spec, n, len(flat), len(g.SiteOrder))
+			}
+			for i, s := range g.SiteOrder {
+				if flat[i] != s {
+					t.Fatalf("%s n=%d: partition not contiguous over SiteOrder: %v", spec, n, p.Shards)
+				}
+			}
+			if p.SiteShard[g.Origin] != 0 {
+				t.Fatalf("%s n=%d: origin %s not on shard 0", spec, n, g.Origin)
+			}
+		}
+	}
+}
+
+// TestPartitionBalance: with as many shards as sites, each site is its
+// own shard; with fewer, host counts stay within one site of balanced.
+func TestPartitionBalance(t *testing.T) {
+	g := testGrid(t, "synth:S=6,H=10")
+	p := g.PartitionSites(6)
+	for i, shard := range p.Shards {
+		if len(shard) != 1 {
+			t.Fatalf("shard %d = %v, want one site each", i, shard)
+		}
+	}
+	p = g.PartitionSites(3)
+	counts := make([]int, p.N())
+	hostsBySite := g.HostsBySite()
+	for site, sh := range p.SiteShard {
+		counts[sh] += hostsBySite[site]
+	}
+	for i, c := range counts {
+		if c != 20 { // 60 hosts over 3 shards of 2 equal sites each
+			t.Fatalf("shard %d has %d hosts, want 20 (counts %v)", i, c, counts)
+		}
+	}
+}
+
+// TestMinCrossLatency: the conservative lookahead is the true minimum
+// one-way latency over cross-shard site pairs — verified against a
+// brute-force scan — and zero only for single-shard partitions.
+func TestMinCrossLatency(t *testing.T) {
+	g := Grid5000()
+	for n := 1; n <= len(g.SiteOrder); n++ {
+		p := g.PartitionSites(n)
+		got := g.MinCrossLatency(p)
+		if n == 1 {
+			if got != 0 {
+				t.Fatalf("n=1: lookahead %v, want 0", got)
+			}
+			continue
+		}
+		min := time.Duration(0)
+		for _, a := range g.SiteOrder {
+			for _, b := range g.SiteOrder {
+				if p.SiteShard[a] == p.SiteShard[b] {
+					continue
+				}
+				l := g.SiteRTT(a, b) / 2
+				if min == 0 || l < min {
+					min = l
+				}
+			}
+		}
+		if got != min || got <= 0 {
+			t.Fatalf("n=%d: lookahead %v, brute force %v", n, got, min)
+		}
+	}
+}

@@ -43,7 +43,7 @@ func (nn *nodeNet) Listen(addr string) (transport.Listener, error) {
 		addr:    host + ":" + port,
 		host:    host,
 		port:    port,
-		acceptq: vtime.NewQueue[*conn](nn.n.rt),
+		acceptq: vtime.NewQueue[*conn](h.sh.rt),
 	}
 	h.listeners[port] = l
 	return l, nil
@@ -66,33 +66,68 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 	if to == nil {
 		return nil, transport.ErrUnreachable
 	}
+	if from.sh != to.sh {
+		return nn.dialCross(from, to, rhost, rport)
+	}
 	// The whole connection — handshake and both directions of later
 	// traffic — draws its jitter from one per-flow stream minted here,
 	// keyed by (dialer, destination host, destination port, dial
 	// sequence). See flowKey for why.
-	rng := n.flowRNG(flowKey{from: nn.host, to: rhost, port: rport})
+	rt := from.sh.rt
+	rng, _ := from.sh.flowRNG(n.cfg.Seed, flowKey{from: nn.host, to: rhost, port: rport})
 	// SYN travels one way; the handshake result travels back. The dialer
 	// observes a full round trip before Dial returns, like TCP.
 	synArrival := n.planDelivery(rng, from, to, 64)
-	resultq := vtime.NewQueue[dialResult](n.rt)
+	resultq := vtime.NewQueue[dialResult](rt)
 
-	n.rt.Schedule(synArrival-n.rt.Elapsed(), func() {
+	rt.Schedule(synArrival-rt.Elapsed(), func() {
 		l := to.listeners[rport]
 		if to.down || l == nil || l.closed {
 			// Connection refused: the RST also takes one trip back.
 			back := n.planDelivery(rng, to, from, 64)
-			n.rt.Schedule(back-n.rt.Elapsed(), func() {
+			rt.Schedule(back-rt.Elapsed(), func() {
 				resultq.Push(dialResult{err: transport.ErrUnreachable})
 			})
 			return
 		}
 		local := nn.host + ":" + itoa(ephemeral(from))
-		pair := newConnPair(n, from, to, local, l.addr, rng)
+		pair := newConnPair(n, from, to, local, l.addr, rng, nil)
 		back := n.planDelivery(rng, to, from, 64)
 		l.acceptq.Push(pair.server)
-		n.rt.Schedule(back-n.rt.Elapsed(), func() {
+		rt.Schedule(back-rt.Elapsed(), func() {
 			resultq.Push(dialResult{c: pair.client})
 		})
+	})
+	r, ok := resultq.Pop()
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return r.c, r.err
+}
+
+// dialCross originates a connection whose endpoints live on different
+// shards. The SYN's sender-side work (flow stream mint, NIC-out
+// reservation, jitter draw, ephemeral port) happens here on the dialer's
+// shard; the rest of the handshake crosses via the barrier merge (see
+// shard.go). Like the sequential path, the dialer blocks until a full
+// round trip completes.
+func (nn *nodeNet) dialCross(from, to *netHost, rhost, rport string) (transport.Conn, error) {
+	n := nn.n
+	sh := from.sh
+	rng, src := sh.flowRNG(n.cfg.Seed, flowKey{from: nn.host, to: rhost, port: rport})
+	now := sh.rt.Elapsed()
+	partial := from.nicOut.reserve(now, 64)
+	jit := n.jitter(rng, n.topo.SiteLatency(from.site, to.site))
+	// The ephemeral port is allocated at dial time (the sequential path
+	// allocates it when the SYN lands, but that would mutate the dialer
+	// host from the remote shard). Port numbers never feed timing or
+	// payload bytes, so the numbering difference is unobservable.
+	local := nn.host + ":" + itoa(ephemeral(from))
+	resultq := vtime.NewQueue[dialResult](sh.rt)
+	sh.emit(xmsg{
+		kind: xDial, at: now, rank: from.rank, size: 64,
+		partial: partial, jit: jit, state: src.state,
+		from: from, to: to, port: rport, local: local, resultq: resultq,
 	})
 	r, ok := resultq.Pop()
 	if !ok {
@@ -173,33 +208,51 @@ type conn struct {
 	remote      string
 	lh          *netHost    // local endpoint host
 	rh          *netHost    // remote endpoint host
+	sh          *netShard   // local endpoint's shard state
 	pipe        *serializer // backbone pipe between the two sites
 	base        time.Duration
-	rng         *rand.Rand // the flow's jitter stream (shared with peer)
+	rng         *rand.Rand // the flow's jitter stream (shared with peer
+	//                        when same-shard; per-endpoint when cross)
+	src         *flowSource // cross only: this endpoint's stream state
 	inbox       *vtime.Queue[transport.Message]
 	peer        *conn
+	cross       bool // endpoints live on different shards
 	closed      bool
+	peerClosed  bool          // cross only: mirror of peer.closed, set by FIN
 	lastArrival time.Duration // FIFO clamp for messages *arriving at peer*
 }
 
-func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string, rng *rand.Rand) *connPair {
+// newConnPair wires both endpoints of one connection. src is the flow
+// stream's raw state source, required (non-nil) when the endpoints live
+// on different shards: the accepting endpoint keeps it, and the dialing
+// endpoint gets a private stream whose state is synced from each
+// crossing message, reproducing the sequential shared-stream draw order
+// for alternating request/reply traffic.
+func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string, rng *rand.Rand, src *flowSource) *connPair {
 	pipe := n.pipe(ch.site, sh.site)
 	client := &conn{
 		n: n, local: clientAddr, remote: serverAddr,
-		lh: ch, rh: sh, pipe: pipe,
+		lh: ch, rh: sh, sh: ch.sh, pipe: pipe,
 		base:  n.topo.SiteLatency(ch.site, sh.site),
 		rng:   rng,
-		inbox: vtime.NewQueue[transport.Message](n.rt),
+		inbox: vtime.NewQueue[transport.Message](ch.sh.rt),
 	}
 	server := &conn{
 		n: n, local: serverAddr, remote: clientAddr,
-		lh: sh, rh: ch, pipe: pipe,
+		lh: sh, rh: ch, sh: sh.sh, pipe: pipe,
 		base:  n.topo.SiteLatency(sh.site, ch.site),
 		rng:   rng,
-		inbox: vtime.NewQueue[transport.Message](n.rt),
+		inbox: vtime.NewQueue[transport.Message](sh.sh.rt),
 	}
 	client.peer = server
 	server.peer = client
+	if ch.sh != sh.sh {
+		client.cross, server.cross = true, true
+		server.src = src
+		csrc := &flowSource{}
+		client.src = csrc
+		client.rng = rand.New(csrc)
+	}
 	return &connPair{client: client, server: server}
 }
 
@@ -209,41 +262,49 @@ func newConnPair(n *Net, ch, sh *netHost, clientAddr, serverAddr string, rng *ra
 // a burst of sends that outruns delivery (nothing recycled yet) costs
 // one allocation per block of messages, not one per message.
 type delivery struct {
-	n    *Net
-	peer *conn
-	msg  transport.Message
-	next *delivery // free-list link
+	sh    *netShard // owning (receiving) shard's free list
+	peer  *conn
+	msg   transport.Message
+	state uint64 // cross only: sender's flow-stream state to adopt
+	sync  bool   // cross only: apply state on delivery
+	next  *delivery // free-list link
 }
 
 const deliveryBlock = 256
 
-func (n *Net) getDelivery() *delivery {
-	d := n.delFree
+func (sh *netShard) getDelivery() *delivery {
+	d := sh.delFree
 	if d == nil {
 		block := make([]delivery, deliveryBlock)
 		for i := 1; i < len(block); i++ {
-			block[i].n = n
-			block[i].next = n.delFree
-			n.delFree = &block[i]
+			block[i].sh = sh
+			block[i].next = sh.delFree
+			sh.delFree = &block[i]
 		}
-		block[0].n = n
+		block[0].sh = sh
 		return &block[0]
 	}
-	n.delFree = d.next
+	sh.delFree = d.next
 	d.next = nil
 	return d
 }
 
 // fireDelivery delivers the message (or drops it if the destination died
 // while it was in flight) and recycles the carrier. Package-level so
-// scheduling it captures nothing.
+// scheduling it captures nothing. For cross-shard frames it first syncs
+// the receiving endpoint's flow stream to the sender's post-draw state.
 func fireDelivery(a any) {
 	d := a.(*delivery)
-	n, peer, msg := d.n, d.peer, d.msg
+	sh, peer, msg := d.sh, d.peer, d.msg
+	if d.sync && peer.src != nil {
+		peer.src.state = d.state
+	}
 	d.peer = nil
 	d.msg = transport.Message{}
-	d.next = n.delFree
-	n.delFree = d
+	d.state = 0
+	d.sync = false
+	d.next = sh.delFree
+	sh.delFree = d
 	if peer.lh.down {
 		msg.Release()
 		return
@@ -262,6 +323,9 @@ func (c *conn) Send(m transport.Message) error {
 	if c.lh.down {
 		return transport.ErrClosed
 	}
+	if c.cross {
+		return c.sendCross(m)
+	}
 	if c.rh.down || c.peer.closed {
 		// Messages into the void are silently dropped, like TCP segments
 		// toward a dead host; the sender learns via higher-level timeout.
@@ -275,15 +339,46 @@ func (c *conn) Send(m transport.Message) error {
 
 	// Copy the payload — the sender may reuse its buffer immediately —
 	// into a pooled buffer that the receiver's Release recycles.
+	sh := c.sh
 	var cp []byte
 	if len(m.Payload) > 0 {
-		cp = n.bufPool.Get(len(m.Payload))
+		cp = sh.bufPool.Get(len(m.Payload))
 		copy(cp, m.Payload)
 	}
-	d := n.getDelivery()
+	d := sh.getDelivery()
 	d.peer = c.peer
-	d.msg = transport.Pooled(cp, m.Virtual, &n.bufPool)
-	n.rt.ScheduleArg(arrival-n.rt.Elapsed(), fireDelivery, d)
+	d.msg = transport.Pooled(cp, m.Virtual, &sh.bufPool)
+	sh.rt.ScheduleArg(arrival-sh.rt.Elapsed(), fireDelivery, d)
+	return nil
+}
+
+// sendCross emits a frame whose receiver lives on another shard: the
+// sender-side half of the plan runs now, the rest at the barrier merge.
+// The down/closed checks mirror the sequential path, except peer state
+// is known only as of the last barrier — the causal limit of what a
+// remote shard can observe.
+func (c *conn) sendCross(m transport.Message) error {
+	if c.rh.down || c.peerClosed {
+		return nil
+	}
+	n, sh := c.n, c.sh
+	now := sh.rt.Elapsed()
+	size := m.Size() + frameOverhead
+	partial := c.lh.nicOut.reserve(now, size)
+	jit := n.jitter(c.rng, c.base)
+	// The payload copy comes from the sender shard's pool and is
+	// released into the receiver shard's pool after delivery — capacity
+	// migrates along traffic, each pool still touched by one shard only.
+	var cp []byte
+	if len(m.Payload) > 0 {
+		cp = sh.bufPool.Get(len(m.Payload))
+		copy(cp, m.Payload)
+	}
+	sh.emit(xmsg{
+		kind: xSend, at: now, rank: c.lh.rank, size: size,
+		partial: partial, jit: jit, state: c.src.state,
+		c: c, msg: transport.Message{Payload: cp, Virtual: m.Virtual},
+	})
 	return nil
 }
 
@@ -306,15 +401,23 @@ func (c *conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.inbox.Close()
+	if c.cross {
+		// The FIN crosses at the barrier; its arrival is computed there
+		// so it trails any same-window data (FIFO via lastArrival).
+		now := c.sh.rt.Elapsed()
+		c.sh.emit(xmsg{kind: xFin, at: now, rank: c.lh.rank, c: c})
+		return nil
+	}
 	peer := c.peer
+	rt := c.sh.rt
 	fin := c.lastArrival
-	if e := c.n.rt.Elapsed() + c.base; e > fin {
+	if e := rt.Elapsed() + c.base; e > fin {
 		fin = e
 	}
-	c.inbox.Close()
 	// FIN arrives after all in-flight data (FIFO), closing the peer's
 	// inbox so its pending Recv drains buffered messages then ErrClosed.
-	c.n.rt.Schedule(fin-c.n.rt.Elapsed(), func() {
+	rt.Schedule(fin-rt.Elapsed(), func() {
 		peer.inbox.Close()
 	})
 	return nil

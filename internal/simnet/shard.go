@@ -1,0 +1,452 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// Sharded-mode cross-shard traffic.
+//
+// Same-shard traffic takes the exact sequential code path (plan +
+// ScheduleArg on the shard's own heap). A message whose endpoints live
+// on different shards cannot touch the receiving shard's state from the
+// sender's event loop, so its network plan is split in two:
+//
+//   - at send time (sender's shard): reserve the sender's NIC-out, draw
+//     the flow's jitter, and append an xmsg to the shard's outbox;
+//   - at the barrier (driver goroutine, all shards parked): sort every
+//     outbox entry by (send time, sender host rank, emission seq),
+//     replay the backbone-pipe and receiver-NIC reservations in that
+//     global order, and schedule the delivery event on the receiving
+//     shard's heap.
+//
+// The merge order is a superset of the sequential execution order for
+// the cross traffic, so pipe and NIC frontiers advance identically; the
+// rank tiebreak reproduces the sequential boot spawn order for the
+// (measure-zero outside vtime 0, overwhelming at vtime 0) case of equal
+// send timestamps. Each crossing message also carries the sender's
+// post-draw jitter-stream state, which the receiver adopts on delivery —
+// for the middleware's strictly alternating request/reply conns this
+// reproduces the sequential shared-stream draw order exactly.
+//
+// The conservative lookahead guarantees every merged arrival lands at or
+// after the shards' committed horizon; VTIME_CHECK mode asserts it.
+
+// ShardConfig describes the static world layout NewSharded freezes.
+type ShardConfig struct {
+	// SiteShard maps every site to its shard index. All hosts of a site
+	// share a shard so LAN traffic never crosses.
+	SiteShard map[string]int
+	// Hosts lists every host ID in deterministic boot order. The index
+	// becomes the host's global rank — the merge tiebreak that
+	// reproduces sequential ordering for same-timestamp sends. Hosts
+	// not listed here are unreachable in sharded mode.
+	Hosts []string
+	// Check enables the lookahead-safety assertion: a cross-shard
+	// delivery computed to arrive before the receiving shard's committed
+	// horizon panics instead of silently rewriting history. Enabled by
+	// exp worlds when VTIME_CHECK=1.
+	Check bool
+	// LookaheadOverride, when positive, replaces the domain's lookahead
+	// in diagnostics. Tests use it to describe the (possibly adversarial)
+	// bound in violation messages.
+	LookaheadOverride time.Duration
+}
+
+// NewSharded creates a simulated network spread over the shards of a
+// vtime.Domain. The domain must have been built with a lookahead no
+// larger than the minimum cross-shard SiteLatency of topo, or the
+// conservative window protocol is unsound (enable ShardConfig.Check to
+// assert it). The network registers its merge as a domain barrier
+// callback.
+func NewSharded(dom *vtime.Domain, topo Topology, cfg Config, sc ShardConfig) *Net {
+	if cfg.NICBps <= 0 {
+		cfg.NICBps = 1_000_000_000
+	}
+	ns := dom.Shards()
+	n := &Net{
+		topo:    topo,
+		cfg:     cfg,
+		sharded: ns > 1,
+		check:   sc.Check,
+		sh:      make([]*netShard, ns),
+		hosts:   make(map[string]*netHost, len(sc.Hosts)),
+		pipes:   make(map[sitePair]*serializer),
+		winID:   1,
+	}
+	for i := range n.sh {
+		n.sh[i] = &netShard{
+			idx:     i,
+			rt:      dom.Shard(i),
+			flowSeq: make(map[flowKey]uint64),
+		}
+	}
+	// Freeze the host table in rank order.
+	for rank, id := range sc.Hosts {
+		site := n.topo.Site(id)
+		if site == "" {
+			panic(fmt.Sprintf("simnet: sharded host %q has no site", id))
+		}
+		shard, ok := sc.SiteShard[site]
+		if !ok {
+			panic(fmt.Sprintf("simnet: site %q of host %q has no shard", site, id))
+		}
+		n.hosts[id] = &netHost{
+			id:        id,
+			site:      site,
+			sh:        n.sh[shard],
+			rank:      rank,
+			listeners: make(map[string]*listener),
+			nicOut:    serializer{bps: cfg.NICBps},
+			nicIn:     serializer{bps: cfg.NICBps},
+			nextPort:  20000,
+		}
+	}
+	n.nextRank = len(sc.Hosts)
+	// Freeze the pipe table: lazy creation would race between shard
+	// loops. Site order is irrelevant (pipes carry no creation-order
+	// state) but sorted anyway for reproducible iteration in debugging.
+	sites := make([]string, 0, len(sc.SiteShard))
+	for s := range sc.SiteShard {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for i, a := range sites {
+		for _, b := range sites[i:] {
+			key := pipeKey(a, b)
+			if n.pipes[key] == nil {
+				n.pipes[key] = &serializer{bps: n.topo.SiteBps(a, b)}
+			}
+		}
+	}
+	if n.sharded {
+		dom.OnBarrier(n.mergeCross)
+	}
+	return n
+}
+
+// xmsg kinds: the four ways traffic crosses a shard boundary.
+const (
+	xSend   uint8 = iota // established-conn data frame
+	xDial                // SYN of a new connection
+	xAccept              // handshake success travelling back
+	xRefuse              // handshake RST travelling back
+	xFin                 // close marker trailing the data
+)
+
+// xmsg is one cross-shard emission, parked in the sender shard's outbox
+// until the barrier merge.
+type xmsg struct {
+	kind    uint8
+	at      time.Duration // emission (send) time
+	rank    int           // emitting host's global rank
+	seq     uint64        // per-shard emission sequence
+	size    int64         // wire size including frame overhead
+	partial time.Duration // sender-side frontier: NIC-out finish time
+	jit     time.Duration // jitter, drawn at emission from the flow stream
+	state   uint64        // flow-stream state after the sender's draws
+
+	c *conn // xSend/xFin: the *sender's* endpoint
+
+	// handshake fields
+	from, to *netHost
+	port     string
+	local    string
+	resultq  *vtime.Queue[dialResult]
+	client   *conn // xAccept: the dialer's endpoint to hand back
+
+	msg transport.Message // xSend payload (pool-less until retargeted)
+}
+
+// emit appends x to the shard's outbox, stamping the emission sequence.
+func (sh *netShard) emit(x xmsg) {
+	sh.seq++
+	x.seq = sh.seq
+	sh.out = append(sh.out, x)
+}
+
+// mergeCross is the barrier drain: it replays every cross-shard emission
+// of the closing window in global (time, rank, seq) order against the
+// shared serializers and schedules the resulting events on the receiving
+// shards. It runs on the domain driver goroutine with all shards parked
+// at the committed horizon, so it may touch any shard's state.
+func (n *Net) mergeCross() {
+	defer n.closeWindow()
+	buf := n.xscratch[:0]
+	for _, sh := range n.sh {
+		buf = append(buf, sh.out...)
+		clearX(sh.out)
+		sh.out = sh.out[:0]
+	}
+	if len(buf) == 0 {
+		n.xscratch = buf
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.seq < b.seq
+	})
+	for i := range buf {
+		n.applyCross(&buf[i])
+	}
+	clearX(buf)
+	n.xscratch = buf[:0]
+}
+
+// clearX zeroes the entries so the scratch slice pins no conns/payloads.
+func clearX(s []xmsg) {
+	for i := range s {
+		s[i] = xmsg{}
+	}
+}
+
+// reserveCross computes the finish time of one cross-shard reservation
+// on a receiver NIC as if it had been made in global (start, rank)
+// order — the order the sequential run reserves in. It replays the
+// window's logged local reservations up to the cross entry's sort
+// position against a fresh frontier that starts at the window-start
+// value, then slots the cross reservation in. Successive cross calls on
+// one serializer arrive already sorted (the merge processes the global
+// (at, rank, seq) order), so the cursor only moves forward.
+func (n *Net) reserveCross(s *serializer, start time.Duration, rank int, size int64) time.Duration {
+	if s.mergeID != n.winID {
+		s.mergeID = n.winID
+		if s.winID != n.winID { // no local reservations this window
+			s.winID = n.winID
+			s.winBusy = s.busy
+			s.log = s.log[:0]
+		}
+		s.pos = 0
+		s.xbusy = s.winBusy
+		n.merged = append(n.merged, s)
+	}
+	s.replayLog(start, rank)
+	if s.xbusy < start {
+		s.xbusy = start
+	}
+	s.xbusy += s.cost(size)
+	return s.xbusy
+}
+
+// replayLog advances the merge cursor through local log entries that
+// sort before (start, rank), folding them into the replay frontier. A
+// recomputed finish above the recorded one means a cross reservation
+// queued ahead of a local message whose delivery already used the
+// optimistic value — the frontier keeps the exact (recomputed) value so
+// everything after it stays in sequential order; the delivered message
+// itself cannot be recalled (its drift is bounded by the overlap).
+func (s *serializer) replayLog(start time.Duration, rank int) {
+	for s.pos < len(s.log) {
+		e := &s.log[s.pos]
+		if e.start > start || (e.start == start && e.rank > rank) {
+			break
+		}
+		f := s.xbusy
+		if f < e.start {
+			f = e.start
+		}
+		f += s.cost(e.size)
+		if f < e.finish {
+			f = e.finish
+		}
+		s.xbusy = f
+		s.pos++
+	}
+}
+
+// closeWindow settles every serializer the merge touched — remaining
+// local log entries replay into the frontier, which becomes the busy
+// value the next window's local reservations build on — and opens the
+// next window. Registered to run at the end of every barrier merge.
+func (n *Net) closeWindow() {
+	for i, s := range n.merged {
+		s.replayLog(1<<62, 1<<31)
+		s.busy = s.xbusy
+		n.merged[i] = nil
+	}
+	n.merged = n.merged[:0]
+	n.winID++
+}
+
+// horizonCheck panics when a cross-shard event would land in the
+// receiving shard's past — the lookahead-safety invariant. now is the
+// committed horizon (every shard clock equals it during a barrier).
+func (n *Net) horizonCheck(kind string, at, arrival, now time.Duration) {
+	if !n.check || arrival >= now {
+		return
+	}
+	panic(fmt.Sprintf(
+		"simnet: lookahead violation: cross-shard %s sent at %s arrives at %s, before the committed horizon %s (window too wide for the real minimum latency)",
+		kind, at, arrival, now))
+}
+
+// applyCross replays one emission.
+func (n *Net) applyCross(x *xmsg) {
+	switch x.kind {
+	case xSend:
+		c := x.c
+		peer := c.peer
+		dst := peer.sh
+		finish := x.partial
+		if f := c.pipe.reserve(x.at, x.size); f > finish {
+			finish = f
+		}
+		if f := n.reserveCross(&c.rh.nicIn, x.at, x.rank, x.size); f > finish {
+			finish = f
+		}
+		arrival := finish + c.base + x.jit
+		if arrival <= c.lastArrival {
+			arrival = c.lastArrival + time.Nanosecond
+		}
+		c.lastArrival = arrival
+		now := dst.rt.Elapsed()
+		n.horizonCheck("frame", x.at, arrival, now)
+		d := dst.getDelivery()
+		d.peer = peer
+		d.msg = transport.Pooled(x.msg.Payload, x.msg.Virtual, &dst.bufPool)
+		d.state = x.state
+		d.sync = true
+		dst.rt.ScheduleArg(arrival-now, fireDelivery, d)
+
+	case xDial:
+		from, to := x.from, x.to
+		dst := to.sh
+		pipe := n.pipe(from.site, to.site)
+		base := n.topo.SiteLatency(from.site, to.site)
+		finish := x.partial
+		if f := pipe.reserve(x.at, x.size); f > finish {
+			finish = f
+		}
+		if f := n.reserveCross(&to.nicIn, x.at, x.rank, x.size); f > finish {
+			finish = f
+		}
+		syn := finish + base + x.jit
+		now := dst.rt.Elapsed()
+		n.horizonCheck("SYN", x.at, syn, now)
+		dst.rt.ScheduleArg(syn-now, fireCrossSYN, &xdialEvt{
+			n: n, from: from, to: to,
+			port: x.port, local: x.local,
+			resultq: x.resultq, state: x.state,
+		})
+
+	case xAccept, xRefuse:
+		// Handshake reply travelling server→dialer.
+		from, to := x.from, x.to // as in the original dial: from = dialer
+		dst := from.sh
+		pipe := n.pipe(to.site, from.site)
+		base := n.topo.SiteLatency(to.site, from.site)
+		finish := x.partial
+		if f := pipe.reserve(x.at, x.size); f > finish {
+			finish = f
+		}
+		if f := n.reserveCross(&from.nicIn, x.at, x.rank, x.size); f > finish {
+			finish = f
+		}
+		arrival := finish + base + x.jit
+		now := dst.rt.Elapsed()
+		n.horizonCheck("handshake reply", x.at, arrival, now)
+		ev := &xresEvt{resultq: x.resultq, state: x.state}
+		if x.kind == xAccept {
+			ev.c = x.client
+		}
+		dst.rt.ScheduleArg(arrival-now, fireCrossDialResult, ev)
+
+	case xFin:
+		c := x.c
+		peer := c.peer
+		dst := peer.sh
+		fin := c.lastArrival
+		if e := x.at + c.base; e > fin {
+			fin = e
+		}
+		now := dst.rt.Elapsed()
+		n.horizonCheck("FIN", x.at, fin, now)
+		dst.rt.ScheduleArg(fin-now, fireCrossFin, peer)
+	}
+}
+
+// xdialEvt carries a cross-shard SYN from the merge to the destination
+// shard's event loop.
+type xdialEvt struct {
+	n        *Net
+	from, to *netHost
+	port     string
+	local    string
+	resultq  *vtime.Queue[dialResult]
+	state    uint64
+}
+
+// fireCrossSYN runs on the destination shard when a cross-shard SYN
+// arrives: it accepts or refuses exactly like the sequential dial
+// callback, then emits the handshake reply back across the boundary.
+func fireCrossSYN(a any) {
+	e := a.(*xdialEvt)
+	n, from, to := e.n, e.from, e.to
+	sh := to.sh
+	now := sh.rt.Elapsed()
+	src := &flowSource{state: e.state}
+	rng := rand.New(src)
+	back := n.topo.SiteLatency(to.site, from.site)
+	l := to.listeners[e.port]
+	if to.down || l == nil || l.closed {
+		partial := to.nicOut.reserve(now, 64)
+		jit := n.jitter(rng, back)
+		sh.emit(xmsg{
+			kind: xRefuse, at: now, rank: to.rank, size: 64,
+			partial: partial, jit: jit, state: src.state,
+			from: from, to: to, resultq: e.resultq,
+		})
+		return
+	}
+	pair := newConnPair(n, from, to, e.local, l.addr, rng, src)
+	partial := to.nicOut.reserve(now, 64)
+	jit := n.jitter(rng, back)
+	l.acceptq.Push(pair.server)
+	sh.emit(xmsg{
+		kind: xAccept, at: now, rank: to.rank, size: 64,
+		partial: partial, jit: jit, state: src.state,
+		from: from, to: to, resultq: e.resultq, client: pair.client,
+	})
+}
+
+// xresEvt carries a handshake reply from the merge to the dialer shard.
+type xresEvt struct {
+	resultq *vtime.Queue[dialResult]
+	c       *conn // nil on refusal
+	state   uint64
+}
+
+// fireCrossDialResult completes a cross-shard Dial on the dialer's
+// shard, seeding the client endpoint's flow stream with the state the
+// reply carried.
+func fireCrossDialResult(a any) {
+	e := a.(*xresEvt)
+	if e.c == nil {
+		e.resultq.Push(dialResult{err: transport.ErrUnreachable})
+		return
+	}
+	e.c.src.state = e.state
+	e.resultq.Push(dialResult{c: e.c})
+}
+
+// fireCrossFin closes the receiving endpoint when a cross-shard FIN
+// arrives: pending Recvs drain buffered frames then see ErrClosed, and
+// the endpoint's own sends start dropping into the void (the mirror of
+// the sequential peer.closed check, shifted by one network trip — the
+// earliest a remote shard can causally learn of the close).
+func fireCrossFin(a any) {
+	peer := a.(*conn)
+	peer.peerClosed = true
+	peer.inbox.Close()
+}

@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/transport"
+	"p2pmpi/internal/vtime"
+)
+
+// twoSiteTopo is a minimal cross-shard world: two sites, two hosts
+// each, a single backbone latency.
+func twoSiteTopo(oneWay time.Duration) *StaticTopology {
+	return &StaticTopology{
+		HostSite: map[string]string{
+			"a1": "east", "a2": "east",
+			"b1": "west", "b2": "west",
+		},
+		DefLat: oneWay,
+	}
+}
+
+// shardedNet builds a 2-shard domain (east on shard 0, west on shard 1)
+// over the topology, with the given conservative lookahead.
+func shardedNet(t *testing.T, topo *StaticTopology, lookahead time.Duration, check bool) (*vtime.Domain, *Net) {
+	t.Helper()
+	dom := vtime.NewDomain(2, lookahead)
+	t.Cleanup(dom.Shutdown)
+	n := NewSharded(dom, topo, Config{Seed: 1, NICBps: 1_000_000_000}, ShardConfig{
+		SiteShard: map[string]int{"east": 0, "west": 1},
+		Hosts:     []string{"a1", "a2", "b1", "b2"},
+		Check:     check,
+	})
+	return dom, n
+}
+
+// echoWorld runs one request/reply exchange from a1 (shard 0) to b1
+// (shard 1) and returns the dial completion and reply arrival virtual
+// times as observed by the client.
+func echoWorld(t *testing.T, rt0, rt1 *vtime.Scheduler, n *Net, run func()) (dialDone, replyAt time.Duration) {
+	t.Helper()
+	rt1.Go("server", func() {
+		l, err := n.Node("b1").Listen("b1:700")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		m, err := c.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if err := c.Send(transport.Message{Payload: append([]byte("re:"), m.Payload...)}); err != nil {
+			t.Errorf("server send: %v", err)
+		}
+	})
+	rt0.Go("client", func() {
+		rt0.Sleep(time.Millisecond)
+		c, err := n.Node("a1").Dial("b1:700")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		dialDone = rt0.Elapsed()
+		if err := c.Send(transport.Message{Payload: []byte("ping")}); err != nil {
+			t.Errorf("client send: %v", err)
+			return
+		}
+		m, err := c.Recv()
+		if err != nil {
+			t.Errorf("client recv: %v", err)
+			return
+		}
+		if string(m.Payload) != "re:ping" {
+			t.Errorf("bad reply %q", m.Payload)
+		}
+		replyAt = rt0.Elapsed()
+	})
+	run()
+	return dialDone, replyAt
+}
+
+// TestCrossShardEchoMatchesSequential: the same exchange on a sharded
+// domain and on a plain single scheduler must land at identical virtual
+// times — the windowed barrier protocol is invisible to the simulated
+// clocks.
+func TestCrossShardEchoMatchesSequential(t *testing.T) {
+	const oneWay = 5 * time.Millisecond
+
+	s := vtime.New()
+	n1 := New(s, twoSiteTopo(oneWay), Config{Seed: 1, NICBps: 1_000_000_000})
+	seqDial, seqReply := echoWorld(t, s, s, n1, s.Wait)
+	s.Shutdown()
+
+	dom, n2 := shardedNet(t, twoSiteTopo(oneWay), oneWay, true)
+	shDial, shReply := echoWorld(t, dom.Shard(0), dom.Shard(1), n2, dom.Wait)
+
+	if seqDial == 0 || seqReply == 0 {
+		t.Fatal("sequential exchange did not complete")
+	}
+	if shDial != seqDial || shReply != seqReply {
+		t.Fatalf("sharded times diverged: dial %v vs %v, reply %v vs %v",
+			shDial, seqDial, shReply, seqReply)
+	}
+	if dom.Windows() == 0 {
+		t.Fatal("domain never ran a window")
+	}
+}
+
+// TestLookaheadSafetyClean: with the lookahead at the true minimum
+// backbone latency and VTIME_CHECK-style assertions armed, sustained
+// bidirectional traffic never lands below a shard's committed horizon.
+func TestLookaheadSafetyClean(t *testing.T) {
+	const oneWay = 2 * time.Millisecond
+	dom, n := shardedNet(t, twoSiteTopo(oneWay), oneWay, true)
+	runShardTraffic(t, dom, n, 200)
+}
+
+// TestLookaheadViolationPanics: an adversarially wide window — the
+// domain claims a lookahead far above the real backbone latency — must
+// trip the Check assertion instead of silently rewriting a shard's
+// past. This is the stress half of the lookahead-safety contract: the
+// panic is the only thing standing between a mis-derived lookahead and
+// corrupted simulation output.
+func TestLookaheadViolationPanics(t *testing.T) {
+	const oneWay = 100 * time.Microsecond // adversarially fast backbone
+	topo := twoSiteTopo(oneWay)
+	dom := vtime.NewDomain(2, 50*time.Millisecond) // wildly optimistic
+	defer dom.Shutdown()
+	n := NewSharded(dom, topo, Config{Seed: 1, NICBps: 1_000_000_000}, ShardConfig{
+		SiteShard: map[string]int{"east": 0, "west": 1},
+		Hosts:     []string{"a1", "a2", "b1", "b2"},
+		Check:     true,
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a lookahead-violation panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "lookahead violation") {
+			panic(r) // not ours — re-raise
+		}
+	}()
+	runShardTraffic(t, dom, n, 50)
+}
+
+// runShardTraffic drives request/reply pairs in both directions across
+// the shard boundary for the given number of rounds.
+func runShardTraffic(t *testing.T, dom *vtime.Domain, n *Net, rounds int) {
+	t.Helper()
+	serve := func(rt *vtime.Scheduler, host, addr string) {
+		rt.Go(host+".srv", func() {
+			l, err := n.Node(host).Listen(addr)
+			if err != nil {
+				t.Errorf("%s listen: %v", host, err)
+				return
+			}
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				rt.Go(host+".conn", func() {
+					for {
+						m, err := c.Recv()
+						if err != nil {
+							return
+						}
+						if err := c.Send(transport.Message{Payload: m.Payload}); err != nil {
+							return
+						}
+					}
+				})
+			}
+		})
+	}
+	client := func(rt *vtime.Scheduler, host, target string) {
+		rt.Go(host+".cli", func() {
+			rt.Sleep(time.Millisecond)
+			c, err := n.Node(host).Dial(target)
+			if err != nil {
+				t.Errorf("%s dial: %v", host, err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				if err := c.Send(transport.Message{Payload: []byte("x")}); err != nil {
+					return
+				}
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+			c.Close()
+		})
+	}
+	serve(dom.Shard(1), "b1", "b1:700")
+	serve(dom.Shard(0), "a1", "a1:700")
+	client(dom.Shard(0), "a2", "b1:700")
+	client(dom.Shard(1), "b2", "a1:700")
+	dom.Wait()
+}

@@ -47,27 +47,52 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Net is a simulated network bound to one scheduler.
+// Net is a simulated network bound to one scheduler — or, in sharded
+// mode (NewSharded), to the shards of a vtime.Domain.
 //
 // Net carries no lock of its own: every method (and every method of the
 // conns and listeners it hands out) executes in scheduler context —
 // actor goroutines and event callbacks, of which exactly one runs at any
-// moment — so the scheduler's own synchronization serializes all state
-// and publishes it across goroutines. Callers outside that context
-// (tests poking FailHost between RunFor pumps) are safe as long as the
-// scheduler is idle at the time, which Wait/RunFor guarantee on return.
-// This is the single-writer design that keeps the per-message fast path
-// free of lock traffic; see docs/PERF.md.
+// moment per shard — so the scheduler's own synchronization serializes
+// all state and publishes it across goroutines. Callers outside that
+// context (tests poking FailHost between RunFor pumps) are safe as long
+// as the scheduler is idle at the time, which Wait/RunFor guarantee on
+// return. This is the single-writer design that keeps the per-message
+// fast path free of lock traffic; see docs/PERF.md.
+//
+// In sharded mode all mutable per-message state (jitter sequence maps,
+// buffer pools, delivery free lists, outboxes) lives in per-shard
+// netShard structs, each touched only by its own shard's event loop
+// during a window; everything that spans shards (host table, pipe table)
+// is pre-built and read-only while windows run, or touched only at
+// barriers (cross-shard serializer frontiers, see shard.go).
 type Net struct {
-	rt   *vtime.Scheduler
 	topo Topology
 	cfg  Config
 
+	sh       []*netShard // per-shard mutable state; len 1 when unsharded
+	sharded  bool
+	check    bool // panic on lookahead/causality violations (VTIME_CHECK)
+	hosts    map[string]*netHost
+	pipes    map[sitePair]*serializer
+	nextRank int
+	xscratch []xmsg        // barrier merge scratch, reused across windows
+	winID    uint64        // current window, bumped at each barrier
+	merged   []*serializer // serializers touched by the current merge
+}
+
+// netShard is the mutable state one shard's event loop owns exclusively
+// while a window runs. The outbox is single-writer (the owning shard)
+// and is read only at barriers, with the Domain's barrier providing the
+// happens-before edge — no locks anywhere on the message path.
+type netShard struct {
+	idx     int
+	rt      *vtime.Scheduler
 	flowSeq map[flowKey]uint64
-	hosts   map[string]*netHost
-	pipes   map[sitePair]*serializer
 	bufPool transport.BufferPool
 	delFree *delivery // recycled delivery events
+	out     []xmsg    // cross-shard emissions this window
+	seq     uint64    // emission sequence, tiebreak in the merge sort
 }
 
 // flowKey identifies one flow for jitter purposes: the dialing host,
@@ -104,14 +129,18 @@ func (s *flowSource) Seed(seed int64) {
 // flowRNG mints the jitter stream for the seq-th dial of a flow. The
 // seed folds the config seed with the flow identity and the per-flow
 // dial sequence, so a flow's noise is a pure function of (world seed,
-// flow, its own dial history) — independent of any other traffic.
-func (n *Net) flowRNG(key flowKey) *rand.Rand {
-	seq := n.flowSeq[key]
-	n.flowSeq[key] = seq + 1
-	h := fnvMix(uint64(n.cfg.Seed), key.from)
+// flow, its own dial history) — independent of any other traffic. The
+// sequence counter is per shard: a flow is keyed by its dialing host,
+// which lives on exactly one shard, so the counter is exclusive to that
+// shard's event loop.
+func (sh *netShard) flowRNG(seed int64, key flowKey) (*rand.Rand, *flowSource) {
+	seq := sh.flowSeq[key]
+	sh.flowSeq[key] = seq + 1
+	h := fnvMix(uint64(seed), key.from)
 	h = fnvMix(h, key.to)
 	h = fnvMix(h, key.port)
-	return rand.New(&flowSource{state: h ^ (seq * 0x9e3779b97f4a7c15)})
+	src := &flowSource{state: h ^ (seq * 0x9e3779b97f4a7c15)}
+	return rand.New(src), src
 }
 
 // fnvMix folds a string into a running FNV-1a style hash.
@@ -141,6 +170,8 @@ func pipeKey(a, b string) sitePair {
 type netHost struct {
 	id        string
 	site      string
+	sh        *netShard            // owning shard's state
+	rank      int                  // global boot-order rank (merge tiebreak)
 	listeners map[string]*listener // by port
 	nicOut    serializer
 	nicIn     serializer
@@ -150,17 +181,63 @@ type netHost struct {
 
 // serializer models one capacity-limited resource. A transfer starting at
 // t of size bytes holds the resource until max(busy, t) + size/bps.
+//
+// The frontier model is exact only when reservations arrive in
+// nondecreasing start order — true sequentially (events execute in
+// virtual-time order) and within one shard's window, but NOT for the
+// barrier merge: a cross-shard reservation replayed at the barrier can
+// carry a start earlier than local reservations the window already
+// made. A receiver NIC is the one serializer both kinds share, so in
+// sharded mode its local reservations go through reserveLocal, which
+// logs the window's (start, rank, finish) sequence; the merge then
+// computes each cross reservation's finish by replaying the merged
+// (start, rank)-sorted sequence from the window-start frontier
+// (Net.reserveCross) — the order the sequential run would have used.
 type serializer struct {
 	bps  int64
 	busy time.Duration
+
+	// Sharded-mode exact-merge state (receiver NICs only).
+	winID   uint64 // window the log belongs to
+	winBusy time.Duration
+	log     []resv
+	mergeID uint64 // barrier this serializer last joined
+	pos     int    // log replay cursor during a merge
+	xbusy   time.Duration
+}
+
+// resv is one logged local reservation.
+type resv struct {
+	start, finish time.Duration
+	rank          int
+	size          int64
+}
+
+func (s *serializer) cost(size int64) time.Duration {
+	return time.Duration(float64(size*8) / float64(s.bps) * float64(time.Second))
 }
 
 func (s *serializer) reserve(start time.Duration, size int64) time.Duration {
 	if s.busy < start {
 		s.busy = start
 	}
-	s.busy += time.Duration(float64(size*8) / float64(s.bps) * float64(time.Second))
+	s.busy += s.cost(size)
 	return s.busy
+}
+
+// reserveLocal is reserve plus the window log the barrier merge needs
+// to slot cross-shard reservations into their exact sequential
+// position. winID identifies the current window; a stale log is reset
+// lazily, so idle serializers cost nothing at barriers.
+func (s *serializer) reserveLocal(winID uint64, start time.Duration, rank int, size int64) time.Duration {
+	if s.winID != winID {
+		s.winID = winID
+		s.winBusy = s.busy
+		s.log = s.log[:0]
+	}
+	f := s.reserve(start, size)
+	s.log = append(s.log, resv{start: start, finish: f, rank: rank, size: size})
+	return f
 }
 
 // New creates a simulated network over the scheduler and topology.
@@ -169,12 +246,12 @@ func New(rt *vtime.Scheduler, topo Topology, cfg Config) *Net {
 		cfg.NICBps = 1_000_000_000
 	}
 	return &Net{
-		rt:      rt,
-		topo:    topo,
-		cfg:     cfg,
-		flowSeq: make(map[flowKey]uint64),
-		hosts:   make(map[string]*netHost),
-		pipes:   make(map[sitePair]*serializer),
+		topo:  topo,
+		cfg:   cfg,
+		sh:    []*netShard{{rt: rt, flowSeq: make(map[flowKey]uint64)}},
+		hosts: make(map[string]*netHost),
+		pipes: make(map[sitePair]*serializer),
+		winID: 1,
 	}
 }
 
@@ -205,11 +282,14 @@ func (n *Net) BaseOneWay(a, b string) time.Duration {
 	return n.topo.SiteLatency(n.topo.Site(a), n.topo.Site(b))
 }
 
-// host returns (lazily creating) the state of one host, or nil when the
-// topology does not know it.
+// host returns the state of one host, or nil when the topology does not
+// know it. In single-shard mode unknown-but-mapped hosts are created
+// lazily; in sharded mode the host table is frozen at NewSharded (lazy
+// insertion from concurrent shard loops would race), so a host that was
+// not pre-registered is simply unreachable.
 func (n *Net) host(id string) *netHost {
 	h := n.hosts[id]
-	if h == nil {
+	if h == nil && !n.sharded {
 		site := n.topo.Site(id)
 		if site == "" {
 			return nil
@@ -217,11 +297,14 @@ func (n *Net) host(id string) *netHost {
 		h = &netHost{
 			id:        id,
 			site:      site,
+			sh:        n.sh[0],
+			rank:      n.nextRank,
 			listeners: make(map[string]*listener),
 			nicOut:    serializer{bps: n.cfg.NICBps},
 			nicIn:     serializer{bps: n.cfg.NICBps},
 			nextPort:  20000,
 		}
+		n.nextRank++
 		n.hosts[id] = h
 	}
 	return h
@@ -255,15 +338,23 @@ func (n *Net) jitter(rng *rand.Rand, base time.Duration) time.Duration {
 // plan computes the virtual arrival time of a message of the given size
 // sent now from one host to another, reserving capacity along the path.
 // The pipe and base latency are passed in so established conns pay no
-// map lookups per message.
+// map lookups per message. It is only valid when from and to share a
+// shard (always true unsharded); cross-shard sends split the reservation
+// between send time and the barrier merge instead — see shard.go.
 func (n *Net) plan(rng *rand.Rand, from, to *netHost, pipe *serializer, base time.Duration, size int64) time.Duration {
-	now := n.rt.Elapsed()
+	now := from.sh.rt.Elapsed()
 	finish := from.nicOut.reserve(now, size)
 	if f := pipe.reserve(now, size); f > finish {
 		finish = f
 	}
-	if f := to.nicIn.reserve(now, size); f > finish {
-		finish = f
+	var fin time.Duration
+	if n.sharded {
+		fin = to.nicIn.reserveLocal(n.winID, now, from.rank, size)
+	} else {
+		fin = to.nicIn.reserve(now, size)
+	}
+	if fin > finish {
+		finish = fin
 	}
 	return finish + base + n.jitter(rng, base)
 }

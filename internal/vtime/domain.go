@@ -1,0 +1,287 @@
+package vtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Domain couples N shard schedulers into one conservatively synchronized
+// virtual timeline. Each shard is an ordinary run-to-completion
+// Scheduler (pooled slab, 4-ary heap — the whole sequential fast path is
+// untouched inside a shard); the Domain advances them in lock-step
+// windows:
+//
+//	W = committed horizon (all shard clocks equal W between windows)
+//	H = min(earliest pending event across shards + lookahead,
+//	        next global event, caller fence)
+//
+// Every shard runs to H concurrently, then a barrier fires: registered
+// drain callbacks (the simulated network's cross-shard merge) run on the
+// driver goroutine, global events stamped at or before H fire, and the
+// next window begins. The lookahead is the minimum cross-shard delivery
+// latency, so anything sent during a window arrives at or after H and
+// can be enqueued at the barrier without ever landing in a shard's past
+// — the classic null-message-free windowed conservative protocol.
+//
+// The Domain itself is sequential at the barriers: callbacks and global
+// events run with every shard parked, so they may touch any shard's
+// state without locks.
+type Domain struct {
+	shards    []*Scheduler
+	lookahead time.Duration
+
+	now time.Duration // committed horizon
+
+	barriers []func() // drain callbacks, run in registration order
+
+	gmu     sync.Mutex // guards globals; ScheduleGlobal may be called from barrier code
+	globals []globalEvent
+	gsorted bool
+	gseq    uint64
+
+	workers []shardWorker
+	windows uint64 // number of windows run (diagnostics)
+	stopped bool
+}
+
+type globalEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type shardWorker struct {
+	run  chan time.Duration
+	done chan struct{}
+}
+
+// NewDomain returns a domain of n fresh shard schedulers sharing one
+// epoch. lookahead must be positive when n > 1: it is the minimum
+// virtual latency of any cross-shard delivery, and the window protocol
+// is only conservative (deadlock- and causality-safe) if that bound
+// holds. A single-shard domain degenerates to the sequential scheduler
+// with zero barriers in play.
+func NewDomain(n int, lookahead time.Duration) *Domain {
+	if n < 1 {
+		panic("vtime: NewDomain needs at least one shard")
+	}
+	if n > 1 && lookahead <= 0 {
+		panic("vtime: multi-shard domain needs positive lookahead")
+	}
+	d := &Domain{shards: make([]*Scheduler, n), lookahead: lookahead}
+	for i := range d.shards {
+		d.shards[i] = New()
+	}
+	if n > 1 {
+		// Persistent window workers: one goroutine per shard, woken by a
+		// horizon on run and reporting back on done. Windows are short
+		// (one lookahead wide), so respawning goroutines per window would
+		// dominate; a channel ping-pong per shard per window does not.
+		d.workers = make([]shardWorker, n)
+		for i := range d.workers {
+			d.workers[i] = shardWorker{
+				run:  make(chan time.Duration),
+				done: make(chan struct{}),
+			}
+			go func(s *Scheduler, w shardWorker) {
+				for h := range w.run {
+					s.RunUntil(h)
+					w.done <- struct{}{}
+				}
+			}(d.shards[i], d.workers[i])
+		}
+	}
+	return d
+}
+
+// Shards returns the number of shards.
+func (d *Domain) Shards() int { return len(d.shards) }
+
+// Shard returns shard i's scheduler. Actors and events on it must only
+// touch that shard's state while a window is running; barrier code may
+// touch anything.
+func (d *Domain) Shard(i int) *Scheduler { return d.shards[i] }
+
+// Lookahead returns the window width bound the domain was built with.
+func (d *Domain) Lookahead() time.Duration { return d.lookahead }
+
+// Now returns the committed horizon as wall time (all shard clocks agree
+// with it between windows).
+func (d *Domain) Now() time.Time { return d.shards[0].Now() }
+
+// Elapsed returns the committed horizon.
+func (d *Domain) Elapsed() time.Duration { return d.shards[0].Elapsed() }
+
+// Windows returns the number of synchronization windows run so far.
+func (d *Domain) Windows() uint64 { return d.windows }
+
+// OnBarrier registers fn to run at every barrier, after all shards have
+// parked at the window horizon and before global events fire. The
+// simulated network registers its cross-shard merge here. Callbacks run
+// on the driver goroutine, serialized with all shard execution.
+func (d *Domain) OnBarrier(fn func()) { d.barriers = append(d.barriers, fn) }
+
+// ScheduleGlobal arranges for fn to run at virtual elapsed time at, on
+// the driver goroutine, with every shard parked exactly at that time.
+// This is how world-scoped mutations (churn failing a host, membership
+// edits) are applied race-free in a sharded world: the barrier is a
+// happens-before edge to every shard, so plain writes to shard state
+// made inside fn are visible to all subsequent windows. Events stamped
+// in the past fire at the next barrier.
+func (d *Domain) ScheduleGlobal(at time.Duration, fn func()) {
+	d.gmu.Lock()
+	d.gseq++
+	d.globals = append(d.globals, globalEvent{at: at, seq: d.gseq, fn: fn})
+	d.gsorted = false
+	d.gmu.Unlock()
+}
+
+// nextGlobalAt peeks the earliest pending global event time.
+func (d *Domain) nextGlobalAt() (time.Duration, bool) {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	if len(d.globals) == 0 {
+		return 0, false
+	}
+	d.sortGlobalsLocked()
+	return d.globals[0].at, true
+}
+
+func (d *Domain) sortGlobalsLocked() {
+	if !d.gsorted {
+		sort.Slice(d.globals, func(i, j int) bool {
+			a, b := d.globals[i], d.globals[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return a.seq < b.seq
+		})
+		d.gsorted = true
+	}
+}
+
+// fireGlobals runs every global event stamped at or before h, in
+// (at, seq) order. Shards are parked at h when this is called.
+func (d *Domain) fireGlobals(h time.Duration) {
+	for {
+		d.gmu.Lock()
+		d.sortGlobalsLocked()
+		if len(d.globals) == 0 || d.globals[0].at > h {
+			d.gmu.Unlock()
+			return
+		}
+		ev := d.globals[0]
+		d.globals = d.globals[1:]
+		d.gmu.Unlock()
+		ev.fn()
+	}
+}
+
+// runWindow advances every shard to horizon h concurrently and waits for
+// all of them to park there.
+func (d *Domain) runWindow(h time.Duration) {
+	d.windows++
+	if d.workers == nil {
+		d.shards[0].RunUntil(h)
+		return
+	}
+	for _, w := range d.workers {
+		w.run <- h
+	}
+	for _, w := range d.workers {
+		<-w.done
+	}
+}
+
+// barrier runs the registered drain callbacks.
+func (d *Domain) barrier() {
+	for _, fn := range d.barriers {
+		fn()
+	}
+}
+
+// step runs one synchronization window bounded by fence. It reports
+// false when no pending work exists anywhere (shards, outboxes already
+// drained, globals) — the domain is idle.
+func (d *Domain) step(fence time.Duration) bool {
+	minNext := time.Duration(-1)
+	for _, s := range d.shards {
+		if at, ok := s.NextEventAt(); ok && (minNext < 0 || at < minNext) {
+			minNext = at
+		}
+	}
+	gAt, gOK := d.nextGlobalAt()
+	if minNext < 0 && !gOK {
+		return false
+	}
+	h := fence
+	if minNext >= 0 {
+		if wh := minNext + d.lookahead; wh < h {
+			h = wh
+		}
+	}
+	if gOK && gAt < h {
+		h = gAt
+	}
+	if h < d.now {
+		h = d.now
+	}
+	d.runWindow(h)
+	d.barrier()
+	d.fireGlobals(h)
+	d.now = h
+	return true
+}
+
+// RunFor drives the whole domain for dur of virtual time and returns the
+// amount advanced (always dur: like Scheduler.RunFor, the clock jumps to
+// the fence when events run out, so consecutive calls tile the
+// timeline). Must be called from outside every shard.
+func (d *Domain) RunFor(dur time.Duration) time.Duration {
+	start := d.now
+	fence := start + dur
+	for d.now < fence {
+		if !d.step(fence) {
+			break
+		}
+	}
+	if d.now < fence {
+		for _, s := range d.shards {
+			s.AdvanceTo(fence)
+		}
+		d.barrier() // keep invariants simple: a barrier per committed hop
+		d.now = fence
+	}
+	return d.now - start
+}
+
+// Wait runs windows until no shard has pending work and no global events
+// remain. Parked actors may remain, as with Scheduler.Wait.
+func (d *Domain) Wait() {
+	const forever = time.Duration(1<<63 - 1)
+	for d.step(forever) {
+	}
+}
+
+// Shutdown stops every shard and the window workers. Idempotent.
+func (d *Domain) Shutdown() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	for _, w := range d.workers {
+		close(w.run)
+	}
+	d.workers = nil
+	for _, s := range d.shards {
+		s.Shutdown()
+	}
+}
+
+// String describes the domain for diagnostics.
+func (d *Domain) String() string {
+	return fmt.Sprintf("vtime.Domain{shards=%d lookahead=%s windows=%d}",
+		len(d.shards), d.lookahead, d.windows)
+}

@@ -1,0 +1,153 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDomainSingleShardRuns: an n=1 domain is a thin wrapper over one
+// scheduler — no workers, no lookahead requirement.
+func TestDomainSingleShardRuns(t *testing.T) {
+	d := NewDomain(1, 0)
+	defer d.Shutdown()
+	var fired []time.Duration
+	s := d.Shard(0)
+	s.Go("a", func() {
+		for i := 0; i < 3; i++ {
+			s.Sleep(10 * time.Millisecond)
+			fired = append(fired, s.Elapsed())
+		}
+	})
+	d.Wait()
+	if len(fired) != 3 || fired[2] != 30*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+// TestDomainZeroLookaheadPanics: a multi-shard domain with no positive
+// lookahead has no sound window width.
+func TestDomainZeroLookaheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain(2, 0) did not panic")
+		}
+	}()
+	NewDomain(2, 0)
+}
+
+// TestDomainWindowedAdvance: shards advance in lockstep windows; after
+// Wait, every shard clock sits at the domain clock, which covers the
+// latest event.
+func TestDomainWindowedAdvance(t *testing.T) {
+	d := NewDomain(3, 5*time.Millisecond)
+	defer d.Shutdown()
+	ends := make([]time.Duration, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s := d.Shard(i)
+		s.Go("w", func() {
+			for j := 0; j <= i; j++ {
+				s.Sleep(7 * time.Millisecond)
+			}
+			ends[i] = s.Elapsed()
+		})
+	}
+	d.Wait()
+	if ends[0] != 7*time.Millisecond || ends[1] != 14*time.Millisecond || ends[2] != 21*time.Millisecond {
+		t.Fatalf("ends = %v", ends)
+	}
+	if got := d.Elapsed(); got < 21*time.Millisecond {
+		t.Fatalf("domain clock %v behind the last event", got)
+	}
+	if d.Windows() == 0 {
+		t.Fatal("no windows recorded")
+	}
+	for i := 0; i < 3; i++ {
+		if got := d.Shard(i).Elapsed(); got != d.Elapsed() {
+			t.Fatalf("shard %d parked at %v, domain at %v", i, got, d.Elapsed())
+		}
+	}
+}
+
+// TestDomainScheduleGlobal: a global event fires with every shard
+// parked exactly at its timestamp, even when no shard has an event
+// there; barrier callbacks run once per window.
+func TestDomainScheduleGlobal(t *testing.T) {
+	d := NewDomain(2, time.Millisecond)
+	defer d.Shutdown()
+	var at0, at1, domAt time.Duration
+	d.ScheduleGlobal(13*time.Millisecond, func() {
+		at0 = d.Shard(0).Elapsed()
+		at1 = d.Shard(1).Elapsed()
+		domAt = d.Elapsed()
+	})
+	var barriers int
+	d.OnBarrier(func() { barriers++ })
+	s := d.Shard(0)
+	s.Go("busy", func() {
+		for i := 0; i < 20; i++ {
+			s.Sleep(time.Millisecond)
+		}
+	})
+	d.Wait()
+	const want = 13 * time.Millisecond
+	if at0 != want || at1 != want || domAt != want {
+		t.Fatalf("global fired at shard0=%v shard1=%v dom=%v, want %v", at0, at1, domAt, want)
+	}
+	if barriers == 0 {
+		t.Fatal("no barrier callbacks ran")
+	}
+}
+
+// TestDomainRunFor: RunFor stops at the fence even with work left, and
+// leaves every shard clock at the fence.
+func TestDomainRunFor(t *testing.T) {
+	d := NewDomain(2, 2*time.Millisecond)
+	defer d.Shutdown()
+	var count int
+	s := d.Shard(1)
+	s.Go("ticker", func() {
+		for {
+			s.Sleep(3 * time.Millisecond)
+			count++
+		}
+	})
+	d.RunFor(10 * time.Millisecond)
+	if count != 3 { // ticks at 3, 6, 9
+		t.Fatalf("count = %d after 10ms, want 3", count)
+	}
+	if d.Elapsed() != 10*time.Millisecond {
+		t.Fatalf("domain clock %v, want 10ms", d.Elapsed())
+	}
+	for i := 0; i < 2; i++ {
+		if got := d.Shard(i).Elapsed(); got != 10*time.Millisecond {
+			t.Fatalf("shard %d at %v, want 10ms", i, got)
+		}
+	}
+	d.RunFor(10 * time.Millisecond)
+	if count != 6 { // 12, 15, 18
+		t.Fatalf("count = %d after 20ms, want 6", count)
+	}
+}
+
+// TestSchedulerNextEventAt: the window computation's view of a shard's
+// earliest pending work.
+func TestSchedulerNextEventAt(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatal("idle scheduler reported an event")
+	}
+	s.Go("a", func() {
+		s.Sleep(5 * time.Millisecond)
+	})
+	// The spawned actor is runnable right now.
+	at, ok := s.NextEventAt()
+	if !ok || at != 0 {
+		t.Fatalf("NextEventAt = %v, %v; want 0, true", at, ok)
+	}
+	s.Wait()
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatal("drained scheduler reported an event")
+	}
+}

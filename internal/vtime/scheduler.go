@@ -438,6 +438,65 @@ func (s *Scheduler) RunFor(d time.Duration) time.Duration {
 	return advanced
 }
 
+// NextEventAt reports the virtual timestamp of the earliest pending
+// work: the head of the event heap (skipping canceled slots lazily), or
+// the current clock when an actor is runnable but not yet executing. ok
+// is false when the scheduler has nothing left to do. It is meant to be
+// called from outside the scheduler while it is idle — the Domain uses
+// it between windows to size the next one.
+func (s *Scheduler) NextEventAt() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rqHead < len(s.runq) {
+		return s.now, true
+	}
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if !s.slab[top].canceled {
+			return s.slab[top].at, true
+		}
+		s.heapPop()
+		s.freeEventLocked(top)
+	}
+	return 0, false
+}
+
+// RunUntil drives the simulation until the virtual clock reaches the
+// absolute elapsed time t: every event stamped at or before t fires, and
+// the clock lands exactly on t even if the event queue drains early.
+// This is RunFor with an absolute fence; Domain shard workers use it to
+// advance all shards to a common horizon. Must be called from outside
+// the scheduler.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	s.mu.Lock()
+	if t < s.now {
+		t = s.now
+	}
+	s.limit = t
+	s.limited = true
+	s.mu.Unlock()
+
+	s.Wait()
+
+	s.mu.Lock()
+	s.limited = false
+	if s.now < t && !s.stopped {
+		s.setNowLocked(t)
+	}
+	s.mu.Unlock()
+}
+
+// AdvanceTo jumps the clock forward to t without firing anything. The
+// caller must know that no pending event is stamped before t; the Domain
+// uses it to line idle shards up on a barrier time.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	s.mu.Lock()
+	if t > s.now {
+		s.setNowLocked(t)
+	}
+	s.mu.Unlock()
+}
+
 // Shutdown stops the scheduler: pending events are dropped and every
 // parked or queued actor is unwound with ErrStopped. Idempotent.
 func (s *Scheduler) Shutdown() {
