@@ -60,13 +60,15 @@ func replicatedJobVirtualTime(b *testing.B, r int) time.Duration {
 	sn := NewSupernode(s, net.Node("frontal"), SupernodeConfig{Addr: "frontal:8800"})
 	mk := func(id string, p int) *MPD {
 		return NewMPD(s, net.Node(id), MPDConfig{
-			Self:          PeerInfo{ID: id, Site: hostSite[id], MPDAddr: id + ":9000", RSAddr: id + ":9001"},
-			SupernodeAddr: "frontal:8800",
-			P:             p,
-			Profile:       HostProfile{Cores: 2, CoreGFLOPS: 2, MemBWGBs: 5},
-			Programs:      programs,
-			PingInterval:  10 * time.Second,
-			Seed:          int64(len(id) * r),
+			Self:    PeerInfo{ID: id, Site: hostSite[id], MPDAddr: id + ":9000", RSAddr: id + ":9001"},
+			P:       p,
+			Profile: HostProfile{Cores: 2, CoreGFLOPS: 2, MemBWGBs: 5},
+			Seed:    int64(len(id) * r),
+			Shared: &MPDShared{
+				SupernodeAddr: "frontal:8800",
+				Programs:      programs,
+				PingInterval:  10 * time.Second,
+			},
 		})
 	}
 	front := mk("frontal", 0)

@@ -67,13 +67,15 @@ func main() {
 		Self: proto.PeerInfo{
 			ID: *id, Site: *site, MPDAddr: *mpdAddr, RSAddr: *rsAddr,
 		},
-		SupernodeAddr: *snAddr,
-		P:             *p,
-		J:             *j,
-		Deny:          denyList,
-		Programs:      registry(),
-		ProcBasePort:  *procBase,
-		Seed:          int64(os.Getpid()),
+		P:    *p,
+		J:    *j,
+		Deny: denyList,
+		Seed: int64(os.Getpid()),
+		Shared: &mpd.Shared{
+			SupernodeAddr: *snAddr,
+			Programs:      registry(),
+			ProcBasePort:  *procBase,
+		},
 	})
 	if err := daemon.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "mpiboot: %v\n", err)

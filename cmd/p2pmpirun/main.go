@@ -218,11 +218,13 @@ func concurrentReal(spec mpd.JobSpec, k int, snAddr, mpdAddr, rsAddr string) ([]
 			ID: "p2pmpirun-submitter", Site: "local",
 			MPDAddr: mpdAddr, RSAddr: rsAddr,
 		},
-		SupernodeAddr: snAddr,
-		P:             0,
-		Programs:      submitterRegistry(),
-		PingInterval:  2 * time.Second,
-		Seed:          int64(os.Getpid()),
+		P:    0,
+		Seed: int64(os.Getpid()),
+		Shared: &mpd.Shared{
+			SupernodeAddr: snAddr,
+			Programs:      submitterRegistry(),
+			PingInterval:  2 * time.Second,
+		},
 	})
 	if err := submitter.Start(); err != nil {
 		return nil, err
@@ -260,11 +262,13 @@ func runReal(spec mpd.JobSpec, snAddr, mpdAddr, rsAddr string) (*mpd.JobResult, 
 			ID: "p2pmpirun-submitter", Site: "local",
 			MPDAddr: mpdAddr, RSAddr: rsAddr,
 		},
-		SupernodeAddr: snAddr,
-		P:             0,
-		Programs:      submitterRegistry(),
-		PingInterval:  2 * time.Second,
-		Seed:          int64(os.Getpid()),
+		P:    0,
+		Seed: int64(os.Getpid()),
+		Shared: &mpd.Shared{
+			SupernodeAddr: snAddr,
+			Programs:      submitterRegistry(),
+			PingInterval:  2 * time.Second,
+		},
 	})
 	if err := submitter.Start(); err != nil {
 		return nil, err

@@ -47,12 +47,14 @@ func main() {
 	sn := p2pmpi.NewSupernode(s, net.Node("frontal"), p2pmpi.SupernodeConfig{Addr: "frontal:8800"})
 	mk := func(id string, p int) *p2pmpi.MPD {
 		return p2pmpi.NewMPD(s, net.Node(id), p2pmpi.MPDConfig{
-			Self:          p2pmpi.PeerInfo{ID: id, Site: hostSite[id], MPDAddr: id + ":9000", RSAddr: id + ":9001"},
-			SupernodeAddr: "frontal:8800",
-			P:             p,
-			Programs:      programs,
-			PingInterval:  5 * time.Second,
-			Seed:          int64(p + len(id)),
+			Self: p2pmpi.PeerInfo{ID: id, Site: hostSite[id], MPDAddr: id + ":9000", RSAddr: id + ":9001"},
+			P:    p,
+			Seed: int64(p + len(id)),
+			Shared: &p2pmpi.MPDShared{
+				SupernodeAddr: "frontal:8800",
+				Programs:      programs,
+				PingInterval:  5 * time.Second,
+			},
 		})
 	}
 	front := mk("frontal", 0)

@@ -81,17 +81,19 @@ func newTCPWorld(t *testing.T, k, p int) *tcpWorld {
 				MPDAddr: fmt.Sprintf("127.0.0.1:%d", freePort(t)),
 				RSAddr:  fmt.Sprintf("127.0.0.1:%d", freePort(t)),
 			},
-			SupernodeAddr: snAddr,
-			P:             pLimit,
-			Programs:      tcpPrograms(),
-			// Tight loops so the world converges within test time: all
-			// daemons boot concurrently and discover each other through
-			// the refresh cycle.
-			PingInterval:    300 * time.Millisecond,
-			RefreshInterval: 500 * time.Millisecond,
-			ReserveTimeout:  2 * time.Second,
-			ProcBasePort:    procBase,
-			Seed:            int64(len(id)),
+			P:    pLimit,
+			Seed: int64(len(id)),
+			Shared: &mpd.Shared{
+				SupernodeAddr: snAddr,
+				Programs:      tcpPrograms(),
+				// Tight loops so the world converges within test time: all
+				// daemons boot concurrently and discover each other through
+				// the refresh cycle.
+				PingInterval:    300 * time.Millisecond,
+				RefreshInterval: 500 * time.Millisecond,
+				ReserveTimeout:  2 * time.Second,
+				ProcBasePort:    procBase,
+			},
 		})
 		if err := d.Start(); err != nil {
 			t.Fatalf("mpd %s: %v", id, err)

@@ -237,6 +237,11 @@ func churnAt(opts Options, cfg ChurnConfig, mtbf time.Duration, r int, strategy 
 		if o.PeerRefreshInterval == 0 {
 			o.PeerRefreshInterval = time.Hour
 		}
+		if o.PeerCacheCap == 0 {
+			// As in scaleAt: unread compute-peer boot snapshots dominate
+			// per-host retention on large worlds.
+			o.PeerCacheCap = 2
+		}
 	}
 	w := NewWorld(o)
 	defer w.Close()

@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSSBytes reports the process's peak resident set size — VmHWM
+// from /proc/self/status — or 0 where the kernel does not expose it
+// (non-Linux). The scale benchmarks record it next to wall-clock time:
+// heap profiles see only live Go objects, while the high-water mark is
+// what an operator's machine actually had to provide.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024 // the kernel reports kB
+	}
+	return 0
+}

@@ -182,6 +182,32 @@ func scaleAt(opts Options, cfg ScaleConfig, hosts, sn int) ([]ScalePoint, error)
 		if o.PeerRefreshInterval == 0 {
 			o.PeerRefreshInterval = time.Hour
 		}
+		if o.PeerCacheCap == 0 {
+			// Compute peers' caches feed no measurement here, but each
+			// would retain its O(MaxPeersReturned) boot snapshot — the
+			// dominant per-host memory at 500k–1M hosts. Keep a token
+			// couple of entries per host (~128 B instead of ~32 KB).
+			o.PeerCacheCap = 2
+		}
+		if o.BootSpread == 0 {
+			// An everyone-at-vtime-0 boot holds one registration actor
+			// per host in flight at once; the Go runtime caches every
+			// goroutine descriptor that storm ever needed (~720 B each,
+			// forever), and the event free lists and buffer pools keep
+			// their high-water carve too. Staggering the starts
+			// (rank-derived, shard-independent — see Options.BootSpread)
+			// turns those peak-concurrency residues into steady-state
+			// ones.
+			o.BootSpread = 2 * time.Minute
+		}
+		if o.PeerAliveInterval == 0 {
+			// The default 30s keep-alive cadence is thousands of liveness
+			// round trips per virtual second on a big world, and the
+			// in-flight rounds set the event-arena and buffer-pool
+			// high-water marks. Sparsen the heartbeat; the 10min
+			// supernode TTL tolerates it with a wide margin.
+			o.PeerAliveInterval = 4 * time.Minute
+		}
 	}
 	w := NewWorld(o)
 	defer w.Close()

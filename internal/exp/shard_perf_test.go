@@ -24,10 +24,15 @@ func shard50kOptions(shards int) Options {
 	o.Supernodes = 16
 	o.Shards = shards
 	// The big-world knobs every >2000-host sweep point runs with (see
-	// scaleAt): bounded host-list replies and slow compute-peer
-	// refreshes, without which the boot storm dominates everything.
+	// scaleAt): bounded host-list replies, slow compute-peer refreshes,
+	// capped unread snapshot retention and a staggered boot, without
+	// which the boot storm dominates everything. The keep-alive cadence
+	// stays at the 30s default deliberately — steady-state membership
+	// traffic is the workload this benchmark times.
 	o.MaxPeersReturned = 512
 	o.PeerRefreshInterval = time.Hour
+	o.PeerCacheCap = 2
+	o.BootSpread = 2 * time.Minute
 	return o
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"p2pmpi/internal/churn"
@@ -61,6 +63,13 @@ type Options struct {
 	// — only the submitter's view feeds the experiments. The frontal's
 	// refresh period is never touched.
 	PeerRefreshInterval time.Duration
+	// PeerCacheCap bounds the total entries a compute peer's cache
+	// retains before anything reads it (0 = unbounded, the historical
+	// behaviour). The frontal is always exempt — its view feeds every
+	// measurement. Large-world sweeps set this: an unread boot snapshot
+	// of MaxPeersReturned entries per host is the dominant per-host
+	// retention at hundreds of thousands of hosts.
+	PeerCacheCap int
 	// Supernodes is the membership-federation width K. 0 defers to the
 	// topology spec's sn value (itself defaulting to 1). K = 1 deploys
 	// the paper's single supernode on the frontal host — the historical
@@ -74,6 +83,23 @@ type Options struct {
 	// GossipInterval overrides the federation's digest-exchange period
 	// (default 250ms; only meaningful when Supernodes > 1).
 	GossipInterval time.Duration
+	// BootSpread staggers the daemon starts over this virtual span (0 =
+	// the historical everyone-at-vtime-0 boot). Booting a million
+	// daemons at the same virtual instant means a million registration
+	// actors in flight at once — gigabytes of goroutine stacks;
+	// spreading the starts bounds live-actor concurrency to roughly
+	// hosts × (registration RTT / spread). Each daemon's start time is a
+	// pure function of its global boot rank, so staggered worlds keep
+	// byte-identical trajectories across -shards. Huge-world sweeps
+	// (>100k hosts) default this; see scaleAt.
+	BootSpread time.Duration
+	// PeerAliveInterval overrides the compute peers' supernode
+	// keep-alive period (0 keeps the middleware default, 30s). The
+	// frontal is never touched. Huge-world sweeps stretch it: at a
+	// million hosts the default cadence is 33k keep-alive round trips
+	// per virtual second of pure liveness noise, and the supernode TTL
+	// (10 minutes) tolerates a far sparser heartbeat.
+	PeerAliveInterval time.Duration
 	// Shards partitions the world's sites onto that many independent
 	// event-loop shards run as a conservative parallel simulation
 	// (windowed barriers, cross-site lookahead — see vtime.Domain and
@@ -182,6 +208,26 @@ func NewWorld(opts Options) *World {
 		w.SNAddr = w.SNAddrs[0]
 	}
 
+	// Host ranks in sequential boot-spawn order (supernode tier,
+	// frontal, grid hosts): the cross-shard merge breaks timestamp
+	// ties by rank, which reproduces the sequential ordering of the
+	// vtime-0 registration storm. The single-shard engine provisions
+	// from the same lists — ranks are inert there, but the slab and the
+	// explicit sites spare it the per-host allocations and the grid's
+	// O(world) host index.
+	ranked := make([]string, 0, len(w.snHosts)+1+len(g.Hosts))
+	sites := make([]string, 0, cap(ranked))
+	for _, sh := range w.snHosts {
+		ranked = append(ranked, sh.id)
+		sites = append(sites, sh.site)
+	}
+	ranked = append(ranked, frontalID)
+	sites = append(sites, g.Origin)
+	for _, h := range g.Hosts {
+		ranked = append(ranked, h.ID)
+		sites = append(sites, h.Site)
+	}
+
 	// Scheduler fabric: the historical single sequential scheduler, or a
 	// conservative parallel domain partitioned by site. Shard 0 always
 	// holds the origin site (Partition contract), so the frontal and its
@@ -195,28 +241,23 @@ func NewWorld(opts Options) *World {
 		w.D = dom
 		w.S = dom.Shard(0)
 		w.siteShard = part.SiteShard
-		// Host ranks in sequential boot-spawn order (supernode tier,
-		// frontal, grid hosts): the cross-shard merge breaks timestamp
-		// ties by rank, which reproduces the sequential ordering of the
-		// vtime-0 registration storm.
-		ranked := make([]string, 0, len(w.snHosts)+1+len(g.Hosts))
-		for _, sh := range w.snHosts {
-			ranked = append(ranked, sh.id)
-		}
-		ranked = append(ranked, frontalID)
-		for _, h := range g.Hosts {
-			ranked = append(ranked, h.ID)
-		}
 		w.Net = simnet.NewSharded(dom, topo, simnet.DefaultConfig(opts.Seed), simnet.ShardConfig{
 			SiteShard: part.SiteShard,
 			Hosts:     ranked,
+			Sites:     sites,
 			Check:     os.Getenv("VTIME_CHECK") == "1",
 		})
 	} else {
 		w.S = vtime.New()
 		w.Net = simnet.New(w.S, topo, simnet.DefaultConfig(opts.Seed))
+		w.Net.Provision(ranked, sites)
 	}
 	s, net := w.S, w.Net
+
+	// One interner per world: every daemon and supernode canonicalizes
+	// the PeerInfo values it retains against it. Pure memory sharing of
+	// equal values — trajectories are untouched.
+	intern := overlay.NewInterner()
 
 	if k == 1 {
 		// The historical world: one supernode co-located with the
@@ -226,6 +267,7 @@ func NewWorld(opts Options) *World {
 			TTL:              10 * time.Minute,
 			MaxPeersReturned: opts.MaxPeersReturned,
 			Seed:             opts.Seed,
+			Intern:           intern,
 		})}
 	} else {
 		for i := 0; i < k; i++ {
@@ -237,6 +279,7 @@ func NewWorld(opts Options) *World {
 				Shard:            i,
 				Federation:       w.SNAddrs,
 				GossipInterval:   opts.GossipInterval,
+				Intern:           intern,
 			}))
 		}
 	}
@@ -267,26 +310,50 @@ func NewWorld(opts Options) *World {
 			ID: frontalID, Site: g.Origin,
 			MPDAddr: frontalID + ":9000", RSAddr: frontalID + ":9001",
 		},
-		SupernodeAddr:   w.SNAddr,
-		Federation:      federation,
-		P:               0, // the frontend submits, it does not compute
-		Programs:        programs,
-		PingInterval:    opts.FrontalPingInterval,
-		Estimator:       opts.Estimator,
-		EstimatorWindow: opts.EstimatorWindow,
-		NoBootPing:      !bootPing,
-		Seed:            opts.Seed,
+		P:    0, // the frontend submits, it does not compute
+		Seed: opts.Seed,
+		Shared: &mpd.Shared{
+			SupernodeAddr:   w.SNAddr,
+			Federation:      federation,
+			Programs:        programs,
+			PingInterval:    opts.FrontalPingInterval,
+			Estimator:       opts.Estimator,
+			EstimatorWindow: opts.EstimatorWindow,
+			NoBootPing:      !bootPing,
+			Intern:          intern,
+		},
 	})
 
-	for _, h := range g.Hosts {
+	// Provision the compute daemons in parallel. Construction touches no
+	// scheduler or simulated-network state — net.Node returns a stateless
+	// view, the interner is a concurrent map of value-equal entries, and
+	// every lazily built daemon member stays nil — and each worker fills
+	// disjoint w.Peers slots by index, so the result is identical to the
+	// sequential loop. A million-host world provisions on all cores
+	// instead of one.
+	w.Peers = make([]*mpd.MPD, len(g.Hosts))
+	// One Shared block backs every compute daemon: at a million hosts
+	// the deployment-invariant half of the config is the difference
+	// between one struct and hundreds of MB of identical copies.
+	peerShared := &mpd.Shared{
+		SupernodeAddr:   w.SNAddr,
+		Federation:      federation,
+		AliveInterval:   opts.PeerAliveInterval,
+		Programs:        programs,
+		PingInterval:    opts.PeerPingInterval,
+		RefreshInterval: opts.PeerRefreshInterval,
+		NoBootPing:      !bootPing,
+		Intern:          intern,
+		PeerCacheCap:    opts.PeerCacheCap,
+	}
+	buildPeer := func(i int) {
+		h := g.Hosts[i]
 		cl := g.ClusterOf(h)
-		w.Peers = append(w.Peers, mpd.New(w.shardFor(h.Site), net.Node(h.ID), mpd.Config{
+		w.Peers[i] = mpd.New(w.shardFor(h.Site), net.Node(h.ID), mpd.Config{
 			Self: proto.PeerInfo{
 				ID: h.ID, Site: h.Site,
 				MPDAddr: h.ID + ":9000", RSAddr: h.ID + ":9001",
 			},
-			SupernodeAddr: w.SNAddr,
-			Federation:    federation,
 			// The experiments set P to the number of cores of the host
 			// (§5: "their P parameter is set to the number of cores").
 			P: h.Cores,
@@ -296,12 +363,31 @@ func NewWorld(opts Options) *World {
 				CoreGFLOPS: cl.CoreGFLOPS,
 				MemBWGBs:   cl.HostMemBWGBs,
 			},
-			Programs:        programs,
-			PingInterval:    opts.PeerPingInterval,
-			RefreshInterval: opts.PeerRefreshInterval,
-			NoBootPing:      !bootPing,
-			Seed:            opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
-		}))
+			Seed:   opts.Seed + int64(h.Index) + int64(len(h.ID))*131,
+			Shared: peerShared,
+		})
+	}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(g.Hosts) >= 4096 {
+		var wg sync.WaitGroup
+		chunk := (len(g.Hosts) + workers - 1) / workers
+		for lo := 0; lo < len(g.Hosts); lo += chunk {
+			hi := lo + chunk
+			if hi > len(g.Hosts) {
+				hi = len(g.Hosts)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					buildPeer(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := range g.Hosts {
+			buildPeer(i)
+		}
 	}
 	return w
 }
@@ -345,30 +431,45 @@ func (w *World) Boot() error {
 	// cross-shard merge's rank tiebreak stitches the shards back into
 	// the sequential ordering. In an unsharded world this degenerates to
 	// the single historical "exp.boot" actor.
+	//
+	// With Options.BootSpread set, daemon rank r starts at virtual time
+	// r×step instead of 0: each shard's boot actor sleeps up to the
+	// global-rank target before every Start, so concurrent registration
+	// actors stay bounded. The target is a function of the global rank
+	// only — never of the shard layout — so a staggered world's
+	// trajectory is identical at every -shards value.
 	nsh := 1
 	if w.D != nil {
 		nsh = w.D.Shards()
 	}
-	starts := make([][]func() error, nsh)
-	shardIdx := func(site string) int {
-		if w.D == nil {
-			return 0
+	type bootStart struct {
+		rank int
+		fn   func() error
+	}
+	starts := make([][]bootStart, nsh)
+	rank := 0
+	add := func(site string, fn func() error) {
+		si := 0
+		if w.D != nil {
+			si = w.siteShard[site]
 		}
-		return w.siteShard[site]
+		starts[si] = append(starts[si], bootStart{rank: rank, fn: fn})
+		rank++
 	}
 	for i, sn := range w.SNs {
 		site := w.Grid.Origin
 		if len(w.snHosts) > 0 {
 			site = w.snHosts[i].site
 		}
-		si := shardIdx(site)
-		starts[si] = append(starts[si], sn.Start)
+		add(site, sn.Start)
 	}
-	fs := shardIdx(w.Grid.Origin)
-	starts[fs] = append(starts[fs], w.Frontal.Start)
+	add(w.Grid.Origin, w.Frontal.Start)
 	for i, h := range w.Grid.Hosts {
-		si := shardIdx(h.Site)
-		starts[si] = append(starts[si], w.Peers[i].Start)
+		add(h.Site, w.Peers[i].Start)
+	}
+	var step time.Duration
+	if w.opts.BootSpread > 0 && rank > 1 {
+		step = w.opts.BootSpread / time.Duration(rank-1)
 	}
 	bootErrs := make([]error, nsh)
 	for si := range starts {
@@ -377,16 +478,23 @@ func (w *World) Boot() error {
 		if len(list) == 0 {
 			continue
 		}
-		w.shard(si).Go("exp.boot", func() {
-			for _, start := range list {
-				if err := start(); err != nil {
+		rt := w.shard(si)
+		rt.Go("exp.boot", func() {
+			t0 := rt.Elapsed()
+			for _, bs := range list {
+				if step > 0 {
+					if d := t0 + time.Duration(bs.rank)*step - rt.Elapsed(); d > 0 {
+						rt.Sleep(d)
+					}
+				}
+				if err := bs.fn(); err != nil {
 					bootErrs[si] = err
 					return
 				}
 			}
 		})
 	}
-	w.RunFor(2 * time.Second)
+	w.RunFor(w.opts.BootSpread + 2*time.Second)
 	for _, err := range bootErrs {
 		if err != nil {
 			return err

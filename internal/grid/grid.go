@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -77,7 +78,12 @@ type Grid struct {
 	// LocalRTT is the intra-site round-trip time.
 	LocalRTT time.Duration
 
-	hostByID map[string]*Host
+	// hostByID is built on first HostByID call: a million-host scale
+	// world whose harness resolves sites straight off the Host structs
+	// never pays for the index (tens of MB at that size). indexOnce
+	// makes the lazy build safe under the parallel world construction.
+	hostByID  map[string]*Host
+	indexOnce sync.Once
 }
 
 // SiteNames returns the grid's sites in legend (ascending-RTT) order.
@@ -122,7 +128,6 @@ func Grid5000() *Grid {
 			{Site: Sophia, Name: "sol", CPU: "AMD Opteron 2218", Nodes: 38, CPUs: 76, Cores: 152,
 				CoreGFLOPS: 2.4, HostMemBWGBs: 7.0},
 		},
-		hostByID: make(map[string]*Host),
 	}
 	for _, c := range g.Clusters {
 		c.CoresPerHost = c.Cores / c.Nodes
@@ -135,14 +140,22 @@ func Grid5000() *Grid {
 				Index:   i,
 			}
 			g.Hosts = append(g.Hosts, h)
-			g.hostByID[h.ID] = h
 		}
 	}
 	return g
 }
 
-// HostByID returns the host with the given ID, or nil.
-func (g *Grid) HostByID(id string) *Host { return g.hostByID[id] }
+// HostByID returns the host with the given ID, or nil. The index is
+// built on first call.
+func (g *Grid) HostByID(id string) *Host {
+	g.indexOnce.Do(func() {
+		g.hostByID = make(map[string]*Host, len(g.Hosts))
+		for _, h := range g.Hosts {
+			g.hostByID[h.ID] = h
+		}
+	})
+	return g.hostByID[id]
+}
 
 // ClusterOf returns the cluster a host belongs to, or nil.
 func (g *Grid) ClusterOf(h *Host) *Cluster {

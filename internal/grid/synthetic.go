@@ -182,8 +182,14 @@ func Synthetic(spec TopologySpec) *Grid {
 		Origin:   fmt.Sprintf("s%0*d", width, 1),
 		LocalRTT: spec.LocalRTT,
 		SiteInfo: make(map[string]*Site),
-		hostByID: make(map[string]*Host),
 	}
+	// One slab for every Host struct and one append-built ID per host:
+	// at a million hosts the per-object allocator overhead and the
+	// fmt.Sprintf scratch otherwise dominate construction. The Hosts
+	// pointer slice keeps the exported shape unchanged.
+	slab := make([]Host, spec.Sites*spec.HostsPerSite)
+	g.Hosts = make([]*Host, 0, len(slab))
+	idBuf := make([]byte, 0, 32)
 	for i := 0; i < spec.Sites; i++ {
 		name := fmt.Sprintf("s%0*d", width, i+1)
 		rtt := spec.LocalRTT
@@ -205,15 +211,20 @@ func Synthetic(spec TopologySpec) *Grid {
 		}
 		g.Clusters = append(g.Clusters, c)
 		for j := 0; j < spec.HostsPerSite; j++ {
-			h := &Host{
-				ID:      fmt.Sprintf("%s-%d.%s", c.Name, j+1, name),
+			idBuf = append(idBuf[:0], c.Name...)
+			idBuf = append(idBuf, '-')
+			idBuf = strconv.AppendInt(idBuf, int64(j+1), 10)
+			idBuf = append(idBuf, '.')
+			idBuf = append(idBuf, name...)
+			h := &slab[i*spec.HostsPerSite+j]
+			*h = Host{
+				ID:      string(idBuf),
 				Site:    name,
 				Cluster: c.Name,
 				Cores:   spec.CoresPerHost,
 				Index:   j,
 			}
 			g.Hosts = append(g.Hosts, h)
-			g.hostByID[h.ID] = h
 		}
 	}
 	return g

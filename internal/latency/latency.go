@@ -177,9 +177,17 @@ type Table struct {
 	peers  map[string]Estimator
 }
 
-// NewTable creates a table producing estimators of the given kind.
+// NewTable creates a table producing estimators of the given kind. The
+// peer map is built on first sample — a table that never observes
+// (every compute peer of a large world) stays three words.
 func NewTable(kind Kind, window int) *Table {
-	return &Table{kind: kind, window: window, peers: make(map[string]Estimator)}
+	return &Table{kind: kind, window: window}
+}
+
+// MakeTable is NewTable by value, for embedding a table inside a larger
+// per-peer structure without a separate heap object.
+func MakeTable(kind Kind, window int) Table {
+	return Table{kind: kind, window: window}
 }
 
 // Observe records a sample for a peer, creating its estimator on first use.
@@ -187,6 +195,9 @@ func (t *Table) Observe(peer string, rtt time.Duration) {
 	e := t.peers[peer]
 	if e == nil {
 		e = MustNew(t.kind, t.window)
+		if t.peers == nil {
+			t.peers = make(map[string]Estimator)
+		}
 		t.peers[peer] = e
 	}
 	e.Add(rtt)

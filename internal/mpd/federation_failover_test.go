@@ -48,13 +48,15 @@ func TestSupernodeDeathMidRegistrationFailsOverOnce(t *testing.T) {
 		return New(s, net.Node(id), Config{
 			Self: proto.PeerInfo{ID: id, Site: hostSite[id],
 				MPDAddr: id + ":9000", RSAddr: id + ":9001"},
-			Federation:      federation,
-			P:               p,
-			Programs:        programs(),
-			PingInterval:    5 * time.Second,
-			RefreshInterval: 5 * time.Second,
-			ReserveTimeout:  time.Second,
-			Seed:            int64(len(id)),
+			P:    p,
+			Seed: int64(len(id)),
+			Shared: &Shared{
+				Federation:      federation,
+				Programs:        programs(),
+				PingInterval:    5 * time.Second,
+				RefreshInterval: 5 * time.Second,
+				ReserveTimeout:  time.Second,
+			},
 		})
 	}
 	front := mk("frontal", 0)

@@ -26,12 +26,14 @@ func TestPeerReappearsAfterExpiry(t *testing.T) {
 	peer := New(s, net.Node("p1"), Config{
 		Self: proto.PeerInfo{ID: "p1", Site: "x",
 			MPDAddr: "p1:9000", RSAddr: "p1:9001"},
-		SupernodeAddr:  "sn:8800",
-		P:              1,
-		Programs:       programs(),
-		AliveInterval:  10 * time.Second,
-		PingInterval:   time.Hour,
-		ReserveTimeout: time.Second,
+		P: 1,
+		Shared: &Shared{
+			SupernodeAddr:  "sn:8800",
+			Programs:       programs(),
+			AliveInterval:  10 * time.Second,
+			PingInterval:   time.Hour,
+			ReserveTimeout: time.Second,
+		},
 	})
 
 	s.Go("main", func() {

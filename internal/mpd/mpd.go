@@ -95,11 +95,36 @@ func (e *Env) Compute(flops, memBytes float64) {
 // Program is an MPI application body, one invocation per process.
 type Program func(env *Env) error
 
-// Config assembles one peer's daemon settings.
+// Config assembles one peer's daemon settings: the fields that vary
+// per peer, plus an embedded *Shared block for everything that is
+// identical across a deployment. The split is a memory decision, not a
+// cosmetic one: a simulated world holds every daemon in one process,
+// and a million hosts each carrying a private copy of the protocol
+// timing, program registry and federation list is hundreds of MB of
+// identical bytes. Standalone deployments may leave Shared nil — New
+// allocates a private defaulted block.
 type Config struct {
 	// Self identifies this peer; its MPDAddr/RSAddr are the listen
 	// addresses.
 	Self proto.PeerInfo
+	// P and J are the owner preferences (§4.1); Deny lists refused
+	// submitters.
+	P, J int
+	Deny []string
+	// Profile describes the hardware for modelled computations.
+	Profile HostProfile
+	// Seed makes key generation deterministic.
+	Seed int64
+	// Shared is the deployment-invariant half of the configuration.
+	// One block may back every daemon of a world; New treats it as
+	// read-only after defaulting (concurrency-safe, see fillDefaults).
+	*Shared
+}
+
+// Shared is the deployment-invariant half of Config. Its fields are
+// promoted into Config, so daemon code reads cfg.PingInterval etc.
+// exactly as before the split.
+type Shared struct {
 	// SupernodeAddr is the bootstrap entry point. The paper's MPD "knows
 	// at least one supernode": additional fallbacks can be listed in
 	// SupernodeFallbacks and are tried in order when the primary fails.
@@ -113,12 +138,6 @@ type Config struct {
 	// rotation — a foreign shard fosters the peer (Forced register) until
 	// the home member answers again.
 	Federation []string
-	// P and J are the owner preferences (§4.1); Deny lists refused
-	// submitters.
-	P, J int
-	Deny []string
-	// Profile describes the hardware for modelled computations.
-	Profile HostProfile
 	// Programs is the runnable application registry.
 	Programs map[string]Program
 
@@ -139,47 +158,69 @@ type Config struct {
 	EstimatorWindow int
 	// ProcBasePort is the first port used by launched processes (41000).
 	ProcBasePort int
-	// Seed makes key generation deterministic.
-	Seed int64
 	// NoBootPing skips the immediate ping round after registration. Boot
 	// probing is all-pairs across the deployment, which the large-world
 	// harness cannot afford for compute peers whose own latency view is
 	// never consulted (only the submitter's ordering matters); the
 	// periodic ping loop still runs at PingInterval.
 	NoBootPing bool
+	// Intern, when set, canonicalizes the PeerInfo values this daemon
+	// retains (its identity and its cache's tables) against a
+	// deployment-wide interner. Behaviour-neutral; exp worlds share one.
+	Intern *overlay.Interner
+	// PeerCacheCap bounds the total peer entries the cache retains
+	// before anything reads it (0 = unbounded); see
+	// overlay.Cache.SetPendingCap. The harness sets it only for compute
+	// peers of multi-thousand-host sweeps whose caches feed no
+	// measurement.
+	PeerCacheCap int
+
+	// defaultsOnce makes defaulting safe when one block backs daemons
+	// constructed from parallel provisioning workers: the first New
+	// wins, every later one sees a fully defaulted block.
+	defaultsOnce sync.Once
 }
 
 func (c *Config) fillDefaults() {
-	if c.PingInterval <= 0 {
-		c.PingInterval = 20 * time.Second
+	if c.Shared == nil {
+		c.Shared = &Shared{}
 	}
-	if c.AliveInterval <= 0 {
-		c.AliveInterval = 30 * time.Second
-	}
-	if c.RefreshInterval <= 0 {
-		c.RefreshInterval = 60 * time.Second
-	}
-	if c.ReserveTimeout <= 0 {
-		c.ReserveTimeout = 2 * time.Second
-	}
-	if c.PrepareTimeout <= 0 {
-		c.PrepareTimeout = 10 * time.Second
-	}
-	if c.StartTimeout <= 0 {
-		c.StartTimeout = 10 * time.Second
-	}
-	if c.Overbook <= 0 {
-		c.Overbook = 1.2
-	}
-	if c.Estimator == "" {
-		c.Estimator = latency.KindLast
-	}
-	if c.ProcBasePort <= 0 {
-		c.ProcBasePort = 41000
-	}
+	c.Shared.fillDefaults()
 	if c.J <= 0 {
 		c.J = 1
 	}
+}
+
+func (s *Shared) fillDefaults() {
+	s.defaultsOnce.Do(func() {
+		if s.PingInterval <= 0 {
+			s.PingInterval = 20 * time.Second
+		}
+		if s.AliveInterval <= 0 {
+			s.AliveInterval = 30 * time.Second
+		}
+		if s.RefreshInterval <= 0 {
+			s.RefreshInterval = 60 * time.Second
+		}
+		if s.ReserveTimeout <= 0 {
+			s.ReserveTimeout = 2 * time.Second
+		}
+		if s.PrepareTimeout <= 0 {
+			s.PrepareTimeout = 10 * time.Second
+		}
+		if s.StartTimeout <= 0 {
+			s.StartTimeout = 10 * time.Second
+		}
+		if s.Overbook <= 0 {
+			s.Overbook = 1.2
+		}
+		if s.Estimator == "" {
+			s.Estimator = latency.KindLast
+		}
+		if s.ProcBasePort <= 0 {
+			s.ProcBasePort = 41000
+		}
+	})
 }
 
 // MPD is one peer's daemon.
@@ -194,10 +235,28 @@ type MPD struct {
 	mu          sync.Mutex
 	ln          transport.Listener
 	closed      bool
-	jobs        map[string]*localJob     // by key (hosting side)
-	pendingDone map[string]vtime.Mailbox // by jobID (submitter side)
-	rng         *rand.Rand
-	stats       Stats
+	jobs        map[string]*localJob     // by key (hosting side), lazy
+	pendingDone map[string]vtime.Mailbox // by jobID (submitter side), lazy
+	// rng is built on first draw. An eager rand.Rand is ~5 KB of state
+	// (the biggest single item on the idle daemon's footprint) and an
+	// idle peer never draws — laziness changes nothing observable, the
+	// same seed produces the same stream whenever it is first used.
+	rng    *rand.Rand
+	lc     lifecycle
+	tickFn func() // m.lifecycleTick, bound once so re-arming never allocates a closure
+	stats  Stats
+}
+
+// lifecycle is the daemon's periodic-work state: one pending timer
+// event instead of three parked loop goroutines per host. Each round
+// still runs in its own short-lived actor; the timer chain only decides
+// when to spawn them. Deadlines are re-armed by the round that just
+// completed — the same drift semantics as the old sleep-then-act loops,
+// so virtual trajectories are unchanged. Guarded by MPD.mu.
+type lifecycle struct {
+	aliveAt, refreshAt, pingAt time.Time // absolute next deadlines
+	aliveTick                  int       // counts alive rounds for the re-register cadence
+	timerAt                    time.Time // earliest pending timer target (zero: none)
 }
 
 // Stats counts protocol events for tests and reporting.
@@ -233,14 +292,19 @@ type localJob struct {
 // New creates an MPD daemon (not yet started).
 func New(rt vtime.Runtime, net transport.Network, cfg Config) *MPD {
 	cfg.fillDefaults()
+	// Registering self's canonical value up front means every wire copy
+	// of this host's info — in supernode tables and other peers' caches
+	// — dedupes against it.
+	cfg.Self = cfg.Intern.PeerInfo(cfg.Self)
 	m := &MPD{
-		rt:          rt,
-		net:         net,
-		cfg:         cfg,
-		cache:       overlay.NewCache(cfg.Self.ID, cfg.Estimator, cfg.EstimatorWindow),
-		jobs:        make(map[string]*localJob),
-		pendingDone: make(map[string]vtime.Mailbox),
-		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(len(cfg.Self.ID)))),
+		rt:    rt,
+		net:   net,
+		cfg:   cfg,
+		cache: overlay.NewCache(cfg.Self.ID, cfg.Estimator, cfg.EstimatorWindow),
+	}
+	m.cache.SetInterner(cfg.Intern)
+	if cfg.PeerCacheCap > 0 {
+		m.cache.SetPendingCap(cfg.PeerCacheCap)
 	}
 	m.rs = reservation.New(rt, net, reservation.Config{
 		Addr: cfg.Self.RSAddr,
@@ -279,17 +343,102 @@ func (m *MPD) Start() error {
 	m.ln = ln
 	m.mu.Unlock()
 
-	m.rt.Go("mpd.accept."+m.cfg.Self.ID, m.acceptLoop)
+	// Inbound conns spawn their serving actor straight from the
+	// transport's delivery callback when the listener supports it — an
+	// idle daemon then parks no accept goroutine at all. The Accept
+	// loop remains for transports without the capability (TCP).
+	if cl, ok := ln.(transport.CallbackListener); ok {
+		cl.OnConn(func(c transport.Conn) {
+			m.rt.Go("mpd.conn."+m.cfg.Self.ID, func() { m.serveConn(c) })
+		})
+	} else {
+		m.rt.Go("mpd.accept."+m.cfg.Self.ID, m.acceptLoop)
+	}
 	m.rt.Go("mpd.boot."+m.cfg.Self.ID, func() {
 		m.registerAndUpdate()
 		if !m.cfg.NoBootPing {
 			m.pingRound() // measure latencies right away
 		}
 	})
-	m.rt.Go("mpd.alive."+m.cfg.Self.ID, m.aliveLoop)
-	m.rt.Go("mpd.refresh."+m.cfg.Self.ID, m.refreshLoop)
-	m.rt.Go("mpd.ping."+m.cfg.Self.ID, m.pingLoop)
+	// Periodic work runs on the lifecycle timer chain: one pending
+	// event per daemon instead of three sleeping goroutines.
+	m.tickFn = m.lifecycleTick
+	now := m.rt.Now()
+	m.mu.Lock()
+	m.lc.aliveAt = now.Add(m.cfg.AliveInterval)
+	m.lc.refreshAt = now.Add(m.cfg.RefreshInterval)
+	m.lc.pingAt = now.Add(m.cfg.PingInterval)
+	m.lc.aliveTick = 1
+	m.armTimerLocked()
+	m.mu.Unlock()
 	return nil
+}
+
+// due reports whether a deadline is set and has arrived.
+func due(t, now time.Time) bool { return !t.IsZero() && !t.After(now) }
+
+// armTimerLocked schedules the lifecycle timer for the earliest armed
+// deadline, unless a pending timer already fires at or before it.
+// Zero deadlines mean the round is in flight (it re-arms on completion).
+func (m *MPD) armTimerLocked() {
+	next := m.lc.aliveAt
+	if !m.lc.refreshAt.IsZero() && (next.IsZero() || m.lc.refreshAt.Before(next)) {
+		next = m.lc.refreshAt
+	}
+	if !m.lc.pingAt.IsZero() && (next.IsZero() || m.lc.pingAt.Before(next)) {
+		next = m.lc.pingAt
+	}
+	if next.IsZero() {
+		return
+	}
+	if !m.lc.timerAt.IsZero() && !m.lc.timerAt.After(next) {
+		return // the pending timer already covers it
+	}
+	m.lc.timerAt = next
+	m.rt.Schedule(next.Sub(m.rt.Now()), m.tickFn)
+}
+
+// lifecycleTick fires every due round. It runs in event context (no
+// actor), so it only spawns: each round executes in its own short-lived
+// actor, named like the dedicated loop goroutines it replaced. Due
+// rounds fire in the loops' historical start order — alive, refresh,
+// ping — which is the event order the old per-loop sleeps produced when
+// deadlines collided.
+func (m *MPD) lifecycleTick() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.lc.timerAt = time.Time{}
+	now := m.rt.Now()
+	doAlive, doRefresh, doPing := false, false, false
+	aliveTick := 0
+	if due(m.lc.aliveAt, now) {
+		m.lc.aliveAt = time.Time{}
+		aliveTick = m.lc.aliveTick
+		m.lc.aliveTick++
+		doAlive = true
+	}
+	if due(m.lc.refreshAt, now) {
+		m.lc.refreshAt = time.Time{}
+		doRefresh = true
+	}
+	if due(m.lc.pingAt, now) {
+		m.lc.pingAt = time.Time{}
+		doPing = true
+	}
+	m.armTimerLocked()
+	m.mu.Unlock()
+	if doAlive {
+		m.rt.Go("mpd.alive."+m.cfg.Self.ID, func() { m.aliveRound(aliveTick) })
+	}
+	if doRefresh {
+		m.rt.Go("mpd.refresh."+m.cfg.Self.ID, m.refreshRound)
+	}
+	if doPing {
+		m.rt.Go("mpd.ping."+m.cfg.Self.ID, m.pingRoundChained)
+	}
 }
 
 // Close stops the daemon. Idempotent.
@@ -363,32 +512,54 @@ func (m *MPD) isClosed() bool {
 	return m.closed
 }
 
-func (m *MPD) aliveLoop() {
-	for tick := 1; ; tick++ {
-		m.rt.Sleep(m.cfg.AliveInterval)
-		if m.isClosed() {
-			return
-		}
-		// Every few ticks, a full re-registration instead of a bare
-		// keep-alive: it repairs the membership after a partition longer
-		// than the supernode's TTL (Alive alone cannot resurrect an
-		// expired entry because it carries only the peer ID).
-		if tick%5 == 0 {
-			m.registerAndUpdate() // free host-list refresh rides along
-			continue
-		}
+// aliveRound is one keep-alive tick. Every few ticks, a full
+// re-registration instead of a bare keep-alive: it repairs the
+// membership after a partition longer than the supernode's TTL (Alive
+// alone cannot resurrect an expired entry because it carries only the
+// peer ID).
+func (m *MPD) aliveRound(tick int) {
+	if m.isClosed() {
+		return
+	}
+	if tick%5 == 0 {
+		m.registerAndUpdate() // free host-list refresh rides along
+	} else {
 		m.aliveAny()
 	}
+	m.mu.Lock()
+	if !m.closed {
+		m.lc.aliveAt = m.rt.Now().Add(m.cfg.AliveInterval)
+		m.armTimerLocked()
+	}
+	m.mu.Unlock()
 }
 
-func (m *MPD) refreshLoop() {
-	for {
-		m.rt.Sleep(m.cfg.RefreshInterval)
-		if m.isClosed() {
-			return
-		}
-		m.fetchAndUpdate()
+// refreshRound is one cache refresh.
+func (m *MPD) refreshRound() {
+	if m.isClosed() {
+		return
 	}
+	m.fetchAndUpdate()
+	m.mu.Lock()
+	if !m.closed {
+		m.lc.refreshAt = m.rt.Now().Add(m.cfg.RefreshInterval)
+		m.armTimerLocked()
+	}
+	m.mu.Unlock()
+}
+
+// pingRoundChained is the periodic latency probe round.
+func (m *MPD) pingRoundChained() {
+	if m.isClosed() {
+		return
+	}
+	m.pingRound()
+	m.mu.Lock()
+	if !m.closed {
+		m.lc.pingAt = m.rt.Now().Add(m.cfg.PingInterval)
+		m.armTimerLocked()
+	}
+	m.mu.Unlock()
 }
 
 // supernodes lists the supernode addresses to try, primary (or home
@@ -515,16 +686,6 @@ func (m *MPD) aliveAny() {
 	}
 }
 
-func (m *MPD) pingLoop() {
-	for {
-		m.rt.Sleep(m.cfg.PingInterval)
-		if m.isClosed() {
-			return
-		}
-		m.pingRound()
-	}
-}
-
 // pingRound measures the RTT to every cached peer concurrently using the
 // application-level echo of §4.1 (never ICMP).
 func (m *MPD) pingRound() {
@@ -566,16 +727,27 @@ func (m *MPD) pingRound() {
 	}
 }
 
+// rngLocked returns the daemon's seeded generator, building it on first
+// draw (m.mu must be held). The same seed yields the same stream
+// whenever it is first used, so laziness is invisible to replay.
+func (m *MPD) rngLocked() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(m.cfg.Seed ^ int64(len(m.cfg.Self.ID))))
+	}
+	return m.rng
+}
+
 func (m *MPD) nextNonce() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.rng.Uint64()
+	return m.rngLocked().Uint64()
 }
 
 func (m *MPD) newKey() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return fmt.Sprintf("%016x%016x", m.rng.Uint64(), m.rng.Uint64())
+	rng := m.rngLocked()
+	return fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
 }
 
 // mathCeil avoids importing math for one call site elsewhere.

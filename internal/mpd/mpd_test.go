@@ -107,13 +107,15 @@ func newTestbed(t *testing.T, nNear, nFar int, coresPerHost int) *testbed {
 				ID: id, Site: hostSite[id],
 				MPDAddr: id + ":9000", RSAddr: id + ":9001",
 			},
-			SupernodeAddr: "frontal:8800",
-			P:             p,
-			J:             1,
-			Programs:      programs(),
-			Profile:       HostProfile{Cores: coresPerHost, CoreGFLOPS: 2, MemBWGBs: 5},
-			Seed:          int64(len(id) * 7),
-			PingInterval:  10 * time.Second,
+			P:       p,
+			J:       1,
+			Profile: HostProfile{Cores: coresPerHost, CoreGFLOPS: 2, MemBWGBs: 5},
+			Seed:    int64(len(id) * 7),
+			Shared: &Shared{
+				SupernodeAddr: "frontal:8800",
+				Programs:      programs(),
+				PingInterval:  10 * time.Second,
+			},
 		}
 	}
 	tb.front = New(s, net.Node("frontal"), mkCfg("frontal", 0))

@@ -160,6 +160,9 @@ func (m *MPD) handlePrepare(p *proto.Prepare) *proto.Ready {
 	}
 
 	m.mu.Lock()
+	if m.jobs == nil {
+		m.jobs = make(map[string]*localJob)
+	}
 	m.jobs[p.Key] = job
 	m.stats.JobsHosted++
 	m.mu.Unlock()

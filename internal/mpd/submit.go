@@ -317,6 +317,9 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 	// Register the completion mailbox before anything can finish.
 	doneMB := m.rt.NewMailbox()
 	m.mu.Lock()
+	if m.pendingDone == nil {
+		m.pendingDone = make(map[string]vtime.Mailbox)
+	}
 	m.pendingDone[jobID] = doneMB
 	m.mu.Unlock()
 	defer func() {

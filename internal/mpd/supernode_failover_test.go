@@ -31,13 +31,15 @@ func TestSupernodeFailover(t *testing.T) {
 		return New(s, net.Node(id), Config{
 			Self: proto.PeerInfo{ID: id, Site: "east",
 				MPDAddr: id + ":9000", RSAddr: id + ":9001"},
-			SupernodeAddr:      "sn1:8800", // dead primary
-			SupernodeFallbacks: []string{"sn2:8800"},
-			P:                  p,
-			Programs:           programs(),
-			PingInterval:       5 * time.Second,
-			ReserveTimeout:     time.Second,
-			Seed:               int64(len(id)),
+			P:    p,
+			Seed: int64(len(id)),
+			Shared: &Shared{
+				SupernodeAddr:      "sn1:8800", // dead primary
+				SupernodeFallbacks: []string{"sn2:8800"},
+				Programs:           programs(),
+				PingInterval:       5 * time.Second,
+				ReserveTimeout:     time.Second,
+			},
 		})
 	}
 	front := mk("frontal", 0)

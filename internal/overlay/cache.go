@@ -22,7 +22,7 @@ type Cache struct {
 	mu     sync.Mutex
 	selfID string
 	peers  map[string]proto.PeerInfo
-	lat    *latency.Table
+	lat    latency.Table // embedded by value: one Cache = one heap object
 	dead   map[string]bool // peers marked dead; hidden until re-learned
 	live   int             // len(peers) minus dead entries still in peers
 
@@ -46,19 +46,46 @@ type Cache struct {
 	// Observe, Update (new info or a dead→alive revival) and MarkDead.
 	ranked      []RankedPeer
 	rankedValid bool
+
+	// intern, when set, canonicalizes the PeerInfo values this cache
+	// retains (pending copies and the merged table) against the
+	// world-shared Interner — equal values, shared backing strings.
+	intern *Interner
+	// pendingCap bounds the total entries retained across queued
+	// snapshots while unmaterialized (0 = unbounded); see SetPendingCap.
+	pendingCap int
+	pendingN   int
 }
 
 // NewCache creates a cache for the peer with the given identity. The
 // estimator kind controls how ping samples condense into the ordering
-// latency (the paper's behaviour is KindLast).
+// latency (the paper's behaviour is KindLast). The maps are built on
+// first write: a compute peer whose cache is never consulted carries no
+// table at all.
 func NewCache(selfID string, kind latency.Kind, window int) *Cache {
 	return &Cache{
 		selfID: selfID,
-		peers:  make(map[string]proto.PeerInfo),
-		lat:    latency.NewTable(kind, window),
-		dead:   make(map[string]bool),
+		lat:    latency.MakeTable(kind, window),
 	}
 }
+
+// SetInterner routes this cache's retained PeerInfo values through the
+// deployment-wide interner. Behaviour-neutral (values are equal either
+// way); call before the cache sees its first Update.
+func (c *Cache) SetInterner(it *Interner) { c.intern = it }
+
+// SetPendingCap bounds how many peer entries the cache retains, in
+// total, across snapshots queued before materialization (0 keeps every
+// entry, the historical behaviour). A million-host world's compute
+// peers each receive an O(MaxPeersReturned) boot snapshot that nobody
+// ever reads — the dominant per-host retention. The cap truncates what
+// an unread cache keeps; it is a per-host local, content-deterministic
+// decision, so it cannot perturb cross-shard replay. Once a reader
+// materializes the cache, merges are uncapped again. Worlds whose
+// compute-peer caches feed measurements (the paper-scale goldens) must
+// leave this off; the harness only sets it on multi-thousand-host
+// sweeps where only the frontal's view is consulted.
+func (c *Cache) SetPendingCap(n int) { c.pendingCap = n }
 
 // Update merges a host list snapshot into the cache. Self is excluded;
 // a peer previously marked dead is resurrected only by a fresh snapshot
@@ -72,8 +99,25 @@ func (c *Cache) Update(list []proto.PeerInfo) {
 	if !c.materialized {
 		if len(c.pending) < maxPendingSnapshots {
 			// Never read yet: defer the merge. The snapshot must be
-			// copied — callers reuse pooled scratch slices.
-			c.pending = append(c.pending, append([]proto.PeerInfo(nil), list...))
+			// copied — callers reuse pooled scratch slices. The copy is
+			// interned (shared strings) and, when a cap bounds unread
+			// retention, truncated to the remaining entry budget.
+			keep := list
+			if c.pendingCap > 0 {
+				room := c.pendingCap - c.pendingN
+				if room <= 0 {
+					return
+				}
+				if len(keep) > room {
+					keep = keep[:room]
+				}
+			}
+			cp := make([]proto.PeerInfo, len(keep))
+			for i, p := range keep {
+				cp[i] = c.intern.PeerInfo(p)
+			}
+			c.pending = append(c.pending, cp)
+			c.pendingN += len(cp)
 			return
 		}
 		// A long-horizon run keeps refreshing a cache nobody reads;
@@ -90,10 +134,14 @@ const maxPendingSnapshots = 8
 
 // mergeLocked applies one snapshot to the materialized table.
 func (c *Cache) mergeLocked(list []proto.PeerInfo) {
+	if c.peers == nil {
+		c.peers = make(map[string]proto.PeerInfo, len(list))
+	}
 	for _, p := range list {
 		if p.ID == c.selfID {
 			continue
 		}
+		p = c.intern.PeerInfo(p)
 		old, known := c.peers[p.ID]
 		if !known || old != p || c.dead[p.ID] {
 			c.rankedValid = false
@@ -115,6 +163,7 @@ func (c *Cache) flushLocked() {
 	c.materialized = true
 	pending := c.pending
 	c.pending = nil
+	c.pendingN = 0
 	if len(pending) == 0 {
 		return
 	}
@@ -158,6 +207,9 @@ func (c *Cache) MarkDead(id string) {
 		c.live--
 	}
 	c.lat.Forget(id)
+	if c.dead == nil {
+		c.dead = make(map[string]bool)
+	}
 	c.dead[id] = true
 }
 

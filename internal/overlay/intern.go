@@ -1,0 +1,159 @@
+package overlay
+
+import (
+	"slices"
+	"sync"
+
+	"p2pmpi/internal/proto"
+)
+
+// Interner canonicalizes membership data across one deployment. A
+// simulated world holds every daemon in one process, so the same
+// PeerInfo is decoded from the wire thousands of times — once per
+// supernode that gossips it, once per cache snapshot that carries it —
+// and each decode allocates four fresh strings. Interning swaps every
+// copy for one canonical value, which is strictly invisible to the
+// simulation (the values are equal; only the backing allocations are
+// shared) and cuts the K-member federation's retained state from
+// O(K·world) string data to O(world).
+//
+// All methods are safe for concurrent use from parallel shards and are
+// nil-receiver safe (a nil Interner interns nothing), so the wiring can
+// stay unconditional.
+type Interner struct {
+	// peers maps host ID -> canonical proto.PeerInfo, striped by ID hash
+	// so parallel shards rarely collide. Plain maps under RWMutexes beat
+	// a sync.Map here on memory, not speed: the HashTrieMap spends ~200 B
+	// of node structure plus a boxed copy per entry, which at a million
+	// hosts is a fifth of the whole budget. Reads vastly outnumber writes
+	// (every host's info is written once and looked up K+world times),
+	// and interning sits on membership paths, not the data plane, so a
+	// striped read-lock is cheap.
+	peers [internStripes]internStripe
+
+	mu sync.Mutex
+	// snaps holds, per federation shard, the newest decoded snapshot
+	// list seen world-wide. Every member that receives the same
+	// (shard, version) decodes a value-identical list; handing them all
+	// the first decode means a K-member federation retains one copy of
+	// each shard's table instead of K-1.
+	snaps map[int]snapEntry
+	// merged is the canonical merged federation view. After gossip
+	// converges every member rebuilds the same ID-sorted union; adopting
+	// one canonical slice collapses K value-identical O(world) arrays
+	// into one. Members treat an adopted (or published) slice as shared
+	// and copy-on-write before any in-place edit.
+	merged []proto.PeerInfo
+}
+
+type snapEntry struct {
+	version uint64
+	peers   []proto.PeerInfo
+}
+
+const internStripes = 16
+
+type internStripe struct {
+	mu sync.RWMutex
+	m  map[string]proto.PeerInfo
+}
+
+// stripeFor hashes a host ID onto a stripe (FNV-1a, inlined — the IDs
+// are short and this runs on every intern lookup).
+func stripeFor(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h % internStripes)
+}
+
+// NewInterner creates an empty interner, one per deployment.
+func NewInterner() *Interner { return &Interner{} }
+
+// PeerInfo returns the canonical copy of p, registering p as canonical
+// if its ID is new or its info changed. Equality is over the full
+// struct, so a host that re-registers with different addresses replaces
+// its canonical value rather than being masked by a stale one.
+func (it *Interner) PeerInfo(p proto.PeerInfo) proto.PeerInfo {
+	if it == nil {
+		return p
+	}
+	st := &it.peers[stripeFor(p.ID)]
+	st.mu.RLock()
+	c, ok := st.m[p.ID]
+	st.mu.RUnlock()
+	if ok && c == p {
+		return c
+	}
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[string]proto.PeerInfo)
+	}
+	st.m[p.ID] = p
+	st.mu.Unlock()
+	return p
+}
+
+// InternList canonicalizes every entry of list in place. After it
+// returns, entries equal to the canonical value share its backing
+// strings, which makes later whole-slice equality checks mostly
+// pointer comparisons.
+func (it *Interner) InternList(list []proto.PeerInfo) {
+	if it == nil {
+		return
+	}
+	for i := range list {
+		list[i] = it.PeerInfo(list[i])
+	}
+}
+
+// Snapshot canonicalizes one decoded shard snapshot. If the newest
+// known list for the shard has the same version and equal content, the
+// fresh decode is dropped in favour of the shared copy; a newer version
+// replaces the stored one. The returned slice must be treated as
+// read-only (every member of the federation may hold it) — which
+// matches how remote snapshots are used: they are replaced wholesale,
+// never edited. Last-seen stamps are NOT part of the snapshot here:
+// they differ between pulls of the same version (keep-alives refresh
+// stamps without bumping the version), so each member keeps its own.
+func (it *Interner) Snapshot(shard int, version uint64, list []proto.PeerInfo) []proto.PeerInfo {
+	if it == nil {
+		return list
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if e, ok := it.snaps[shard]; ok && e.version == version {
+		if slices.Equal(e.peers, list) {
+			return e.peers
+		}
+		return list // same version, different content: trust the caller's
+	} else if ok && e.version > version {
+		return list // stale pull overtaken by a newer stored snapshot
+	}
+	if it.snaps == nil {
+		it.snaps = make(map[int]snapEntry)
+	}
+	it.snaps[shard] = snapEntry{version: version, peers: list}
+	return list
+}
+
+// MergedView offers a freshly rebuilt merged view for sharing and
+// returns the canonical slice to keep. When the offer equals the
+// current canonical view (the post-convergence steady state), the
+// caller adopts the shared copy and its own rebuild becomes garbage;
+// otherwise the offer becomes the new canonical candidate. Either way
+// the returned slice may be aliased by other members: the caller must
+// copy-on-write before in-place edits.
+func (it *Interner) MergedView(list []proto.PeerInfo) []proto.PeerInfo {
+	if it == nil {
+		return list
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if slices.Equal(it.merged, list) {
+		return it.merged
+	}
+	it.merged = list
+	return list
+}

@@ -73,6 +73,12 @@ type SupernodeConfig struct {
 	// its own), the federation view spreads transitively and a K-member
 	// federation converges in O(log K) rounds.
 	GossipInterval time.Duration
+
+	// Intern, when set, canonicalizes PeerInfo values and converged
+	// snapshot/merged slices across the whole deployment (share one per
+	// world). Purely a memory optimization: interning only ever swaps a
+	// value for an equal one, so behaviour and replay are untouched.
+	Intern *Interner
 }
 
 // federated reports whether the config describes a multi-member tier.
@@ -121,7 +127,12 @@ type remoteShard struct {
 }
 
 // entryMeta attributes one merged-view entry to the shard snapshot it
-// came from, with its last-seen stamp for failover tie-breaking.
+// came from, with its last-seen stamp for failover tie-breaking. Kept
+// in a slice parallel to the ID-sorted merged view: the entry for
+// merged[i] is meta[i], located by the same binary search. (A
+// map[string]entryMeta here costs ~5× the slice's 16 bytes/entry in
+// map overhead — at a million hosts across K members, hundreds of MB
+// for data the merge already keeps sorted.)
 type entryMeta struct {
 	shard int
 	seen  int64
@@ -138,7 +149,10 @@ type Supernode struct {
 	peers  map[string]*peerEntry
 	ln     transport.Listener
 	closed bool
-	// rng draws the bounded-reply window starts (MaxPeersReturned > 0).
+	// rng draws the bounded-reply window starts (MaxPeersReturned > 0);
+	// built on first draw — an eager rand.Rand is ~5 KB of state a
+	// standalone or unbounded member never touches, and the same seed
+	// produces the same stream whenever it is first used.
 	rng *rand.Rand
 	// listCache is the ID-sorted owned table, maintained incrementally: a
 	// new peer is spliced in at its sort position, a changed one replaced
@@ -158,7 +172,11 @@ type Supernode struct {
 	ownStamp   int64
 	remote     map[int]*remoteShard
 	merged     []proto.PeerInfo
-	meta       map[string]entryMeta
+	meta       []entryMeta // parallel to merged; see entryMeta
+	// mergedShared marks merged as possibly aliased by other members
+	// (adopted from, or published to, the interner's shared view); any
+	// in-place edit must copy first (cowMergedLocked).
+	mergedShared bool
 	// memberSeen records the last direct evidence that a federation
 	// member is alive (it answered our digest, or it sent us one). A
 	// member silent past the TTL has its snapshot swept — otherwise a
@@ -187,14 +205,21 @@ func NewSupernode(rt vtime.Runtime, net transport.Network, cfg SupernodeConfig) 
 	s := &Supernode{
 		rt: rt, net: net, cfg: cfg,
 		peers: make(map[string]*peerEntry),
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 	}
 	if cfg.federated() {
 		s.remote = make(map[int]*remoteShard)
-		s.meta = make(map[string]entryMeta)
 		s.memberSeen = make(map[int]time.Time)
 	}
 	return s
+}
+
+// rngLocked returns the window-draw generator, building it on first use
+// (s.mu must be held).
+func (s *Supernode) rngLocked() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.cfg.Seed ^ 0x5eed))
+	}
+	return s.rng
 }
 
 // Start binds the listener and spawns the accept, sweep and (in a
@@ -302,16 +327,17 @@ func findSorted(list []proto.PeerInfo, id string) (int, bool) {
 	return i, i < len(list) && list[i].ID == id
 }
 
-// spliceIn inserts p at its sort position (i from findSorted).
-func spliceIn(list []proto.PeerInfo, i int, p proto.PeerInfo) []proto.PeerInfo {
-	list = append(list, proto.PeerInfo{})
+// spliceIn inserts v at index i (from findSorted), shifting the tail.
+func spliceIn[T any](list []T, i int, v T) []T {
+	var zero T
+	list = append(list, zero)
 	copy(list[i+1:], list[i:])
-	list[i] = p
+	list[i] = v
 	return list
 }
 
 // spliceOut removes index i.
-func spliceOut(list []proto.PeerInfo, i int) []proto.PeerInfo {
+func spliceOut[T any](list []T, i int) []T {
 	return append(list[:i], list[i+1:]...)
 }
 
@@ -328,7 +354,7 @@ func (s *Supernode) appendPeerListReply(dst []byte) []byte {
 	list := s.replyListLocked()
 	start, count := 0, len(list)
 	if limit := s.cfg.MaxPeersReturned; limit > 0 && len(list) > limit {
-		start = s.rng.Intn(len(list))
+		start = s.rngLocked().Intn(len(list))
 		count = limit
 	}
 	return proto.AppendPeerListFrame(dst, list, start, count)
@@ -435,6 +461,7 @@ func (s *Supernode) serveConn(c transport.Conn) {
 }
 
 func (s *Supernode) register(p proto.PeerInfo) {
+	p = s.cfg.Intern.PeerInfo(p) // share the decode with the whole world
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.rt.Now()
@@ -475,9 +502,10 @@ func (s *Supernode) touch(id string) bool {
 	if ok {
 		e.lastSeen = s.rt.Now()
 		if s.cfg.federated() {
-			if m, here := s.meta[id]; here && m.shard == s.cfg.Shard {
-				m.seen = e.lastSeen.UnixNano()
-				s.meta[id] = m
+			// meta is never aliased between members (only merged is), so
+			// the stamp refresh can write in place.
+			if i, found := findSorted(s.merged, id); found && s.meta[i].shard == s.cfg.Shard {
+				s.meta[i].seen = e.lastSeen.UnixNano()
 			}
 		}
 	}
@@ -491,23 +519,37 @@ func (s *Supernode) bumpVersionLocked(now time.Time) {
 	s.ownStamp = now.UnixNano()
 }
 
+// cowMergedLocked unshares the merged view before an in-place edit: an
+// adopted (or published) slice may be aliased by every other federation
+// member. The copy is exact-length, so a later spliceIn reallocates
+// instead of growing into shared backing.
+func (s *Supernode) cowMergedLocked() {
+	if s.mergedShared {
+		s.merged = append([]proto.PeerInfo(nil), s.merged...)
+		s.mergedShared = false
+	}
+}
+
 // mergedUpsertLocked inserts or refreshes one entry of the merged view,
 // attributed to the given shard. A fresher last-seen stamp wins a
 // conflict; ties go to the lower shard index so replays are exact.
 func (s *Supernode) mergedUpsertLocked(p proto.PeerInfo, shard int, seen int64) {
-	if m, ok := s.meta[p.ID]; ok {
+	i, found := findSorted(s.merged, p.ID)
+	if found {
+		m := s.meta[i]
 		if m.shard != shard && (m.seen > seen || (m.seen == seen && m.shard < shard)) {
 			return // the other shard's claim is fresher
 		}
-		if i, found := findSorted(s.merged, p.ID); found {
+		if s.merged[i] != p {
+			s.cowMergedLocked()
 			s.merged[i] = p
 		}
-		s.meta[p.ID] = entryMeta{shard: shard, seen: seen}
+		s.meta[i] = entryMeta{shard: shard, seen: seen}
 		return
 	}
-	i, _ := findSorted(s.merged, p.ID)
+	s.cowMergedLocked()
 	s.merged = spliceIn(s.merged, i, p)
-	s.meta[p.ID] = entryMeta{shard: shard, seen: seen}
+	s.meta = spliceIn(s.meta, i, entryMeta{shard: shard, seen: seen})
 }
 
 // mergedDropLocked removes an entry attributed to the given shard from
@@ -515,14 +557,13 @@ func (s *Supernode) mergedUpsertLocked(p proto.PeerInfo, shard int, seen int64) 
 // the freshest surviving claim is reinstated so an owned expiry cannot
 // erase a peer the federation still believes in.
 func (s *Supernode) mergedDropLocked(id string, shard int) {
-	m, ok := s.meta[id]
-	if !ok || m.shard != shard {
+	i, found := findSorted(s.merged, id)
+	if !found || s.meta[i].shard != shard {
 		return
 	}
-	if i, found := findSorted(s.merged, id); found {
-		s.merged = spliceOut(s.merged, i)
-	}
-	delete(s.meta, id)
+	s.cowMergedLocked()
+	s.merged = spliceOut(s.merged, i)
+	s.meta = spliceOut(s.meta, i)
 	s.reinstateLocked(id, shard)
 }
 
@@ -641,6 +682,18 @@ func (s *Supernode) gossipWith(shard int) {
 	for i := range delta.Shards {
 		s.applyShardLocked(&delta.Shards[i])
 	}
+	if len(delta.Shards) == 0 && !s.mergedShared {
+		// Quiescent round while holding a private merged view: the last
+		// edit was an own-shard change applied copy-on-write, which never
+		// re-offers. Without this, every member's final boot-storm
+		// registration leaves it a permanent private O(world) copy — K
+		// copies of the world instead of one. Offering here converges
+		// the federation back to a single shared slice; content equality
+		// is what MergedView checks, so a not-yet-converged offer is
+		// merely stored, never wrongly adopted.
+		s.merged = s.cfg.Intern.MergedView(s.merged)
+		s.mergedShared = s.cfg.Intern != nil
+	}
 	s.mu.Unlock()
 }
 
@@ -729,8 +782,17 @@ func (s *Supernode) applyShardLocked(st *proto.ShardState) {
 			}
 		}
 	}
+	// Canonicalize the snapshot before retaining it: per-entry interning
+	// shares the string data with the rest of the world, and the
+	// whole-slice check lets every member that received this
+	// (shard, version) hold the same backing array — the federation then
+	// retains one copy of each shard's table instead of K−1. Last-seen
+	// stamps stay per-member (they differ between pulls of one version).
+	it := s.cfg.Intern
+	it.InternList(st.Peers)
+	peers := it.Snapshot(k, st.Version, st.Peers)
 	s.remote[k] = &remoteShard{version: st.Version, stamp: st.Stamp,
-		peers: st.Peers, seen: st.Seen, appliedAt: s.rt.Now()}
+		peers: peers, seen: st.Seen, appliedAt: s.rt.Now()}
 	// Rebuild the merged view with one linear two-pointer pass over the
 	// (both ID-sorted) current view and the new snapshot — per-entry
 	// splices would make a boot-storm convergence O(world²). Entries the
@@ -743,41 +805,45 @@ func (s *Supernode) applyShardLocked(st *proto.ShardState) {
 		}
 		return 0
 	}
-	out := make([]proto.PeerInfo, 0, len(s.merged)+len(st.Peers))
+	out := make([]proto.PeerInfo, 0, len(s.merged)+len(peers))
+	metaOut := make([]entryMeta, 0, len(s.merged)+len(peers))
 	var dropped []string
 	i, j := 0, 0
-	for i < len(s.merged) || j < len(st.Peers) {
+	for i < len(s.merged) || j < len(peers) {
 		switch {
-		case j >= len(st.Peers) || (i < len(s.merged) && s.merged[i].ID < st.Peers[j].ID):
-			id := s.merged[i].ID
-			if m := s.meta[id]; m.shard == k {
+		case j >= len(peers) || (i < len(s.merged) && s.merged[i].ID < peers[j].ID):
+			if s.meta[i].shard == k {
 				// Previously attributed to this shard, no longer claimed.
-				delete(s.meta, id)
-				dropped = append(dropped, id)
+				dropped = append(dropped, s.merged[i].ID)
 			} else {
 				out = append(out, s.merged[i])
+				metaOut = append(metaOut, s.meta[i])
 			}
 			i++
-		case i >= len(s.merged) || st.Peers[j].ID < s.merged[i].ID:
+		case i >= len(s.merged) || peers[j].ID < s.merged[i].ID:
 			// New host for the merged view.
-			out = append(out, st.Peers[j])
-			s.meta[st.Peers[j].ID] = entryMeta{shard: k, seen: claimSeen(j)}
+			out = append(out, peers[j])
+			metaOut = append(metaOut, entryMeta{shard: k, seen: claimSeen(j)})
 			j++
 		default: // same ID: resolve precedence
-			id := st.Peers[j].ID
-			m := s.meta[id]
+			m := s.meta[i]
 			seen := claimSeen(j)
 			if m.shard == k || seen > m.seen || (seen == m.seen && k < m.shard) {
-				out = append(out, st.Peers[j])
-				s.meta[id] = entryMeta{shard: k, seen: seen}
+				out = append(out, peers[j])
+				metaOut = append(metaOut, entryMeta{shard: k, seen: seen})
 			} else {
 				out = append(out, s.merged[i])
+				metaOut = append(metaOut, m)
 			}
 			i++
 			j++
 		}
 	}
-	s.merged = out
+	// Offer the rebuild for sharing: once gossip converges every member
+	// rebuilds the same view, and they all adopt one canonical slice.
+	s.merged = it.MergedView(out)
+	s.mergedShared = it != nil
+	s.meta = metaOut
 	for _, id := range dropped {
 		s.reinstateLocked(id, k)
 	}

@@ -69,16 +69,17 @@ func New(rt vtime.Runtime, net transport.Network, cfg Config) *Service {
 	if cfg.HoldTTL <= 0 {
 		cfg.HoldTTL = 60 * time.Second
 	}
-	deny := make(map[string]bool, len(cfg.Deny))
-	for _, id := range cfg.Deny {
-		deny[id] = true
+	// held/running are built on first write and denySet only when the
+	// owner actually denies someone — lookups on nil maps are free, and
+	// a 1M-host world carries three empty maps per host otherwise.
+	var deny map[string]bool
+	if len(cfg.Deny) > 0 {
+		deny = make(map[string]bool, len(cfg.Deny))
+		for _, id := range cfg.Deny {
+			deny[id] = true
+		}
 	}
-	return &Service{
-		rt: rt, net: net, cfg: cfg,
-		held:    make(map[string]*hold),
-		running: make(map[string]bool),
-		denySet: deny,
-	}
+	return &Service{rt: rt, net: net, cfg: cfg, denySet: deny}
 }
 
 // Start binds the listener and spawns the accept loop.
@@ -90,7 +91,16 @@ func (s *Service) Start() error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
-	s.rt.Go("rs.accept", s.acceptLoop)
+	// As in the MPD: spawn serving actors straight from the transport's
+	// delivery callback when supported, so an idle RS parks no accept
+	// goroutine.
+	if cl, ok := ln.(transport.CallbackListener); ok {
+		cl.OnConn(func(c transport.Conn) {
+			s.rt.Go("rs.conn", func() { s.serveConn(c) })
+		})
+	} else {
+		s.rt.Go("rs.accept", s.acceptLoop)
+	}
 	return nil
 }
 
@@ -174,6 +184,9 @@ func (s *Service) handleReserve(r *proto.Reserve) any {
 			return &proto.ReserveNOK{Key: r.Key, Reason: ReasonBusy}
 		}
 	}
+	if s.held == nil {
+		s.held = make(map[string]*hold)
+	}
 	s.held[r.Key] = &hold{
 		key:       r.Key,
 		jobID:     r.JobID,
@@ -213,6 +226,9 @@ func (s *Service) Consume(key string) error {
 		return ErrUnknownKey
 	}
 	delete(s.held, key)
+	if s.running == nil {
+		s.running = make(map[string]bool)
+	}
 	s.running[key] = true
 	return nil
 }

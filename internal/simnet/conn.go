@@ -26,26 +26,28 @@ func (nn *nodeNet) Listen(addr string) (transport.Listener, error) {
 	if h == nil || h.down {
 		return nil, transport.ErrUnreachable
 	}
+	laddr := addr
 	if port == "0" {
 		for {
 			h.nextPort++
 			port = itoa(h.nextPort)
-			if h.listeners[port] == nil {
+			if h.listener(port) == nil {
 				break
 			}
 		}
+		laddr = host + ":" + port
 	}
-	if h.listeners[port] != nil {
+	if h.listener(port) != nil {
 		return nil, transport.ErrClosed // port in use
 	}
 	l := &listener{
-		n:       nn.n,
-		addr:    host + ":" + port,
-		host:    host,
-		port:    port,
-		acceptq: vtime.NewQueue[*conn](h.sh.rt),
+		n:    nn.n,
+		rt:   h.sh.rt,
+		addr: laddr, // the caller's string when the port stands; no rebuild
+		host: host,
+		port: port,
 	}
-	h.listeners[port] = l
+	h.addListener(port, l)
 	return l, nil
 }
 
@@ -81,7 +83,7 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 	resultq := vtime.NewQueue[dialResult](rt)
 
 	rt.Schedule(synArrival-rt.Elapsed(), func() {
-		l := to.listeners[rport]
+		l := to.listener(rport)
 		if to.down || l == nil || l.closed {
 			// Connection refused: the RST also takes one trip back.
 			back := n.planDelivery(rng, to, from, 64)
@@ -93,7 +95,7 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 		local := nn.host + ":" + itoa(ephemeral(from))
 		pair := newConnPair(n, from, to, local, l.addr, rng, nil)
 		back := n.planDelivery(rng, to, from, 64)
-		l.acceptq.Push(pair.server)
+		l.deliver(pair.server)
 		rt.Schedule(back-rt.Elapsed(), func() {
 			resultq.Push(dialResult{c: pair.client})
 		})
@@ -162,15 +164,50 @@ func itoa(v int) string {
 }
 
 type listener struct {
-	n       *Net
-	addr    string
-	host    string
-	port    string
+	n    *Net
+	rt   *vtime.Scheduler
+	addr string
+	host string
+	port string
+	// Exactly one of handler/acceptq carries inbound conns. The handler
+	// (transport.CallbackListener) is the daemon path: no Accept actor
+	// parked per listener, no queue allocated. The queue is built lazily
+	// for legacy Accept users. Both are touched only from the owning
+	// shard's event loop, so no lock is needed.
+	handler func(transport.Conn)
 	acceptq *vtime.Queue[*conn]
 	closed  bool
 }
 
+// deliver hands an accepted server endpoint to the listener's consumer:
+// the installed handler (called inline from the delivery event — it
+// just spawns the serving actor) or the accept queue.
+func (l *listener) deliver(c *conn) {
+	if l.handler != nil {
+		l.handler(c)
+		return
+	}
+	if l.acceptq == nil {
+		l.acceptq = vtime.NewQueue[*conn](l.rt)
+	}
+	l.acceptq.Push(c)
+}
+
+// OnConn installs the inbound-connection handler (transport.CallbackListener).
+func (l *listener) OnConn(h func(transport.Conn)) {
+	if l.handler != nil {
+		panic("simnet: OnConn installed twice on " + l.addr)
+	}
+	l.handler = h
+}
+
 func (l *listener) Accept() (transport.Conn, error) {
+	if l.acceptq == nil {
+		if l.closed {
+			return nil, transport.ErrClosed
+		}
+		l.acceptq = vtime.NewQueue[*conn](l.rt)
+	}
 	c, ok := l.acceptq.Pop()
 	if !ok {
 		return nil, transport.ErrClosed
@@ -182,10 +219,12 @@ func (l *listener) Close() error {
 	if !l.closed {
 		l.closed = true
 		if h := l.n.hosts[l.host]; h != nil {
-			delete(h.listeners, l.port)
+			h.dropListener(l.port)
 		}
 	}
-	l.acceptq.Close()
+	if l.acceptq != nil {
+		l.acceptq.Close()
+	}
 	return nil
 }
 
@@ -428,4 +467,5 @@ func (c *conn) RemoteAddr() string { return c.remote }
 
 var _ transport.Conn = (*conn)(nil)
 var _ transport.Listener = (*listener)(nil)
+var _ transport.CallbackListener = (*listener)(nil)
 var _ transport.Network = (*nodeNet)(nil)

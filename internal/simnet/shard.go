@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -47,6 +48,12 @@ type ShardConfig struct {
 	// reproduces sequential ordering for same-timestamp sends. Hosts
 	// not listed here are unreachable in sharded mode.
 	Hosts []string
+	// Sites, when non-empty, gives each host's site parallel to Hosts,
+	// sparing NewSharded one topo.Site lookup per host. Callers that
+	// already hold the sites (the exp harness walks grid.Host structs)
+	// pass them so a million-host world never builds the grid's
+	// host-by-ID index just to answer questions it already knows.
+	Sites []string
 	// Check enables the lookahead-safety assertion: a cross-shard
 	// delivery computed to arrive before the receiving shard's committed
 	// horizon panics instead of silently rewriting history. Enabled by
@@ -86,9 +93,20 @@ func NewSharded(dom *vtime.Domain, topo Topology, cfg Config, sc ShardConfig) *N
 			flowSeq: make(map[flowKey]uint64),
 		}
 	}
-	// Freeze the host table in rank order.
+	// Freeze the host table in rank order. One slab holds every netHost:
+	// at a million hosts the per-object allocator overhead alone is tens
+	// of MB, and the table never grows or shrinks after this loop.
+	if len(sc.Sites) > 0 && len(sc.Sites) != len(sc.Hosts) {
+		panic(fmt.Sprintf("simnet: %d sites for %d sharded hosts", len(sc.Sites), len(sc.Hosts)))
+	}
+	slab := make([]netHost, len(sc.Hosts))
 	for rank, id := range sc.Hosts {
-		site := n.topo.Site(id)
+		var site string
+		if len(sc.Sites) > 0 {
+			site = sc.Sites[rank]
+		} else {
+			site = n.topo.Site(id)
+		}
 		if site == "" {
 			panic(fmt.Sprintf("simnet: sharded host %q has no site", id))
 		}
@@ -96,16 +114,17 @@ func NewSharded(dom *vtime.Domain, topo Topology, cfg Config, sc ShardConfig) *N
 		if !ok {
 			panic(fmt.Sprintf("simnet: site %q of host %q has no shard", site, id))
 		}
-		n.hosts[id] = &netHost{
-			id:        id,
-			site:      site,
-			sh:        n.sh[shard],
-			rank:      rank,
-			listeners: make(map[string]*listener),
-			nicOut:    serializer{bps: cfg.NICBps},
-			nicIn:     serializer{bps: cfg.NICBps},
-			nextPort:  20000,
+		h := &slab[rank]
+		*h = netHost{
+			id:       id,
+			site:     site,
+			sh:       n.sh[shard],
+			rank:     rank,
+			nicOut:   serializer{bps: cfg.NICBps},
+			nicIn:    serializer{bps: cfg.NICBps},
+			nextPort: 20000,
 		}
+		n.hosts[id] = h
 	}
 	n.nextRank = len(sc.Hosts)
 	// Freeze the pipe table: lazy creation would race between shard
@@ -187,15 +206,25 @@ func (n *Net) mergeCross() {
 		n.xscratch = buf
 		return
 	}
-	sort.Slice(buf, func(i, j int) bool {
-		a, b := &buf[i], &buf[j]
+	// slices.SortFunc, unlike sort.Slice, sorts without boxing the
+	// slice or allocating a closure header — the merge is on the
+	// zero-steady-state-allocation window path. (at, rank, seq) is a
+	// total order — seq is unique per shard and a rank maps to exactly
+	// one shard — so the unstable sort is still deterministic.
+	slices.SortFunc(buf, func(a, b xmsg) int {
 		if a.at != b.at {
-			return a.at < b.at
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
 		if a.rank != b.rank {
-			return a.rank < b.rank
+			return a.rank - b.rank
 		}
-		return a.seq < b.seq
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
 	})
 	for i := range buf {
 		n.applyCross(&buf[i])
@@ -398,7 +427,7 @@ func fireCrossSYN(a any) {
 	src := &flowSource{state: e.state}
 	rng := rand.New(src)
 	back := n.topo.SiteLatency(to.site, from.site)
-	l := to.listeners[e.port]
+	l := to.listener(e.port)
 	if to.down || l == nil || l.closed {
 		partial := to.nicOut.reserve(now, 64)
 		jit := n.jitter(rng, back)
@@ -412,7 +441,7 @@ func fireCrossSYN(a any) {
 	pair := newConnPair(n, from, to, e.local, l.addr, rng, src)
 	partial := to.nicOut.reserve(now, 64)
 	jit := n.jitter(rng, back)
-	l.acceptq.Push(pair.server)
+	l.deliver(pair.server)
 	sh.emit(xmsg{
 		kind: xAccept, at: now, rank: to.rank, size: 64,
 		partial: partial, jit: jit, state: src.state,

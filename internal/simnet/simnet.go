@@ -168,15 +168,51 @@ func pipeKey(a, b string) sitePair {
 }
 
 type netHost struct {
-	id        string
-	site      string
-	sh        *netShard            // owning shard's state
-	rank      int                  // global boot-order rank (merge tiebreak)
-	listeners map[string]*listener // by port
+	id   string
+	site string
+	sh   *netShard // owning shard's state
+	rank int       // global boot-order rank (merge tiebreak)
+	// listeners is a small linear-scan table: a host owns two or three
+	// listeners (MPD, RS, plus MPI process ports while hosting a job),
+	// and a per-host map costs ~200 bytes of buckets — real money at a
+	// million hosts.
+	listeners []portListener
 	nicOut    serializer
 	nicIn     serializer
 	nextPort  int
 	down      bool // failed hosts drop all traffic
+}
+
+// portListener is one bound port of a host.
+type portListener struct {
+	port string
+	l    *listener
+}
+
+// listener returns the listener bound to a port, or nil.
+func (h *netHost) listener(port string) *listener {
+	for _, pl := range h.listeners {
+		if pl.port == port {
+			return pl.l
+		}
+	}
+	return nil
+}
+
+func (h *netHost) addListener(port string, l *listener) {
+	h.listeners = append(h.listeners, portListener{port: port, l: l})
+}
+
+func (h *netHost) dropListener(port string) {
+	for i, pl := range h.listeners {
+		if pl.port == port {
+			last := len(h.listeners) - 1
+			h.listeners[i] = h.listeners[last]
+			h.listeners[last] = portListener{}
+			h.listeners = h.listeners[:last]
+			return
+		}
+	}
 }
 
 // serializer models one capacity-limited resource. A transfer starting at
@@ -282,6 +318,37 @@ func (n *Net) BaseOneWay(a, b string) time.Duration {
 	return n.topo.SiteLatency(n.topo.Site(a), n.topo.Site(b))
 }
 
+// Provision pre-registers hosts with their sites in rank order, as one
+// slab allocation. Behaviour is identical to the lazy path — the same
+// ranks, sites and per-host state — but a big world skips both the
+// per-host allocations and the topology's host→site index (which for a
+// grid topology is an O(world) map built just to answer these
+// lookups). Single-shard only; NewSharded freezes its own table.
+// Hosts already known keep their state (Provision is a no-op for them).
+func (n *Net) Provision(hosts, sites []string) {
+	if n.sharded || len(hosts) != len(sites) {
+		return
+	}
+	slab := make([]netHost, len(hosts))
+	for i, id := range hosts {
+		if n.hosts[id] != nil {
+			continue
+		}
+		h := &slab[i]
+		*h = netHost{
+			id:       id,
+			site:     sites[i],
+			sh:       n.sh[0],
+			rank:     n.nextRank,
+			nicOut:   serializer{bps: n.cfg.NICBps},
+			nicIn:    serializer{bps: n.cfg.NICBps},
+			nextPort: 20000,
+		}
+		n.nextRank++
+		n.hosts[id] = h
+	}
+}
+
 // host returns the state of one host, or nil when the topology does not
 // know it. In single-shard mode unknown-but-mapped hosts are created
 // lazily; in sharded mode the host table is frozen at NewSharded (lazy
@@ -295,14 +362,13 @@ func (n *Net) host(id string) *netHost {
 			return nil
 		}
 		h = &netHost{
-			id:        id,
-			site:      site,
-			sh:        n.sh[0],
-			rank:      n.nextRank,
-			listeners: make(map[string]*listener),
-			nicOut:    serializer{bps: n.cfg.NICBps},
-			nicIn:     serializer{bps: n.cfg.NICBps},
-			nextPort:  20000,
+			id:       id,
+			site:     site,
+			sh:       n.sh[0],
+			rank:     n.nextRank,
+			nicOut:   serializer{bps: n.cfg.NICBps},
+			nicIn:    serializer{bps: n.cfg.NICBps},
+			nextPort: 20000,
 		}
 		n.nextRank++
 		n.hosts[id] = h

@@ -76,13 +76,47 @@ func (p *BufferPool) Get(n int) []byte {
 // carveTarget is the block size Get carves small classes from.
 const carveTarget = 16 << 10
 
+// Retention bounds: a class keeps at most poolRetainBytes worth of
+// buffers (but at least poolMinRetain of them, so alternating
+// request/reply traffic stays allocation-free), and classes above
+// poolRetainMaxClass keep nothing at all. Without a bound the pool's
+// high-water mark is permanent: a boot storm that has every host's
+// registration reply in flight at once would park hundreds of MB in
+// free lists that steady state never touches again, and even a handful
+// of retained gossip anti-entropy frames (hundreds of KB each, a few
+// exchanges per second across a whole federation) costs more than the
+// traffic they save. Excess buffers go back to the GC; a later burst
+// re-carves blocks at one allocation per carveTarget of traffic, and
+// big frames fall back to the allocator outright.
+const (
+	poolRetainBytes    = 64 << 10
+	poolRetainMaxClass = 16 // 64 KiB; bigger buffers are never retained
+	poolMinRetain      = 4
+)
+
+// maxRetain returns how many buffers class c may keep.
+func maxRetain(c int) int {
+	if c > poolRetainMaxClass {
+		return 0
+	}
+	n := poolRetainBytes >> c
+	if n < poolMinRetain {
+		n = poolMinRetain
+	}
+	return n
+}
+
 // Put recycles a buffer previously handed out by Get. Buffers whose
-// capacity does not match a pool class are dropped to the GC.
+// capacity does not match a pool class, and buffers beyond the class's
+// retention bound, are dropped to the GC.
 func (p *BufferPool) Put(b []byte) {
 	c := cap(b)
 	if c < 1<<poolMinBits || c > 1<<poolMaxBits || c&(c-1) != 0 {
 		return
 	}
 	k := bits.TrailingZeros(uint(c))
+	if len(p.classes[k]) >= maxRetain(k) {
+		return
+	}
 	p.classes[k] = append(p.classes[k], b[:0])
 }

@@ -80,6 +80,20 @@ type Listener interface {
 	Addr() string
 }
 
+// CallbackListener is implemented by listeners that can hand inbound
+// connections to a callback instead of an Accept loop. The handler runs
+// in the transport's delivery context and must not block — typically it
+// just spawns the serving actor. Daemons that install a handler never
+// call Accept, so an idle daemon needs no goroutine parked per
+// listener; transports without the capability fall back to Accept.
+type CallbackListener interface {
+	Listener
+	// OnConn installs the inbound-connection handler. Must be called
+	// before the listener can receive its first connection, and at most
+	// once.
+	OnConn(handler func(Conn))
+}
+
 // Network is the factory for listeners and outbound connections.
 // Addresses are strings; the TCP implementation uses "host:port" resolved
 // by the OS, the simulator uses "hostID:port" resolved by the topology.

@@ -2,8 +2,10 @@ package vtime
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,7 +44,20 @@ type Domain struct {
 	gseq    uint64
 
 	workers []shardWorker
+	// nexts caches each shard's pending next-event time (-1 when idle)
+	// from the horizon scan in step, so runWindow can tell busy shards
+	// from idle ones without re-locking every scheduler.
+	nexts []time.Duration
+	// pending counts the busy shards still running the current window;
+	// the last one to park sends the single completion token on done.
+	pending atomic.Int32
+	done    chan struct{}
+	// spin is each worker's wake-spin budget before it parks on its
+	// channel. Zero on a single-proc runtime, where spinning only steals
+	// cycles from the goroutine being waited on.
+	spin    int
 	windows uint64 // number of windows run (diagnostics)
+	skipped uint64 // windows resolved without waking any worker
 	stopped bool
 }
 
@@ -52,9 +67,55 @@ type globalEvent struct {
 	fn  func()
 }
 
+// Worker wake states (shardWorker.flag). The barrier is sense-free on
+// the worker side: the driver arms a worker by swapping the flag to
+// armed (publishing the horizon beforehand), and only pays a channel
+// send when the worker had already declared itself parked.
+const (
+	wIdle   = 0 // between windows, spinning or about to park
+	wArmed  = 1 // horizon published, run the window
+	wParked = 2 // blocked on park, driver must send a token
+	wQuit   = 3 // shut down
+)
+
 type shardWorker struct {
-	run  chan time.Duration
-	done chan struct{}
+	s       *Scheduler
+	horizon time.Duration // plain write by the driver, released by flag
+	flag    atomic.Uint32
+	park    chan struct{} // cap 1; wake token when armed while parked
+	_       [4]uint64     // keep neighbouring workers off one cache line
+}
+
+// arm publishes the horizon and wakes the worker. Steady state (worker
+// still spinning from the last window, or multicore) this is one atomic
+// swap; the channel send happens only after the worker really parked.
+func (w *shardWorker) arm(h time.Duration) {
+	w.horizon = h
+	if w.flag.Swap(wArmed) == wParked {
+		w.park <- struct{}{}
+	}
+}
+
+// awaitArm blocks until the driver arms the worker, spinning for the
+// configured budget first. Reports false on shutdown.
+func (w *shardWorker) awaitArm(spin int) bool {
+	for spins := 0; ; {
+		switch w.flag.Load() {
+		case wArmed:
+			w.flag.Store(wIdle)
+			return true
+		case wQuit:
+			return false
+		}
+		if spins < spin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		if w.flag.CompareAndSwap(wIdle, wParked) {
+			<-w.park
+		}
+	}
 }
 
 // NewDomain returns a domain of n fresh shard schedulers sharing one
@@ -74,26 +135,37 @@ func NewDomain(n int, lookahead time.Duration) *Domain {
 	for i := range d.shards {
 		d.shards[i] = New()
 	}
+	d.nexts = make([]time.Duration, n)
 	if n > 1 {
-		// Persistent window workers: one goroutine per shard, woken by a
-		// horizon on run and reporting back on done. Windows are short
-		// (one lookahead wide), so respawning goroutines per window would
-		// dominate; a channel ping-pong per shard per window does not.
+		// Persistent window workers: one goroutine per shard, woken
+		// through a sense-reversing atomic flag. Windows are short (one
+		// lookahead wide), so the wake path matters: armed-while-spinning
+		// costs one atomic swap, and the driver waits on a single
+		// completion token from the last finisher instead of a channel
+		// round trip per shard per window.
+		d.done = make(chan struct{}, 1)
+		if runtime.GOMAXPROCS(0) > 1 {
+			d.spin = 128
+		}
 		d.workers = make([]shardWorker, n)
 		for i := range d.workers {
-			d.workers[i] = shardWorker{
-				run:  make(chan time.Duration),
-				done: make(chan struct{}),
-			}
-			go func(s *Scheduler, w shardWorker) {
-				for h := range w.run {
-					s.RunUntil(h)
-					w.done <- struct{}{}
-				}
-			}(d.shards[i], d.workers[i])
+			w := &d.workers[i]
+			w.s = d.shards[i]
+			w.park = make(chan struct{}, 1)
+			go d.workerLoop(w)
 		}
 	}
 	return d
+}
+
+// workerLoop runs one shard's windows until shutdown.
+func (d *Domain) workerLoop(w *shardWorker) {
+	for w.awaitArm(d.spin) {
+		w.s.RunUntil(w.horizon)
+		if d.pending.Add(-1) == 0 {
+			d.done <- struct{}{}
+		}
+	}
 }
 
 // Shards returns the number of shards.
@@ -116,6 +188,11 @@ func (d *Domain) Elapsed() time.Duration { return d.shards[0].Elapsed() }
 
 // Windows returns the number of synchronization windows run so far.
 func (d *Domain) Windows() uint64 { return d.windows }
+
+// SkippedWindows returns how many of those windows were resolved
+// without waking any worker goroutine (zero or one shard had events
+// inside the horizon, so the driver ran the window inline).
+func (d *Domain) SkippedWindows() uint64 { return d.skipped }
 
 // OnBarrier registers fn to run at every barrier, after all shards have
 // parked at the window horizon and before global events fire. The
@@ -179,20 +256,48 @@ func (d *Domain) fireGlobals(h time.Duration) {
 	}
 }
 
-// runWindow advances every shard to horizon h concurrently and waits for
-// all of them to park there.
+// runWindow advances every shard to horizon h and waits for all of them
+// to park there. Only shards with an event stamped at or before h (per
+// the d.nexts scan step just did) can fire anything — the rest get
+// their clocks bumped inline with AdvanceTo, skipping the goroutine
+// handoff entirely. A window with exactly one busy shard runs it on the
+// driver goroutine (the common case for sparse phases, and the whole
+// window path for skewed worlds), so the barrier machinery engages only
+// when there is real concurrency to win.
 func (d *Domain) runWindow(h time.Duration) {
 	d.windows++
 	if d.workers == nil {
 		d.shards[0].RunUntil(h)
 		return
 	}
-	for _, w := range d.workers {
-		w.run <- h
+	active, last := 0, -1
+	for i := range d.shards {
+		if at := d.nexts[i]; at >= 0 && at <= h {
+			active++
+			last = i
+		}
 	}
-	for _, w := range d.workers {
-		<-w.done
+	if active <= 1 {
+		d.skipped++
+		for i, s := range d.shards {
+			if i != last {
+				s.AdvanceTo(h)
+			}
+		}
+		if last >= 0 {
+			d.shards[last].RunUntil(h)
+		}
+		return
 	}
+	d.pending.Store(int32(active))
+	for i := range d.workers {
+		if at := d.nexts[i]; at >= 0 && at <= h {
+			d.workers[i].arm(h)
+		} else {
+			d.shards[i].AdvanceTo(h)
+		}
+	}
+	<-d.done
 }
 
 // barrier runs the registered drain callbacks.
@@ -207,8 +312,14 @@ func (d *Domain) barrier() {
 // drained, globals) — the domain is idle.
 func (d *Domain) step(fence time.Duration) bool {
 	minNext := time.Duration(-1)
-	for _, s := range d.shards {
-		if at, ok := s.NextEventAt(); ok && (minNext < 0 || at < minNext) {
+	for i, s := range d.shards {
+		at, ok := s.NextEventAt()
+		if !ok {
+			d.nexts[i] = -1
+			continue
+		}
+		d.nexts[i] = at
+		if minNext < 0 || at < minNext {
 			minNext = at
 		}
 	}
@@ -271,8 +382,11 @@ func (d *Domain) Shutdown() {
 		return
 	}
 	d.stopped = true
-	for _, w := range d.workers {
-		close(w.run)
+	for i := range d.workers {
+		w := &d.workers[i]
+		if w.flag.Swap(wQuit) == wParked {
+			w.park <- struct{}{}
+		}
 	}
 	d.workers = nil
 	for _, s := range d.shards {

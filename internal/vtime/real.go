@@ -16,5 +16,8 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // Go runs fn on a new goroutine. The name is ignored.
 func (Real) Go(name string, fn func()) { go fn() }
 
+// Schedule runs fn once after d of wall-clock time.
+func (Real) Schedule(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
 var _ Runtime = Real{}
 var _ Runtime = (*Scheduler)(nil)

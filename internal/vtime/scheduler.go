@@ -24,6 +24,11 @@ type Runtime interface {
 	// Go starts fn as a new actor (or goroutine). The name is used in
 	// diagnostics only.
 	Go(name string, fn func())
+	// Schedule runs fn once at now+d without dedicating a goroutine to
+	// the wait. fn runs outside any actor context and must not block;
+	// daemons use it for timer chains (spawn the real work with Go) so
+	// an idle daemon holds no parked goroutine per periodic loop.
+	Schedule(d time.Duration, fn func())
 	// NewMailbox creates a runtime-portable FIFO for blocking hand-offs.
 	NewMailbox() Mailbox
 }

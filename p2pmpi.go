@@ -115,6 +115,9 @@ type (
 	MPD = mpd.MPD
 	// MPDConfig configures a daemon.
 	MPDConfig = mpd.Config
+	// MPDShared is the deployment-invariant half of MPDConfig; one
+	// block may back every daemon of a deployment.
+	MPDShared = mpd.Shared
 	// HostProfile models host hardware for virtual-time runs.
 	HostProfile = mpd.HostProfile
 	// PeerInfo identifies a peer and its service addresses.
