@@ -13,6 +13,9 @@
 //	                                 # beyond the paper: federated membership tier at 50k hosts
 //	gridbench -exp churn -grid synth:S=12,H=400 -mtbf 600,1800,3600 -R 1,2,3
 //	                                 # beyond the paper: survivability under host churn
+//	gridbench -exp open -grid synth:S=3,H=8 -arrival poisson:rate=0.02 -duration 2h
+//	gridbench -exp open -arrival diurnal:peak=0.05,trough=0.005,period=1h -tenants 4 -duration 3h
+//	                                 # beyond the paper: open-system steady state
 //	gridbench -exp estimators        # beyond the paper: latency-estimator ablation
 //
 // The conc experiment family submits K identical jobs simultaneously
@@ -30,6 +33,18 @@
 // failovers, re-booked attempts and wasted slot-hours. -R sets the
 // replication axis. Identical seeds replay identical failures, whatever
 // -workers is.
+//
+// The open experiment family replaces the closed batches with an open
+// arrival process (-arrival "poisson:rate=0.5" or
+// "diurnal:peak=2,trough=0.2,period=24h,maintevery=6h,maintdur=30m")
+// over -tenants users with Zipf rate skew (-skew) and stratified
+// admission priorities (-prilevels), replayed for -duration of virtual
+// time with the leading -warmup truncated. Job widths and service
+// durations are bounded-Pareto draws. Per strategy it reports
+// steady-state utilization, queue-wait P50/P90/P99 and bounded-slowdown
+// percentiles from streaming t-digests (O(1) memory per metric,
+// whatever the submission count), and Jain fairness across tenants.
+// A single -mtbf value composes host churn with the open workload.
 //
 // The scale experiment family frees the evaluation from Table 1: it
 // boots synthetic worlds described by -grid (site count, hosts per
@@ -68,10 +83,11 @@ import (
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
 	"p2pmpi/internal/grid"
+	"p2pmpi/internal/workload"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|churn|estimators")
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|churn|open|estimators")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	format := flag.String("format", "table", "output format: table|csv")
 	jobs := flag.String("jobs", "1,2,4,8,16", "conc: comma-separated K values (concurrent jobs per point)")
@@ -95,6 +111,13 @@ func main() {
 	shape := flag.Float64("shape", 0.7, "churn: Weibull shape (with -dist weibull)")
 	siteMTBF := flag.String("sitemtbf", "0", "churn: mean time between correlated whole-site outages (seconds or Go duration; 0 disables)")
 	siteMTTR := flag.String("sitemttr", "0", "churn: mean whole-site outage duration (seconds or Go duration; default sitemtbf/20)")
+	arrival := flag.String("arrival", "poisson:rate=0.01", "open: arrival process, poisson:rate=R or diurnal:peak=P,trough=T[,period=D,maintevery=D,maintdur=D]")
+	tenants := flag.Int("tenants", 1, "open: submitting tenants")
+	skew := flag.Float64("skew", 0, "open: Zipf skew of the tenants' rate shares (0 = equal)")
+	priLevels := flag.Int("prilevels", 1, "open: admission priority levels stratified over the tenants")
+	duration := flag.String("duration", "", "open: arrival horizon (seconds or Go duration, required)")
+	warmup := flag.String("warmup", "0", "open: leading transient excluded from statistics (0 = duration/10, negative = none)")
+	maxSubs := flag.Int("maxsubs", 0, "open: cap the submission trace per point (0 = uncapped)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit (pprof format)")
 	flag.Parse()
@@ -143,8 +166,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gridbench: -a: %v\n", err)
 		os.Exit(2)
 	}
-	if topo.IsSynthetic() && *which != "scale" && *which != "conc" && *which != "churn" {
-		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale, conc and churn; the paper figures are pinned to grid5000\n", topo)
+	if topo.IsSynthetic() && *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" {
+		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale, conc, churn and open; the paper figures are pinned to grid5000\n", topo)
 		os.Exit(2)
 	}
 
@@ -155,8 +178,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gridbench: -sn: %v\n", err)
 			os.Exit(2)
 		}
-		if *which != "scale" && *which != "conc" && *which != "churn" {
-			fmt.Fprintf(os.Stderr, "gridbench: -sn only applies to -exp scale, conc and churn; the paper figures are pinned to the single supernode\n")
+		if *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" {
+			fmt.Fprintf(os.Stderr, "gridbench: -sn only applies to -exp scale, conc, churn and open; the paper figures are pinned to the single supernode\n")
 			os.Exit(2)
 		}
 		if *which != "scale" && len(snAxis) != 1 {
@@ -373,6 +396,70 @@ func main() {
 		})
 		return
 	}
+	if *which == "open" {
+		spec, err := workload.ParseArrivalSpec(*arrival)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -arrival: %v\n", err)
+			os.Exit(2)
+		}
+		if *duration == "" {
+			fmt.Fprintf(os.Stderr, "gridbench: -exp open needs -duration (e.g. -duration 2h)\n")
+			os.Exit(2)
+		}
+		durFlag := func(name, v string) time.Duration {
+			d, err := parseDuration1(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -%s: %v\n", name, err)
+				os.Exit(2)
+			}
+			return d
+		}
+		durationD := durFlag("duration", *duration)
+		warmupD := durFlag("warmup", *warmup)
+		cfg := exp.OpenConfig{
+			Base:           topo,
+			Strategies:     strategies,
+			Arrival:        spec,
+			Tenants:        *tenants,
+			TenantSkew:     *skew,
+			PriorityLevels: *priLevels,
+			Duration:       durationD,
+			Warmup:         warmupD,
+			R:              *r,
+			MaxSubmissions: *maxSubs,
+		}
+		// A single -mtbf value composes host churn with the open workload.
+		if *mtbf != "" {
+			mtbfD := durFlag("mtbf", *mtbf)
+			distKind, err := churn.ParseDistKind(*dist)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -dist: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.MTBF = mtbfD
+			cfg.MTTR = durFlag("mttr", *mttr)
+			cfg.Dist = distKind
+			cfg.WeibullShape = *shape
+			cfg.SiteMTBF = durFlag("sitemtbf", *siteMTBF)
+			cfg.SiteMTTR = durFlag("sitemttr", *siteMTTR)
+			cfg.Detect = durFlag("detect", *detect)
+		}
+		run("open", func() error {
+			pts, err := exp.OpenSweep(topoOpts, cfg, *workers)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.OpenPointsCSV(pts))
+			} else {
+				fmt.Print(exp.RenderOpenPoints(
+					fmt.Sprintf("Open-system steady state — %s, %s, %d tenants, %v horizon",
+						topo, spec, *tenants, durationD), pts))
+			}
+			return nil
+		})
+		return
+	}
 	if *which == "estimators" {
 		run("estimators", func() error {
 			pts, err := exp.EstimatorStudy(opts, nil, 4)
@@ -390,7 +477,7 @@ func main() {
 	}
 	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
 		*which != "fig4ep" && *which != "fig4is" {
-		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, churn, estimators)\n", *which)
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, churn, open, estimators)\n", *which)
 		os.Exit(2)
 	}
 }

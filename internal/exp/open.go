@@ -1,0 +1,497 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"p2pmpi/internal/churn"
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
+	"p2pmpi/internal/mpd"
+	"p2pmpi/internal/sched"
+	"p2pmpi/internal/stats"
+	"p2pmpi/internal/workload"
+)
+
+// The open-system experiment family replaces the closed K-job batches
+// with what a production platform actually sees: jobs arriving on their
+// own clock — Poisson or diurnal rate curves with maintenance
+// blackouts, heavy-tailed sizes and durations, multi-tenant users with
+// skewed rates and stratified priorities (internal/workload) — replayed
+// against a booted world through the priority scheduler, for hours of
+// virtual steady state. Every per-job metric goes into streaming
+// sketches (internal/stats), so a point's memory footprint is O(1) in
+// the submission count: a million-submission sweep holds a few t-digest
+// centroids, not a million samples. Reported per (strategy) point:
+// steady-state utilization, queue-wait percentiles, bounded-slowdown
+// percentiles, and Jain fairness over the per-tenant mean slowdown.
+
+// OpenPoint is one steady-state measurement of a strategy under an
+// open arrival process.
+type OpenPoint struct {
+	Strategy core.Strategy
+	// Arrival echoes the arrival spec (ParseArrivalSpec syntax).
+	Arrival string
+	// Tenants, N, R and Hosts echo the workload and world shape (N is
+	// the mean drawn width over measured submissions).
+	Tenants int
+	R       int
+	Hosts   int
+	// HorizonSeconds and WarmupSeconds bound the arrival timeline and
+	// the truncated transient.
+	HorizonSeconds, WarmupSeconds float64
+	// Submitted counts all replayed submissions; Measured the ones past
+	// warm-up that the statistics cover; Completed/Failed partition the
+	// measured ones by outcome.
+	Submitted, Measured, Completed, Failed int
+	// MeanN averages the drawn job width over measured submissions.
+	MeanN float64
+	// Utilization is the measured busy slot-seconds (service time ×
+	// width, completed jobs) over the platform's slot capacity for the
+	// post-warm-up window.
+	Utilization float64
+	// MeanWaitSeconds and the percentiles summarize queue wait —
+	// enqueue-to-finish latency minus service time, clamped at 0 — from
+	// a t-digest (documented rank error ≤ stats.TDigest.MaxRankError).
+	MeanWaitSeconds                float64
+	WaitP50Seconds, WaitP90Seconds float64
+	WaitP99Seconds                 float64
+	// MeanSlowdown and SlowdownP99 summarize bounded slowdown:
+	// max(1, latency / max(service, 10s)).
+	MeanSlowdown, SlowdownP99 float64
+	// JainFairness is Jain's index over the per-tenant mean bounded
+	// slowdown of measured completed jobs (1 = perfectly even).
+	JainFairness float64
+	// FailuresInjected and DownFraction report composed churn (zero
+	// when the point ran failure-free).
+	FailuresInjected int
+	DownFraction     float64
+}
+
+// OpenConfig tunes an open-system sweep.
+type OpenConfig struct {
+	// Base is the topology template (synthetic or grid5000).
+	Base grid.TopologySpec
+	// Strategies lists the policies to compare (default: every
+	// registered strategy).
+	Strategies []core.Strategy
+	// Arrival is the platform-wide arrival process (required).
+	Arrival workload.ArrivalSpec
+	// Tenants, TenantSkew and PriorityLevels shape the user population
+	// (defaults 1 / 0 / 1; see workload.Config).
+	Tenants        int
+	TenantSkew     float64
+	PriorityLevels int
+	// Duration is the arrival horizon (required); Warmup is the leading
+	// transient excluded from the statistics — 0 picks Duration/10,
+	// negative disables truncation.
+	Duration, Warmup time.Duration
+	// R is the replication degree per job (default 1).
+	R int
+	// NMin, NMax, NAlpha, DurMin, DurMax and DurAlpha forward to
+	// workload.Config (bounded-Pareto widths and service durations;
+	// zero keeps the workload defaults).
+	NMin, NMax     int
+	NAlpha         float64
+	DurMin, DurMax float64
+	DurAlpha       float64
+	// MaxSubmissions caps the trace per point (0 = no cap).
+	MaxSubmissions int
+	// Workers bounds the scheduler's in-flight jobs (default 8).
+	Workers int
+	// Retries, Backoff and Timeout configure the scheduler (defaults
+	// 4 / 5s / 3×DurMax + 2min).
+	Retries int
+	Backoff time.Duration
+	Timeout time.Duration
+	// MTBF composes host churn with the open workload (0 = failure-free).
+	// MTTR, Dist, WeibullShape, SiteMTBF and SiteMTTR mirror ChurnConfig;
+	// Detect arms the mid-run failure detector (default 10s when churning).
+	MTBF, MTTR         time.Duration
+	Dist               churn.DistKind
+	WeibullShape       float64
+	SiteMTBF, SiteMTTR time.Duration
+	Detect             time.Duration
+
+	// observe, when set, sees every measured job next to its submission
+	// (tests compare sketch percentiles against exact samples).
+	observe func(j *sched.Job, sub workload.Submission)
+}
+
+func (c *OpenConfig) fillDefaults() error {
+	if len(c.Strategies) == 0 {
+		c.Strategies = core.Strategies()
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("exp: open sweep needs a positive -duration")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 10
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Warmup >= c.Duration {
+		return fmt.Errorf("exp: warmup %v must be shorter than duration %v", c.Warmup, c.Duration)
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
+	if c.R <= 0 {
+		c.R = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Retries <= 0 {
+		c.Retries = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 5 * time.Second
+	}
+	if c.Timeout <= 0 {
+		durMax := c.DurMax
+		if durMax <= 0 {
+			durMax = 1800 // the workload default
+		}
+		c.Timeout = time.Duration(3*durMax)*time.Second + 2*time.Minute
+	}
+	if c.MTBF > 0 {
+		if c.MTTR <= 0 {
+			c.MTTR = time.Minute
+		}
+		if c.Detect <= 0 {
+			c.Detect = 10 * time.Second
+		}
+	}
+	return nil
+}
+
+// workloadConfig assembles the trace generator input for one point. It
+// deliberately excludes the strategy: every strategy compared in one
+// sweep replays the identical arrival timeline, so cross-strategy
+// differences are attributable to policy, not trace luck.
+func (c OpenConfig) workloadConfig(seed int64) workload.Config {
+	return workload.Config{
+		Seed:           openSeed(seed),
+		Arrival:        c.Arrival,
+		Tenants:        c.Tenants,
+		TenantSkew:     c.TenantSkew,
+		PriorityLevels: c.PriorityLevels,
+		NMin:           c.NMin, NMax: c.NMax, NAlpha: c.NAlpha,
+		DurMin: c.DurMin, DurMax: c.DurMax, DurAlpha: c.DurAlpha,
+		Horizon:        c.Duration,
+		MaxSubmissions: c.MaxSubmissions,
+	}
+}
+
+// openSeed fans the sweep seed out to the workload generator, away from
+// the world's own jitter streams.
+func openSeed(seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte("open|workload"))
+	return seed ^ int64(h.Sum64())
+}
+
+// openChurnSeed seeds composed churn — like churnSeed, a pure function
+// of the failure model so every strategy faces the identical timeline.
+func openChurnSeed(seed int64, mtbf, mttr time.Duration) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "open|churn|%d|%d", mtbf, mttr)
+	return seed ^ int64(h.Sum64())
+}
+
+// openAccum accumulates one point's statistics in O(1) memory per
+// metric: two t-digest streams for the platform-wide distributions plus
+// O(tenants) moments for fairness. The million-submission footprint
+// test feeds this path directly.
+type openAccum struct {
+	wait, slow  *stats.Stream
+	tenantSlow  []float64 // per-tenant slowdown sums
+	tenantJobs  []int64
+	busyProcSec float64
+	widthSum    float64
+	measured    int
+	completed   int
+	failed      int
+}
+
+func newOpenAccum(tenants int) *openAccum {
+	return &openAccum{
+		wait:       stats.NewStream(),
+		slow:       stats.NewStream(),
+		tenantSlow: make([]float64, tenants),
+		tenantJobs: make([]int64, tenants),
+	}
+}
+
+// observe folds one measured job in. waitS and slowdown are ignored
+// for failed jobs (they never completed, so neither is defined).
+func (a *openAccum) observe(tenant, width int, waitS, slowdown, serviceS float64, failed bool) {
+	a.measured++
+	a.widthSum += float64(width)
+	if failed {
+		a.failed++
+		return
+	}
+	a.completed++
+	a.wait.Add(waitS)
+	a.slow.Add(slowdown)
+	a.busyProcSec += serviceS * float64(width)
+	if tenant >= 0 && tenant < len(a.tenantSlow) {
+		a.tenantSlow[tenant] += slowdown
+		a.tenantJobs[tenant]++
+	}
+}
+
+// jain computes Jain's fairness index over the per-tenant mean
+// slowdowns (tenants with no measured completions are skipped).
+func (a *openAccum) jain() float64 {
+	var sum, sumSq float64
+	var n int
+	for i, jobs := range a.tenantJobs {
+		if jobs == 0 {
+			continue
+		}
+		mean := a.tenantSlow[i] / float64(jobs)
+		sum += mean
+		sumSq += mean * mean
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// boundedSlowdown is the standard queueing metric: latency over service
+// time, with service floored at 10s so sub-second jobs cannot blow the
+// ratio up, and the whole thing floored at 1.
+func boundedSlowdown(latency, service float64) float64 {
+	const floor = 10
+	s := math.Max(service, floor)
+	return math.Max(1, latency/s)
+}
+
+// RunOpen boots one world, replays the open arrival trace through the
+// priority scheduler (optionally under churn), and reduces the
+// steady-state window to an OpenPoint.
+func RunOpen(opts Options, cfg OpenConfig, strategy core.Strategy) (OpenPoint, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return OpenPoint{}, err
+	}
+	trace, err := workload.Trace(cfg.workloadConfig(opts.Seed))
+	if err != nil {
+		return OpenPoint{}, err
+	}
+	if len(trace) == 0 {
+		return OpenPoint{}, fmt.Errorf("exp: open trace is empty — raise the rate or the duration")
+	}
+
+	o := opts
+	o.Topology = cfg.Base
+	if cfg.Base.TotalHosts() > 1000 {
+		// Same membership-traffic diet as churnAt: on big worlds the
+		// long steady-state horizon would drown in O(world) host-list
+		// replies that no measurement consumes.
+		if o.MaxPeersReturned == 0 {
+			nMax := cfg.NMax
+			if nMax <= 0 {
+				nMax = 32
+			}
+			bound := 4 * (int(math.Ceil(1.2*float64(nMax*cfg.R))) + 2)
+			if bound < 512 {
+				bound = 512
+			}
+			o.MaxPeersReturned = bound
+		}
+		if o.PeerRefreshInterval == 0 {
+			o.PeerRefreshInterval = time.Hour
+		}
+		if o.PeerCacheCap == 0 {
+			o.PeerCacheCap = 2
+		}
+	}
+	w := NewWorld(o)
+	defer w.Close()
+	if err := w.Boot(); err != nil {
+		return OpenPoint{}, err
+	}
+
+	budget := int(cfg.Duration/time.Second) + runJobsBudget(min(len(trace), 64))
+	var churnDriver *churn.Driver
+	if cfg.MTBF > 0 {
+		churnDriver = w.StartChurn(churn.Config{
+			Seed:         openChurnSeed(opts.Seed, cfg.MTBF, cfg.MTTR),
+			MTBF:         cfg.MTBF,
+			MTTR:         cfg.MTTR,
+			UpDist:       cfg.Dist,
+			DownDist:     cfg.Dist,
+			WeibullShape: cfg.WeibullShape,
+			SiteMTBF:     cfg.SiteMTBF,
+			SiteMTTR:     cfg.SiteMTTR,
+			Horizon:      time.Duration(budget) * time.Second,
+		})
+	}
+
+	sc := sched.New(w.S, w.Frontal, w.HostSlots(), sched.Config{
+		Workers:      cfg.Workers,
+		Retries:      cfg.Retries,
+		Backoff:      cfg.Backoff,
+		Seed:         opts.Seed,
+		IsContention: ChurnRetryable,
+	})
+	drv := workload.NewDriver(w.S, trace, func(sub workload.Submission) {
+		spec := mpd.JobSpec{
+			Program:        "spin",
+			Args:           []string{fmt.Sprintf("%g", sub.Seconds)},
+			N:              sub.N,
+			R:              cfg.R,
+			Strategy:       strategy,
+			Timeout:        cfg.Timeout,
+			FailureDetect:  cfg.Detect,
+			ReserveRetries: 1,
+		}
+		sc.EnqueuePri(spec, sub.Tenant, sub.Priority)
+	})
+	jobs, err := submitPumped(w, budget, "exp.open", func() ([]*sched.Job, error) {
+		sc.Start()
+		drv.Start()
+		jobs, err := sc.WaitTimeout(len(trace), time.Duration(budget)*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("exp: open workload stalled after %d/%d jobs: %w", len(jobs), len(trace), err)
+		}
+		sc.Close()
+		return jobs, nil
+	})
+	drvStats := drv.Stop()
+	var injected churn.Stats
+	if churnDriver != nil {
+		injected = churnDriver.Stop()
+	}
+	if err != nil {
+		return OpenPoint{}, err
+	}
+	if drvStats.Submitted != len(trace) {
+		return OpenPoint{}, fmt.Errorf("exp: driver replayed %d of %d submissions", drvStats.Submitted, len(trace))
+	}
+
+	// The driver is the scheduler's only client, so job IDs equal trace
+	// sequence numbers. Reduce in trace order — never completion order —
+	// so the sketch state is a pure function of the job set and the CSV
+	// is byte-identical across -workers/-shards/-sn.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	acc := newOpenAccum(cfg.Tenants)
+	for _, j := range jobs {
+		sub := trace[j.ID]
+		if sub.Seq != j.ID {
+			return OpenPoint{}, fmt.Errorf("exp: job %d does not match trace seq %d", j.ID, sub.Seq)
+		}
+		if sub.At < cfg.Warmup {
+			continue // warm-up transient
+		}
+		latency := j.Latency().Seconds()
+		wait := math.Max(0, latency-sub.Seconds)
+		failed := j.Err != nil || j.Result == nil || j.Result.LostRanks() > 0
+		acc.observe(sub.Tenant, sub.N, wait, boundedSlowdown(latency, sub.Seconds), sub.Seconds, failed)
+		if cfg.observe != nil {
+			cfg.observe(j, sub)
+		}
+	}
+
+	pt := OpenPoint{
+		Strategy:         strategy,
+		Arrival:          cfg.Arrival.String(),
+		Tenants:          cfg.Tenants,
+		R:                cfg.R,
+		Hosts:            w.Grid.TotalHosts(),
+		HorizonSeconds:   cfg.Duration.Seconds(),
+		WarmupSeconds:    cfg.Warmup.Seconds(),
+		Submitted:        len(trace),
+		Measured:         acc.measured,
+		Completed:        acc.completed,
+		Failed:           acc.failed,
+		FailuresInjected: injected.Failures,
+		DownFraction:     injected.DownFraction(),
+	}
+	if acc.measured > 0 {
+		pt.MeanN = acc.widthSum / float64(acc.measured)
+	}
+	if acc.completed > 0 {
+		pt.MeanWaitSeconds = acc.wait.Mean()
+		pt.WaitP50Seconds = acc.wait.Quantile(0.50)
+		pt.WaitP90Seconds = acc.wait.Quantile(0.90)
+		pt.WaitP99Seconds = acc.wait.Quantile(0.99)
+		pt.MeanSlowdown = acc.slow.Mean()
+		pt.SlowdownP99 = acc.slow.Quantile(0.99)
+		pt.JainFairness = acc.jain()
+	}
+	var totalProcs float64
+	for _, h := range w.Grid.Hosts {
+		totalProcs += float64(h.Cores)
+	}
+	if window := (cfg.Duration - cfg.Warmup).Seconds(); totalProcs > 0 && window > 0 {
+		pt.Utilization = acc.busyProcSec / (totalProcs * window)
+	}
+	return pt, nil
+}
+
+// OpenSweep measures every configured strategy against the identical
+// arrival timeline. Each strategy owns an independent, freshly booted
+// world, so points run across a bounded pool with byte-identical
+// results to a sequential run. Results follow cfg.Strategies order.
+func OpenSweep(opts Options, cfg OpenConfig, workers int) ([]OpenPoint, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	out := make([]OpenPoint, len(cfg.Strategies))
+	err := runPool(len(cfg.Strategies), workers, func(i int) error {
+		pt, err := RunOpen(opts, cfg, cfg.Strategies[i])
+		if err != nil {
+			return fmt.Errorf("open %s: %w", cfg.Strategies[i], err)
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// OpenPointsCSV renders an open sweep as CSV, one row per strategy.
+func OpenPointsCSV(pts []OpenPoint) string {
+	var b strings.Builder
+	b.WriteString("strategy,arrival,tenants,r,hosts,horizon_s,warmup_s,submitted,measured," +
+		"completed,failed,mean_n,utilization,mean_wait_s,wait_p50_s,wait_p90_s,wait_p99_s," +
+		"mean_slowdown,slowdown_p99,jain,failures_injected,down_fraction\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.0f,%.0f,%d,%d,%d,%d,%.2f,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%d,%.4f\n",
+			p.Strategy, p.Arrival, p.Tenants, p.R, p.Hosts, p.HorizonSeconds, p.WarmupSeconds,
+			p.Submitted, p.Measured, p.Completed, p.Failed, p.MeanN, p.Utilization,
+			p.MeanWaitSeconds, p.WaitP50Seconds, p.WaitP90Seconds, p.WaitP99Seconds,
+			p.MeanSlowdown, p.SlowdownP99, p.JainFairness, p.FailuresInjected, p.DownFraction)
+	}
+	return b.String()
+}
+
+// RenderOpenPoints prints an open sweep as a table.
+func RenderOpenPoints(title string, pts []OpenPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %6s %5s %5s %7s %8s %8s %8s %8s %8s %6s\n",
+		"strategy", "jobs", "done", "fail", "util", "wait-p50", "wait-p90", "wait-p99", "slow-p99", "jain", "down%")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-12s %6d %5d %5d %6.1f%% %7.1fs %7.1fs %7.1fs %8.2f %8.3f %5.1f%%\n",
+			p.Strategy, p.Measured, p.Completed, p.Failed, 100*p.Utilization,
+			p.WaitP50Seconds, p.WaitP90Seconds, p.WaitP99Seconds,
+			p.SlowdownP99, p.JainFairness, 100*p.DownFraction)
+	}
+	return b.String()
+}

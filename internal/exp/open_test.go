@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"p2pmpi/internal/core"
+	"p2pmpi/internal/sched"
+	"p2pmpi/internal/stats"
+	"p2pmpi/internal/workload"
+)
+
+func openGoldenConfig(t *testing.T) OpenConfig {
+	t.Helper()
+	return OpenConfig{
+		Base:       goldenBase(t),
+		Strategies: []core.Strategy{core.Concentrate, core.Spread},
+		Arrival: workload.ArrivalSpec{
+			Kind: workload.ArrivalDiurnal, Peak: 0.05, Trough: 0.01,
+			Period: 30 * time.Minute, MaintEvery: 15 * time.Minute, MaintDur: 90 * time.Second,
+		},
+		Tenants:        3,
+		TenantSkew:     1,
+		PriorityLevels: 2,
+		Duration:       40 * time.Minute,
+		DurMin:         15, DurMax: 120, // short jobs keep the pump cheap
+		NMin: 2, NMax: 8,
+		Workers: 4,
+	}
+}
+
+// TestGoldenOpenTrace: the open-system family across worker counts,
+// shard counts and federation widths — eight runs, one committed byte
+// string. The whole pipeline is pinned: the workload trace, the
+// priority admission order, the t-digest percentile state, the
+// fairness index.
+func TestGoldenOpenTrace(t *testing.T) {
+	cfg := openGoldenConfig(t)
+	var first string
+	var firstLabel string
+	for _, sn := range []int{1, 4} {
+		for _, shards := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				opts := DefaultOptions(42)
+				opts.Supernodes = sn
+				opts.Shards = shards
+				pts, err := OpenSweep(opts, cfg, workers)
+				if err != nil {
+					t.Fatalf("sn=%d shards=%d workers=%d: %v", sn, shards, workers, err)
+				}
+				csv := OpenPointsCSV(pts)
+				label := fmt.Sprintf("sn=%d shards=%d workers=%d", sn, shards, workers)
+				if first == "" {
+					first, firstLabel = csv, label
+					continue
+				}
+				if csv != first {
+					t.Fatalf("%s diverged from %s:\n--- first ---\n%s--- this run ---\n%s",
+						label, firstLabel, first, csv)
+				}
+			}
+		}
+	}
+	goldenCompare(t, "golden_open.csv", first)
+}
+
+// TestOpenSketchVsExact holds the streaming path to the acceptance
+// bound: queue-wait P50/P90/P99 from the t-digest must sit within 1%
+// relative error of the exact order statistics of the same run
+// (absolute floor 50ms for near-zero quantiles).
+func TestOpenSketchVsExact(t *testing.T) {
+	cfg := openGoldenConfig(t)
+	cfg.Strategies = []core.Strategy{core.Spread}
+	cfg.Duration = 2 * time.Hour
+	var exact []float64
+	cfg.observe = func(j *sched.Job, sub workload.Submission) {
+		if j.Err != nil || j.Result == nil || j.Result.LostRanks() > 0 {
+			return
+		}
+		exact = append(exact, math.Max(0, j.Latency().Seconds()-sub.Seconds))
+	}
+	pt, err := RunOpen(DefaultOptions(42), cfg, core.Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Completed < 100 {
+		t.Fatalf("run too small to compare quantiles: %d completed jobs", pt.Completed)
+	}
+	if len(exact) != pt.Completed {
+		t.Fatalf("observe hook saw %d completions, point says %d", len(exact), pt.Completed)
+	}
+	sum := stats.Summarize(exact)
+	for _, c := range []struct {
+		name         string
+		sketch, want float64
+	}{
+		{"wait_p50", pt.WaitP50Seconds, sum.P50},
+		{"wait_p90", pt.WaitP90Seconds, sum.P90},
+		{"wait_p99", pt.WaitP99Seconds, sum.P99},
+	} {
+		tol := math.Max(0.01*math.Abs(c.want), 0.05)
+		if diff := math.Abs(c.sketch - c.want); diff > tol {
+			t.Errorf("%s: sketch %.4f vs exact %.4f (|diff| %.4f > tol %.4f)",
+				c.name, c.sketch, c.want, diff, tol)
+		}
+	}
+	if diff := math.Abs(pt.MeanWaitSeconds - sum.Mean); diff > 1e-9*math.Max(1, sum.Mean) {
+		t.Errorf("mean wait: stream %.6f vs exact %.6f", pt.MeanWaitSeconds, sum.Mean)
+	}
+}
+
+// TestOpenChurnShardRace composes the open arrival process with host
+// churn — compute hosts and federated supernode hosts dying and
+// reviving mid-steady-state — on a 3-shard world under the race
+// detector, with the lookahead-safety check armed. Per-job outcomes
+// and the rendered point must match the single-shard run byte for
+// byte.
+func TestOpenChurnShardRace(t *testing.T) {
+	t.Setenv("VTIME_CHECK", "1")
+	cfg := openGoldenConfig(t)
+	cfg.Strategies = []core.Strategy{core.Spread}
+	cfg.Arrival = workload.ArrivalSpec{Kind: workload.ArrivalPoisson, Rate: 0.02}
+	cfg.Duration = 40 * time.Minute
+	cfg.R = 2
+	cfg.Workers = 2
+	cfg.MTBF = 90 * time.Second
+	cfg.MTTR = 45 * time.Second
+	cfg.Detect = 5 * time.Second
+
+	run := func(shards int) (string, []string) {
+		c := cfg
+		var lines []string
+		c.observe = func(j *sched.Job, sub workload.Submission) {
+			lines = append(lines, fmt.Sprintf("%d|%d|%d|%s", sub.Seq, sub.Tenant, sub.Priority, jobLine(j)))
+		}
+		opts := DefaultOptions(99)
+		opts.Supernodes = 4
+		opts.Shards = shards
+		pt, err := RunOpen(opts, c, core.Spread)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if pt.FailuresInjected < 10 {
+			t.Fatalf("shards=%d: churn load too light to mean anything: %d failures",
+				shards, pt.FailuresInjected)
+		}
+		return OpenPointsCSV([]OpenPoint{pt}), lines
+	}
+
+	seqCSV, seqLines := run(1)
+	shCSV, shLines := run(3)
+	if shCSV != seqCSV {
+		t.Fatalf("open point diverged:\n--- seq ---\n%s--- sharded ---\n%s", seqCSV, shCSV)
+	}
+	if len(shLines) != len(seqLines) {
+		t.Fatalf("job count diverged: %d vs %d", len(seqLines), len(shLines))
+	}
+	for i := range seqLines {
+		if shLines[i] != seqLines[i] {
+			t.Fatalf("job %d diverged:\nseq:     %s\nsharded: %s", i, seqLines[i], shLines[i])
+		}
+	}
+}
+
+// TestOpenAccumFootprint1M drives a million synthetic completions
+// through the open family's accumulation path and holds its retained
+// memory O(1): the t-digest streams keep centroids, not samples, and
+// the fairness state is O(tenants). This is the layer that lets a
+// 10M-submission steady-state sweep run in constant memory.
+func TestOpenAccumFootprint1M(t *testing.T) {
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	feed := func(n int) *openAccum {
+		acc := newOpenAccum(16)
+		u := uint64(1)
+		for i := 0; i < n; i++ {
+			u = u*6364136223846793005 + 1442695040888963407
+			wait := float64(u%100_000) / 1000
+			service := 20 + float64(u%1800)
+			acc.observe(int(u%16), 2+int(u%30), wait,
+				boundedSlowdown(wait+service, service), service, u%97 == 0)
+		}
+		return acc
+	}
+	feed(10_000) // warm allocator pools
+
+	before := heap()
+	acc := feed(1_000_000)
+	after := heap()
+
+	if acc.measured != 1_000_000 {
+		t.Fatalf("accumulated %d observations", acc.measured)
+	}
+	const budget = 1 << 20 // 1 MiB for two digests + per-tenant moments
+	if grew := int64(after) - int64(before); grew > budget {
+		t.Errorf("1M-submission accumulation grew the heap by %d bytes (budget %d)", grew, budget)
+	}
+	if rb := acc.wait.Digest().RetainedBytes() + acc.slow.Digest().RetainedBytes(); rb > budget {
+		t.Errorf("digests retain %d bytes (budget %d)", rb, budget)
+	}
+	runtime.KeepAlive(acc)
+}
+
+// TestEmitOpenBenchJSON writes BENCH_open.json — the open-system
+// steady-state trajectory CI keeps per commit — when BENCH_OPEN_JSON
+// names the output path. The tracked quantities are utilization and
+// the tail percentiles: a scheduler or sketch regression shows up as
+// the steady state moving, not as ns/op.
+func TestEmitOpenBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_OPEN_JSON")
+	if out == "" {
+		t.Skip("BENCH_OPEN_JSON not set")
+	}
+	start := time.Now()
+	pts, err := OpenSweep(DefaultOptions(42), openGoldenConfig(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		Name           string  `json:"name"`
+		Strategy       string  `json:"strategy"`
+		Arrival        string  `json:"arrival"`
+		Measured       int     `json:"measured"`
+		Completed      int     `json:"completed"`
+		Failed         int     `json:"failed"`
+		Utilization    float64 `json:"utilization"`
+		WaitP50Seconds float64 `json:"wait_p50_s"`
+		WaitP90Seconds float64 `json:"wait_p90_s"`
+		WaitP99Seconds float64 `json:"wait_p99_s"`
+		SlowdownP99    float64 `json:"slowdown_p99"`
+		JainFairness   float64 `json:"jain"`
+	}
+	var entries []entry
+	for _, p := range pts {
+		entries = append(entries, entry{
+			Name:           fmt.Sprintf("OpenSweep/%s/tenants=%d", p.Strategy, p.Tenants),
+			Strategy:       p.Strategy.String(),
+			Arrival:        p.Arrival,
+			Measured:       p.Measured,
+			Completed:      p.Completed,
+			Failed:         p.Failed,
+			Utilization:    p.Utilization,
+			WaitP50Seconds: p.WaitP50Seconds,
+			WaitP90Seconds: p.WaitP90Seconds,
+			WaitP99Seconds: p.WaitP99Seconds,
+			SlowdownP99:    p.SlowdownP99,
+			JainFairness:   p.JainFairness,
+		})
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"benchmarks":   entries,
+		"wall_seconds": time.Since(start).Seconds(),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d entries)", out, len(entries))
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -80,6 +81,13 @@ type Job struct {
 	ID int
 	// Spec is the submission as enqueued.
 	Spec mpd.JobSpec
+	// Tenant tags the submitting tenant for per-tenant accounting (open
+	// workloads; 0 for plain Enqueue).
+	Tenant int
+	// Priority orders admission: a free worker always picks the highest
+	// pending priority, ties broken by enqueue order. All-equal
+	// priorities (plain Enqueue) degenerate to exact FIFO.
+	Priority int
 	// Result and Err record the terminal outcome.
 	Result *mpd.JobResult
 	Err    error
@@ -118,16 +126,41 @@ type Scheduler struct {
 	ledger *core.Ledger
 	cfg    Config
 
-	queue vtime.Mailbox // *Job, pending
+	queue vtime.Mailbox // admission tokens, one per pending job
 	done  vtime.Mailbox // *Job, terminal
 
 	mu      sync.Mutex
+	pending jobHeap // jobs awaiting a worker, max-priority first
 	rng     *rand.Rand
 	stats   Stats
 	nextID  int
 	started bool
 	closed  bool
 	live    int // running workers
+}
+
+// jobHeap orders pending jobs by priority (desc), then enqueue order
+// (asc). With uniform priorities the pop order is exactly the push
+// order, so the closed-system experiments see the same FIFO schedule
+// they always did.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
 }
 
 // New builds a scheduler over the given hosts (nil hosts = unconstrained
@@ -174,18 +207,29 @@ func (s *Scheduler) Start() {
 // Enqueue queues a job for execution and returns its handle, or nil
 // after Close. It never blocks and may be called from any goroutine.
 func (s *Scheduler) Enqueue(spec mpd.JobSpec) *Job {
+	return s.EnqueuePri(spec, 0, 0)
+}
+
+// EnqueuePri queues a job with a tenant tag and an admission priority:
+// among pending jobs, a free worker always takes the highest priority,
+// FIFO within a priority level. Open-system drivers use this to feed
+// multi-tenant arrival streams; Enqueue is EnqueuePri(spec, 0, 0).
+func (s *Scheduler) EnqueuePri(spec mpd.JobSpec, tenant, priority int) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	job := &Job{ID: s.nextID, Spec: spec, Enqueued: s.rt.Now()}
+	job := &Job{ID: s.nextID, Spec: spec, Tenant: tenant, Priority: priority, Enqueued: s.rt.Now()}
 	s.nextID++
 	s.stats.Enqueued++
-	// Push under the mutex: Close also takes it, so a handle is only
-	// ever returned for a job that reached the queue before it closed
-	// (Push on a closed mailbox would silently drop the job).
-	s.queue.Push(job)
+	heap.Push(&s.pending, job)
+	// Push a token under the mutex: Close also takes it, so a handle is
+	// only ever returned for a job that reached the queue before it
+	// closed (Push on a closed mailbox would silently drop the job). The
+	// mailbox stays the FIFO wake-up channel; the heap decides which job
+	// the woken worker actually runs.
+	s.queue.Push(struct{}{})
 	return job
 }
 
@@ -244,11 +288,13 @@ func (s *Scheduler) worker() {
 		}
 	}()
 	for {
-		v, ok := s.queue.Pop()
-		if !ok {
+		if _, ok := s.queue.Pop(); !ok {
 			return
 		}
-		job := v.(*Job)
+		// One token per pending job, so the heap is never empty here.
+		s.mu.Lock()
+		job := heap.Pop(&s.pending).(*Job)
+		s.mu.Unlock()
 		s.runJob(job)
 		job.Finished = s.rt.Now()
 		s.mu.Lock()

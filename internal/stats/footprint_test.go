@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// streamBudgetBytes is the enforced steady-state retention of one
+// Stream, however long it is fed: the t-digest's centroid/buffer/
+// scratch arrays (≈ 5 slices × up to 4δ float64s at δ=512) plus the
+// O(1) moment fields. A metric that holds a megabyte after a
+// million-submission sweep has silently regrown the Summarize
+// behaviour this layer exists to kill.
+const streamBudgetBytes = 256 << 10
+
+// TestStreamFootprint1M feeds one million heavy-tailed observations —
+// the acceptance-scale open-system sweep point — through a Stream and
+// asserts the stats layer held O(1) memory: retention stays under the
+// fixed budget and is identical to a 10k-observation run's, and a
+// warmed Stream adds with zero allocations.
+func TestStreamFootprint1M(t *testing.T) {
+	feed := func(n int) *Stream {
+		s := NewStream()
+		rng := rand.New(rand.NewSource(9))
+		gen := sketchDists[1].gen // bounded-pareto
+		for i := 0; i < n; i++ {
+			s.Add(gen(rng))
+		}
+		return s
+	}
+	small := feed(10_000)
+	big := feed(1_000_000)
+	smallBytes, bigBytes := small.Digest().RetainedBytes(), big.Digest().RetainedBytes()
+	t.Logf("retained: %d B after 10k adds, %d B after 1M adds (%d centroids)",
+		smallBytes, bigBytes, big.Digest().Centroids())
+	if bigBytes > streamBudgetBytes {
+		t.Fatalf("stream retains %d B after 1M observations, budget %d B", bigBytes, streamBudgetBytes)
+	}
+	if bigBytes > 2*smallBytes {
+		t.Fatalf("retention grew with stream length: %d B at 10k vs %d B at 1M — not O(1)", smallBytes, bigBytes)
+	}
+
+	// A warmed stream's Add path must not allocate: a million-submission
+	// sweep point cannot afford per-observation garbage either.
+	rng := rand.New(rand.NewSource(10))
+	gen := sketchDists[1].gen
+	allocs := testing.AllocsPerRun(20_000, func() { big.Add(gen(rng)) })
+	if allocs > 0.001 {
+		t.Fatalf("warmed Stream.Add allocates %.3f times per call", allocs)
+	}
+}

@@ -18,8 +18,23 @@ type Summary struct {
 	populationMode bool
 }
 
-// Summarize computes a Summary over xs. It copies the input.
+// ExactLimit is the largest sample Summarize accepts. Summarize copies
+// and sorts its input — O(n) memory per metric — which is fine for the
+// bounded result sets of the closed-batch experiment families and a
+// silent lie at open-system scale: a 10M-submission sweep would retain
+// hundreds of MB per metric. Calls above the limit panic, pointing at
+// Stream, the O(1)-memory accumulator the open sweeps use. The budget
+// test on a 1M-observation Stream run enforces the other side of the
+// contract.
+const ExactLimit = 1 << 22
+
+// Summarize computes a Summary over xs. It copies the input, so it is
+// only for bounded result sets: above ExactLimit it panics — feed a
+// Stream instead.
 func Summarize(xs []float64) Summary {
+	if len(xs) > ExactLimit {
+		panic(fmt.Sprintf("stats: Summarize over %d samples retains O(n) memory; use stats.Stream for unbounded metrics", len(xs)))
+	}
 	s := Summary{N: len(xs)}
 	if len(xs) == 0 {
 		return s

@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TDigest is a mergeable quantile sketch (Dunning & Ertl's merging
+// t-digest, scale function k₁). It holds O(compression) centroids
+// whatever the stream length, which is what lets a million-submission
+// open-system sweep report P50/P90/P99 without retaining samples.
+//
+// Accuracy contract (the sketch-accuracy property tests enforce it):
+// the k₁ scale function k(q) = δ/(2π)·asin(2q−1) has slope
+// δ/(2π·√(q(1−q))), so a centroid near quantile q spans at most about
+// one k-unit, i.e. 2π·√(q(1−q))/δ of the rank range. Quantile
+// interpolates between adjacent centroid means, so its rank error is
+// bounded by one centroid width:
+//
+//	|rank(estimate)/n − q| ≤ MaxRankError(q) = 2π·√(q(1−q))/δ
+//
+// At the default compression δ = 512 that is ≤ 0.62% of ranks at the
+// median, 0.37% at P90 and 0.12% at P99 — accuracy tightens toward the
+// tails, exactly where fixed-bin histograms give up. Observed errors
+// run roughly an order of magnitude under the bound. Value error
+// follows from rank error through the local sample density.
+//
+// Determinism: the centroid state is a pure function of the insertion
+// sequence (Add order) and the merge sequence. Merge is symmetric —
+// Merge collects both operands' centroids, sorts by (mean, weight) and
+// recompresses, so merge(a,b) and merge(b,a) yield byte-identical
+// state. The zero value is NOT ready; use NewTDigest.
+type TDigest struct {
+	compression float64
+
+	// Processed centroids, sorted by mean.
+	means   []float64
+	weights []float64
+	n       float64 // total processed weight
+
+	min, max float64
+
+	// Unmerged incoming points. Flushed into the centroid list when
+	// full; scratch is the merge workspace, reused across flushes so a
+	// warmed digest adds with zero allocations.
+	buf                []float64
+	scratchM, scratchW []float64
+}
+
+// DefaultCompression is the centroid budget used by NewDefaultTDigest:
+// ≈0.4% worst-case (median) rank error, ~24 KB of float64s per metric.
+const DefaultCompression = 512
+
+// NewTDigest returns an empty digest with the given compression
+// (centroid budget δ; values below 16 are raised to 16).
+func NewTDigest(compression float64) *TDigest {
+	if compression < 16 {
+		compression = 16
+	}
+	return &TDigest{
+		compression: compression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+		buf:         make([]float64, 0, bufferFor(compression)),
+	}
+}
+
+// NewDefaultTDigest returns NewTDigest(DefaultCompression).
+func NewDefaultTDigest() *TDigest { return NewTDigest(DefaultCompression) }
+
+// bufferFor sizes the unmerged buffer: a few multiples of the centroid
+// budget amortizes the O(buf·log buf) flush sort without growing the
+// high-water memory past a small constant factor.
+func bufferFor(compression float64) int { return 4 * int(compression) }
+
+// Add records one observation. O(1) amortized, allocation-free once
+// the internal buffers reached steady size.
+func (t *TDigest) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	t.buf = append(t.buf, x)
+	if len(t.buf) >= cap(t.buf) {
+		t.flush()
+	}
+}
+
+// N returns the number of observations recorded.
+func (t *TDigest) N() int64 { return int64(t.n) + int64(len(t.buf)) }
+
+// Min and Max return the exact observed extremes (+Inf/−Inf when empty).
+func (t *TDigest) Min() float64 { return t.min }
+func (t *TDigest) Max() float64 { return t.max }
+
+// Centroids returns the processed centroid count (tests and sizing).
+func (t *TDigest) Centroids() int {
+	t.flush()
+	return len(t.means)
+}
+
+// k is the k₁ scale function: k(q) = δ/(2π) · asin(2q−1). Its steep
+// slope near q∈{0,1} forces tail centroids to stay tiny, which is what
+// buys the quadratic tail accuracy.
+func (t *TDigest) k(q float64) float64 {
+	if q <= 0 {
+		return -t.compression / 4
+	}
+	if q >= 1 {
+		return t.compression / 4
+	}
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// kInv inverts k.
+func (t *TDigest) kInv(k float64) float64 {
+	lim := t.compression / 4
+	if k >= lim {
+		return 1
+	}
+	if k <= -lim {
+		return 0
+	}
+	return (math.Sin(k*2*math.Pi/t.compression) + 1) / 2
+}
+
+// flush merges the buffered points into the centroid list.
+func (t *TDigest) flush() {
+	if len(t.buf) == 0 {
+		return
+	}
+	sort.Float64s(t.buf)
+	// Merge the sorted buffer with the sorted centroid list into the
+	// scratch arrays, then compress scratch back into means/weights.
+	needed := len(t.means) + len(t.buf)
+	t.scratchM = t.scratchM[:0]
+	t.scratchW = t.scratchW[:0]
+	if cap(t.scratchM) < needed {
+		t.scratchM = make([]float64, 0, needed+needed/2)
+		t.scratchW = make([]float64, 0, needed+needed/2)
+	}
+	i, j := 0, 0
+	for i < len(t.means) || j < len(t.buf) {
+		if j >= len(t.buf) || (i < len(t.means) && t.means[i] <= t.buf[j]) {
+			t.scratchM = append(t.scratchM, t.means[i])
+			t.scratchW = append(t.scratchW, t.weights[i])
+			i++
+		} else {
+			t.scratchM = append(t.scratchM, t.buf[j])
+			t.scratchW = append(t.scratchW, 1)
+			j++
+		}
+	}
+	t.n += float64(len(t.buf))
+	t.buf = t.buf[:0]
+	t.compress(t.scratchM, t.scratchW)
+}
+
+// compress rebuilds means/weights from a (mean-sorted) centroid
+// sequence, merging neighbours while the k-scale budget allows. The
+// input slices are the scratch arrays; the output is written over the
+// (possibly reallocated) means/weights.
+func (t *TDigest) compress(ms, ws []float64) {
+	t.means = t.means[:0]
+	t.weights = t.weights[:0]
+	if len(ms) == 0 {
+		return
+	}
+	var cumBefore float64 // total weight emitted so far
+	qLimit := t.kInv(t.k(0) + 1)
+	curM, curW := ms[0], ws[0]
+	for idx := 1; idx < len(ms); idx++ {
+		m, w := ms[idx], ws[idx]
+		if (cumBefore+curW+w)/t.n <= qLimit {
+			// Weighted-mean fold: deterministic given the sorted order.
+			curM = curM + (m-curM)*(w/(curW+w))
+			curW += w
+			continue
+		}
+		t.means = append(t.means, curM)
+		t.weights = append(t.weights, curW)
+		cumBefore += curW
+		qLimit = t.kInv(t.k(cumBefore/t.n) + 1)
+		curM, curW = m, w
+	}
+	t.means = append(t.means, curM)
+	t.weights = append(t.weights, curW)
+}
+
+// Merge folds o's observations into t. Symmetric by construction: both
+// operands' centroid lists are concatenated, sorted by (mean, weight)
+// and recompressed, so the result is byte-identical whichever operand
+// is the receiver. o is flushed but not otherwise modified.
+func (t *TDigest) Merge(o *TDigest) {
+	if o == nil {
+		return
+	}
+	t.flush()
+	o.flush()
+	if o.n == 0 {
+		return
+	}
+	if o.min < t.min {
+		t.min = o.min
+	}
+	if o.max > t.max {
+		t.max = o.max
+	}
+	type cw struct{ m, w float64 }
+	all := make([]cw, 0, len(t.means)+len(o.means))
+	for i := range t.means {
+		all = append(all, cw{t.means[i], t.weights[i]})
+	}
+	for i := range o.means {
+		all = append(all, cw{o.means[i], o.weights[i]})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].m != all[j].m {
+			return all[i].m < all[j].m
+		}
+		return all[i].w < all[j].w
+	})
+	t.scratchM = t.scratchM[:0]
+	t.scratchW = t.scratchW[:0]
+	for _, c := range all {
+		t.scratchM = append(t.scratchM, c.m)
+		t.scratchW = append(t.scratchW, c.w)
+	}
+	t.n += o.n
+	t.compress(t.scratchM, t.scratchW)
+}
+
+// MaxRankError returns the documented worst-case rank error (as a
+// fraction of n) of Quantile at quantile q — the bound the accuracy
+// property tests assert against.
+func (t *TDigest) MaxRankError(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	e := 2 * math.Pi * math.Sqrt(q*(1-q)) / t.compression
+	// Even at the extreme tails two points of slack remain (singleton
+	// centroids plus interpolation).
+	if t.n > 0 {
+		if floor := 2 / t.n; e < floor {
+			e = floor
+		}
+	}
+	return e
+}
+
+// Quantile estimates the q-quantile by piecewise-linear interpolation
+// between centroid midpoints, anchored at the exact min and max. The
+// target rank is q·(n−1)+½ — the same order-statistic convention as
+// Summary.Quantile — so a digest whose relevant centroids are still
+// singletons (always true at the extreme tails) reproduces the exact
+// sorted-sample interpolation, not just a half-rank neighbour of it.
+func (t *TDigest) Quantile(q float64) float64 {
+	t.flush()
+	if t.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return t.min
+	}
+	if q >= 1 {
+		return t.max
+	}
+	target := q*(t.n-1) + 0.5
+	// Cumulative weight up to the *midpoint* of each centroid: centroid
+	// i's mean is taken to sit at cum_i + w_i/2.
+	var cum float64
+	prevMid, prevMean := 0.0, t.min
+	for i := range t.means {
+		mid := cum + t.weights[i]/2
+		if target < mid {
+			if mid == prevMid {
+				return t.means[i]
+			}
+			frac := (target - prevMid) / (mid - prevMid)
+			return prevMean + (t.means[i]-prevMean)*frac
+		}
+		cum += t.weights[i]
+		prevMid, prevMean = mid, t.means[i]
+	}
+	// Between the last centroid midpoint and the exact max.
+	if t.n == prevMid {
+		return t.max
+	}
+	frac := (target - prevMid) / (t.n - prevMid)
+	return prevMean + (t.max-prevMean)*frac
+}
+
+// RetainedBytes reports the digest's steady-state footprint: the
+// capacity of every internal slice. Budget tests pin it.
+func (t *TDigest) RetainedBytes() int {
+	return 8 * (cap(t.means) + cap(t.weights) + cap(t.buf) + cap(t.scratchM) + cap(t.scratchW))
+}

@@ -1,0 +1,24 @@
+// Package workload generates open-system submission traces: seeded
+// arrival processes (homogeneous Poisson, piecewise diurnal rate
+// curves with maintenance-window blackouts) over multi-tenant user
+// populations with Zipf rate shares and stratified priorities, with
+// bounded-Pareto job widths and service durations — the empirical
+// shapes of the Grid'5000 "year in the life" platform report, replayed
+// against the co-allocation middleware instead of the paper's closed
+// K-job batches.
+//
+// The contract mirrors internal/churn: Trace expands a Config into a
+// deterministic, order-independent submission timeline (each tenant's
+// stream is a pure function of (Seed, tenant index); the cross-tenant
+// merge key is total), and Driver replays it on a vtime.Runtime,
+// handing each Submission to a non-blocking hook at its exact virtual
+// arrival time. Traces therefore compose with churn injection and with
+// the sharded vtime.Domain engine, and replay byte-identically at any
+// -workers/-shards/-sn setting — the open-family golden tests rest on
+// this.
+//
+// ParseArrivalSpec parses the gridbench -arrival syntax
+// ("poisson:rate=0.5", "diurnal:peak=2,trough=0.2,period=24h,
+// maintevery=6h,maintdur=30m"); a fuzz target holds the parser to
+// never panicking and to round-tripping through ArrivalSpec.String.
+package workload

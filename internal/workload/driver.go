@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"p2pmpi/internal/vtime"
+)
+
+// Stats summarises a replay.
+type Stats struct {
+	// Submitted counts submissions actually handed to the hook.
+	Submitted int
+	// Observed is the replay span from Start to Stop (or to the last
+	// submission).
+	Observed time.Duration
+}
+
+// Driver replays a submission trace against a vtime.Runtime: one actor
+// sleeps along the timeline and hands each Submission to the hook at
+// its exact virtual arrival time, in timeline order. The hook runs on
+// the driver's actor and must not block for the duration of the job —
+// hand the submission to a scheduler queue (sched.Scheduler.Enqueue
+// never blocks) and return. The same shape as churn.Driver, so open
+// workloads and fault injection compose on one world.
+type Driver struct {
+	rt     vtime.Runtime
+	trace  []Submission
+	submit func(Submission)
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	startAt time.Time
+	stats   Stats
+	done    chan struct{}
+}
+
+// NewDriver builds a driver over a precomputed trace (see Trace).
+func NewDriver(rt vtime.Runtime, trace []Submission, submit func(Submission)) *Driver {
+	return &Driver{rt: rt, trace: trace, submit: submit, done: make(chan struct{})}
+}
+
+// Start spawns the replay actor. Idempotent.
+func (d *Driver) Start() {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	d.rt.Go("workload.driver", d.replay)
+}
+
+func (d *Driver) replay() {
+	defer close(d.done)
+	start := d.rt.Now()
+	d.mu.Lock()
+	d.startAt = start
+	d.mu.Unlock()
+	for _, sub := range d.trace {
+		if wait := start.Add(sub.At).Sub(d.rt.Now()); wait > 0 {
+			d.rt.Sleep(wait)
+		}
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			return
+		}
+		d.stats.Submitted++
+		d.mu.Unlock()
+		d.submit(sub)
+	}
+}
+
+// Drained reports whether the replay actor delivered the whole trace
+// (polled by harness pump loops; never blocks).
+func (d *Driver) Drained() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop halts the replay (no further submissions fire) and returns the
+// settled stats. Idempotent; later calls return the same snapshot.
+func (d *Driver) Stop() Stats {
+	now := d.rt.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.stopped {
+		d.stopped = true
+		if d.started {
+			d.stats.Observed = now.Sub(d.startAt)
+		}
+	}
+	return d.stats
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseArrivalSpec holds the -arrival parser to its contract: never
+// panic on any input, and every accepted spec round-trips through
+// String() to an equal spec.
+func FuzzParseArrivalSpec(f *testing.F) {
+	for _, seed := range []string{
+		"poisson:rate=0.5",
+		"diurnal:peak=2,trough=0.2",
+		"diurnal:peak=2,trough=0.2,period=24h,maintevery=6h,maintdur=30m",
+		"diurnal:peak=1e3,trough=0,period=600",
+		"poisson:rate=1,rate=2",
+		"diurnal:peak=,trough=0.2",
+		"weibull:shape=2",
+		"poisson:rate=0x1p10",
+		"diurnal:peak=2,trough=0.2,period=-5s",
+		strings.Repeat("diurnal:", 40),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseArrivalSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, verr)
+		}
+		again, err := ParseArrivalSpec(spec.String())
+		if err != nil {
+			t.Fatalf("accepted spec %q renders as %q which does not re-parse: %v", s, spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("round trip diverged: %q → %+v → %q → %+v", s, spec, spec.String(), again)
+		}
+	})
+}
