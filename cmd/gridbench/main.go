@@ -16,6 +16,9 @@
 //	gridbench -exp open -grid synth:S=3,H=8 -arrival poisson:rate=0.02 -duration 2h
 //	gridbench -exp open -arrival diurnal:peak=0.05,trough=0.005,period=1h -tenants 4 -duration 3h
 //	                                 # beyond the paper: open-system steady state
+//	gridbench -exp nemesis -grid synth:S=3,H=8 -loss 0,0.1,0.3 -partdur 0,60 -sn 4
+//	gridbench -exp nemesis -faults "gray:frac=0.2,mtbf=2m;dup:p=0.01" -loss 0.1 -partdur 30
+//	                                 # beyond the paper: partition & gray-failure tolerance
 //	gridbench -exp estimators        # beyond the paper: latency-estimator ablation
 //
 // The conc experiment family submits K identical jobs simultaneously
@@ -45,6 +48,21 @@
 // percentiles from streaming t-digests (O(1) memory per metric,
 // whatever the submission count), and Jain fairness across tenants.
 // A single -mtbf value composes host churn with the open workload.
+//
+// The nemesis experiment family injects seeded network misbehaviour —
+// site-pair partitions including federation-splitting bisections,
+// uniform cross-site frame loss, latency inflation, gray hosts that
+// stay up but drop or slow traffic, and bounded frame duplication —
+// while a batch of jobs runs with the RPC robustness layer (deadlines,
+// seeded exponential-backoff retries, receiver-side idempotency,
+// per-supernode circuit breakers) armed. -loss and -partdur are the
+// swept axes; -faults supplies the remaining fault-model knobs in the
+// faults.ParseFaultSpec syntax; -rpcretries sets the retry budget (-1
+// disables the layer, the no-robustness baseline); a single -mtbf
+// composes host churn on top. Per (loss, partition duration) point it
+// reports success rate, completion-time inflation, retry volume and —
+// on federated worlds (-sn K>1) — the split-brain window and the
+// anti-entropy healing latency after each partition lifts.
 //
 // The scale experiment family frees the evaluation from Table 1: it
 // boots synthetic worlds described by -grid (site count, hosts per
@@ -82,12 +100,13 @@ import (
 	"p2pmpi/internal/churn"
 	"p2pmpi/internal/core"
 	"p2pmpi/internal/exp"
+	"p2pmpi/internal/faults"
 	"p2pmpi/internal/grid"
 	"p2pmpi/internal/workload"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|churn|open|estimators")
+	which := flag.String("exp", "all", "experiment: table1|fig2|fig3|fig4ep|fig4is|all|conc|scale|churn|open|nemesis|estimators")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	format := flag.String("format", "table", "output format: table|csv")
 	jobs := flag.String("jobs", "1,2,4,8,16", "conc: comma-separated K values (concurrent jobs per point)")
@@ -118,6 +137,11 @@ func main() {
 	duration := flag.String("duration", "", "open: arrival horizon (seconds or Go duration, required)")
 	warmup := flag.String("warmup", "0", "open: leading transient excluded from statistics (0 = duration/10, negative = none)")
 	maxSubs := flag.Int("maxsubs", 0, "open: cap the submission trace per point (0 = uncapped)")
+	faultsSpec := flag.String("faults", "", "nemesis: fault-model spec (part:mtbf=10m,split=1;link:loss=0.1,mult=2;gray:frac=0.1,mtbf=5m;dup:p=0.01); -loss/-partdur override its link-loss and partition-duration values as swept axes")
+	lossAxis := flag.String("loss", "", "nemesis: comma-separated cross-site drop-probability axis (e.g. 0,0.1,0.3)")
+	partDur := flag.String("partdur", "", "nemesis: comma-separated mean partition duration axis (seconds or Go durations; 0 = no partitions at that point)")
+	rpcRetries := flag.Int("rpcretries", 2, "nemesis: RPC robustness-layer retry budget per exchange (-1 disables the layer)")
+	breaker := flag.Int("breaker", 0, "nemesis: per-supernode circuit-breaker threshold (consecutive failures; 0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit (pprof format)")
 	flag.Parse()
@@ -166,8 +190,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gridbench: -a: %v\n", err)
 		os.Exit(2)
 	}
-	if topo.IsSynthetic() && *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" {
-		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale, conc, churn and open; the paper figures are pinned to grid5000\n", topo)
+	if topo.IsSynthetic() && *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" && *which != "nemesis" {
+		fmt.Fprintf(os.Stderr, "gridbench: -grid %s only applies to -exp scale, conc, churn, open and nemesis; the paper figures are pinned to grid5000\n", topo)
 		os.Exit(2)
 	}
 
@@ -178,8 +202,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gridbench: -sn: %v\n", err)
 			os.Exit(2)
 		}
-		if *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" {
-			fmt.Fprintf(os.Stderr, "gridbench: -sn only applies to -exp scale, conc, churn and open; the paper figures are pinned to the single supernode\n")
+		if *which != "scale" && *which != "conc" && *which != "churn" && *which != "open" && *which != "nemesis" {
+			fmt.Fprintf(os.Stderr, "gridbench: -sn only applies to -exp scale, conc, churn, open and nemesis; the paper figures are pinned to the single supernode\n")
 			os.Exit(2)
 		}
 		if *which != "scale" && len(snAxis) != 1 {
@@ -460,6 +484,88 @@ func main() {
 		})
 		return
 	}
+	if *which == "nemesis" {
+		fc, err := faults.ParseFaultSpec(*faultsSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		var losses []float64
+		if *lossAxis != "" {
+			if losses, err = parseFloats(*lossAxis); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -loss: %v\n", err)
+				os.Exit(2)
+			}
+		} else if fc.Loss > 0 {
+			losses = []float64{fc.Loss}
+		}
+		var partDurs []time.Duration
+		if *partDur != "" {
+			if partDurs, err = parseDurations(*partDur); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -partdur: %v\n", err)
+				os.Exit(2)
+			}
+		} else if fc.PartMTBF > 0 {
+			partDurs = []time.Duration{fc.PartMTTR}
+		}
+		durFlag := func(name, v string) time.Duration {
+			d, err := parseDuration1(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -%s: %v\n", name, err)
+				os.Exit(2)
+			}
+			return d
+		}
+		cfg := exp.NemesisConfig{
+			Base:             topo,
+			Strategy:         strategies[0],
+			Losses:           losses,
+			PartDurs:         partDurs,
+			LatMult:          fc.LatMult,
+			Dup:              fc.DupProb,
+			DupDelay:         fc.DupDelay,
+			GrayFrac:         fc.GrayFrac,
+			GrayMTBF:         fc.GrayMTBF,
+			GrayMTTR:         fc.GrayMTTR,
+			GrayDrop:         fc.GrayDrop,
+			GraySlow:         fc.GraySlow,
+			N:                *n,
+			R:                *r,
+			Jobs:             *cjobs,
+			JobSeconds:       *dur,
+			Detect:           durFlag("detect", *detect),
+			RPCRetries:       *rpcRetries,
+			BreakerThreshold: *breaker,
+		}
+		if fc.PartMTBF > 0 {
+			cfg.PartMTBF = fc.PartMTBF
+			cfg.NoSplit = !fc.Split
+		}
+		// A single -mtbf value composes host churn, as in -exp open.
+		if *mtbf != "" {
+			cfg.MTBF = durFlag("mtbf", *mtbf)
+			cfg.MTTR = durFlag("mttr", *mttr)
+		}
+		run("nemesis", func() error {
+			pts, err := exp.NemesisSweep(topoOpts, cfg, *workers)
+			if err != nil {
+				return err
+			}
+			if csv {
+				fmt.Print(exp.NemesisPointsCSV(pts))
+				if len(pts) > 0 && pts[0].SN > 1 {
+					fmt.Println()
+					fmt.Print(exp.NemesisFederationCSV(pts))
+				}
+			} else {
+				fmt.Print(exp.RenderNemesisPoints(
+					fmt.Sprintf("Network nemesis — %s, n=%d r=%d, %d jobs/point, %gs jobs",
+						topo, *n, *r, *cjobs, *dur), pts))
+			}
+			return nil
+		})
+		return
+	}
 	if *which == "estimators" {
 		run("estimators", func() error {
 			pts, err := exp.EstimatorStudy(opts, nil, 4)
@@ -477,7 +583,7 @@ func main() {
 	}
 	if !all && *which != "table1" && *which != "fig2" && *which != "fig3" &&
 		*which != "fig4ep" && *which != "fig4is" {
-		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, churn, open, estimators)\n", *which)
+		fmt.Fprintf(os.Stderr, "gridbench: unknown experiment %q (try also: conc, scale, churn, open, nemesis, estimators)\n", *which)
 		os.Exit(2)
 	}
 }
@@ -539,6 +645,26 @@ func parseStrategies(s string) ([]core.Strategy, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no strategies")
+	}
+	return out, nil
+}
+
+// parseFloats parses the -loss axis ("0,0.1,0.3").
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values")
 	}
 	return out, nil
 }

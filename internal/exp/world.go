@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p2pmpi/internal/churn"
+	"p2pmpi/internal/faults"
 	"p2pmpi/internal/grid"
 	"p2pmpi/internal/latency"
 	"p2pmpi/internal/mpd"
@@ -100,6 +101,15 @@ type Options struct {
 	// per virtual second of pure liveness noise, and the supernode TTL
 	// (10 minutes) tolerates a far sparser heartbeat.
 	PeerAliveInterval time.Duration
+	// RPCRetries, RPCBackoff and BreakerThreshold configure the daemons'
+	// RPC robustness layer (see mpd.Shared): retryable control-plane
+	// failures re-try with seeded exponential backoff, and a
+	// per-supernode circuit breaker skips gray members. All zero — the
+	// default — keeps every exchange single-shot, the historical
+	// behaviour, so fault-free worlds replay bit-for-bit.
+	RPCRetries       int
+	RPCBackoff       time.Duration
+	BreakerThreshold int
 	// Shards partitions the world's sites onto that many independent
 	// event-loop shards run as a conservative parallel simulation
 	// (windowed barriers, cross-site lookahead — see vtime.Domain and
@@ -313,14 +323,17 @@ func NewWorld(opts Options) *World {
 		P:    0, // the frontend submits, it does not compute
 		Seed: opts.Seed,
 		Shared: &mpd.Shared{
-			SupernodeAddr:   w.SNAddr,
-			Federation:      federation,
-			Programs:        programs,
-			PingInterval:    opts.FrontalPingInterval,
-			Estimator:       opts.Estimator,
-			EstimatorWindow: opts.EstimatorWindow,
-			NoBootPing:      !bootPing,
-			Intern:          intern,
+			SupernodeAddr:    w.SNAddr,
+			Federation:       federation,
+			Programs:         programs,
+			PingInterval:     opts.FrontalPingInterval,
+			Estimator:        opts.Estimator,
+			EstimatorWindow:  opts.EstimatorWindow,
+			NoBootPing:       !bootPing,
+			Intern:           intern,
+			RPCRetries:       opts.RPCRetries,
+			RPCBackoff:       opts.RPCBackoff,
+			BreakerThreshold: opts.BreakerThreshold,
 		},
 	})
 
@@ -336,15 +349,18 @@ func NewWorld(opts Options) *World {
 	// the deployment-invariant half of the config is the difference
 	// between one struct and hundreds of MB of identical copies.
 	peerShared := &mpd.Shared{
-		SupernodeAddr:   w.SNAddr,
-		Federation:      federation,
-		AliveInterval:   opts.PeerAliveInterval,
-		Programs:        programs,
-		PingInterval:    opts.PeerPingInterval,
-		RefreshInterval: opts.PeerRefreshInterval,
-		NoBootPing:      !bootPing,
-		Intern:          intern,
-		PeerCacheCap:    opts.PeerCacheCap,
+		SupernodeAddr:    w.SNAddr,
+		Federation:       federation,
+		AliveInterval:    opts.PeerAliveInterval,
+		Programs:         programs,
+		PingInterval:     opts.PeerPingInterval,
+		RefreshInterval:  opts.PeerRefreshInterval,
+		NoBootPing:       !bootPing,
+		Intern:           intern,
+		PeerCacheCap:     opts.PeerCacheCap,
+		RPCRetries:       opts.RPCRetries,
+		RPCBackoff:       opts.RPCBackoff,
+		BreakerThreshold: opts.BreakerThreshold,
 	}
 	buildPeer := func(i int) {
 		h := g.Hosts[i]
@@ -585,6 +601,178 @@ func (w *World) StartChurn(cfg churn.Config) *churn.Driver {
 		d.Start()
 	}
 	return d
+}
+
+// StartFaults wires a seeded network-nemesis trace into the world and
+// starts it, mirroring StartChurn: site-pair cuts (including
+// federation-splitting bisections) toggle simnet link cuts, gray
+// episodes degrade the host's links, and the constant knobs — uniform
+// loss, latency inflation, bounded duplication — apply for the whole
+// run. Sharded worlds replay the trace at window barriers
+// (StartGlobal), so fault state only changes with every shard parked
+// and the sequential and sharded trajectories stay byte-identical.
+// The returned HealWatch measures split-brain windows and, on
+// federated worlds, the anti-entropy healing latency after each spell.
+func (w *World) StartFaults(cfg faults.Config) (*faults.Driver, *HealWatch) {
+	cfg = cfg.Normalized()
+	// Constant degradation applies up front, before any traffic flows:
+	// the predicates gating the per-frame draws must be window-constant
+	// (see simnet/faults.go), and "constant over the run" trivially is.
+	w.Net.SetLinkFault(cfg.Loss, cfg.LatMult)
+	if cfg.DupProb > 0 {
+		w.Net.SetDuplication(cfg.DupProb, cfg.DupDelay)
+	}
+	sites := append([]string(nil), w.Grid.SiteOrder...)
+	// Gray episodes can strike compute hosts and the federation's
+	// dedicated supernode hosts (a gray membership shard is what the
+	// breaker and failover rotation are for); the frontal — the paper's
+	// surviving observer — is exempt, like under churn.
+	hosts := make([]string, 0, len(w.Grid.Hosts)+len(w.snHosts))
+	for _, h := range w.Grid.Hosts {
+		hosts = append(hosts, h.ID)
+	}
+	for _, sh := range w.snHosts {
+		hosts = append(hosts, sh.id)
+	}
+	hw := &HealWatch{w: w}
+	d := faults.NewDriver(w.S, faults.Trace(sites, hosts, cfg), faults.Hooks{
+		Partition: func(a, b string, on bool) {
+			w.Net.SetCut(a, b, on)
+			if on {
+				hw.onSplit()
+			}
+		},
+		Gray: func(host string, on bool) {
+			w.Net.SetGray(host, cfg.GrayDrop, cfg.GraySlow, on)
+		},
+		Healed: hw.onHealed,
+	})
+	if w.D != nil {
+		d.StartGlobal(w.D)
+	} else {
+		d.Start()
+	}
+	return d, hw
+}
+
+// HealStats summarises partition tolerance over one injection run.
+type HealStats struct {
+	// Splits counts partition spells; SplitTime sums their durations —
+	// the total split-brain window during which federation members held
+	// divergent membership views.
+	Splits    int
+	SplitTime time.Duration
+	// HealSamples counts spells whose post-heal convergence was
+	// observed; HealTime sums (and HealMax tracks the worst of) the lag
+	// from the last cut lifting to every federation member reporting
+	// element-wise equal version vectors (overlay.KnownVersions).
+	HealSamples int
+	HealTime    time.Duration
+	HealMax     time.Duration
+}
+
+// HealWatch accumulates HealStats for one StartFaults run. Its hooks
+// run on the fault driver's timeline (driver actor, or domain barriers
+// when sharded), so reads of the supernodes' version vectors are
+// race-free.
+type HealWatch struct {
+	w *World
+
+	mu    sync.Mutex
+	stats HealStats
+	gen   int // invalidates a pending convergence poll chain
+}
+
+// healPollInterval is the virtual-time cadence of the post-heal
+// convergence poll.
+const healPollInterval = 250 * time.Millisecond
+
+// Stats returns a snapshot of the accumulated measurements.
+func (h *HealWatch) Stats() HealStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// onSplit invalidates any in-flight convergence poll: a new cut means
+// views will diverge again, so the pending spell's healing time is
+// unknowable (the next Healed restarts the measurement).
+func (h *HealWatch) onSplit() {
+	h.mu.Lock()
+	h.gen++
+	h.mu.Unlock()
+}
+
+// onHealed records the spell and, on a federated world, starts polling
+// for version-vector convergence to timestamp the healing latency.
+func (h *HealWatch) onHealed(start, end time.Time) {
+	h.mu.Lock()
+	h.stats.Splits++
+	h.stats.SplitTime += end.Sub(start)
+	h.gen++
+	gen := h.gen
+	h.mu.Unlock()
+	if len(h.w.SNs) < 2 {
+		return
+	}
+	var poll func()
+	poll = func() {
+		h.mu.Lock()
+		stale := gen != h.gen
+		h.mu.Unlock()
+		if stale {
+			return // a newer cut or heal superseded this chain
+		}
+		if !h.w.fedConverged() {
+			h.w.scheduleIn(healPollInterval, poll)
+			return
+		}
+		lag := h.w.now().Sub(end)
+		h.mu.Lock()
+		h.stats.HealSamples++
+		h.stats.HealTime += lag
+		if lag > h.stats.HealMax {
+			h.stats.HealMax = lag
+		}
+		h.mu.Unlock()
+	}
+	h.w.scheduleIn(healPollInterval, poll)
+}
+
+// fedConverged reports whether every federation member knows the same
+// per-shard version vector — the anti-entropy convergence predicate.
+// Callers must hold a race-free vantage point (a domain barrier, or
+// the sequential scheduler).
+func (w *World) fedConverged() bool {
+	base := w.SNs[0].KnownVersions()
+	for _, sn := range w.SNs[1:] {
+		v := sn.KnownVersions()
+		for i := range base {
+			if v[i] != base[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// now returns the world's virtual time from its canonical clock.
+func (w *World) now() time.Time {
+	if w.D != nil {
+		return w.D.Now()
+	}
+	return w.S.Now()
+}
+
+// scheduleIn runs fn after d of virtual time — as a domain-global
+// event when sharded (every shard parked), a plain scheduler event
+// otherwise — matching the vantage point fault hooks run under.
+func (w *World) scheduleIn(d time.Duration, fn func()) {
+	if w.D != nil {
+		w.D.ScheduleGlobal(w.D.Elapsed()+d, fn)
+		return
+	}
+	w.S.Schedule(d, fn)
 }
 
 // Close shuts every daemon down and stops the scheduler.

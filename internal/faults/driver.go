@@ -1,0 +1,248 @@
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"p2pmpi/internal/vtime"
+)
+
+// Hooks receive the deduplicated fault transitions of the replay. They
+// run on the driver's actor (or at a domain barrier under StartGlobal),
+// one at a time, in timeline order — implementations may touch
+// scheduler-bound state freely but must not block forever.
+type Hooks struct {
+	// Partition fires when a site pair's link is first cut (on) and when
+	// its last overlapping cut lifts (off).
+	Partition func(a, b string, on bool)
+	// Gray fires on a host's gray-episode boundaries.
+	Gray func(host string, on bool)
+	// Healed fires when the last active cut of a partition spell lifts:
+	// the network is whole again and anti-entropy can reconverge. start
+	// is when the spell began (the first cut of the spell).
+	Healed func(start, end time.Time)
+}
+
+// Stats summarises an injection run.
+type Stats struct {
+	// Partitions counts partition spells (transitions from a whole
+	// network to one with at least one active cut). CutPairs counts
+	// deduplicated per-link cut onsets.
+	Partitions, CutPairs int
+	// GrayEpisodes counts gray-episode onsets.
+	GrayEpisodes int
+	// PartitionTime accumulates wall time with at least one active cut.
+	PartitionTime time.Duration
+	// Observed is the injection span from Start to Stop (or now).
+	Observed time.Duration
+}
+
+// Driver replays a fault trace against a vtime.Runtime. Overlapping
+// episodes cutting the same site pair are reference-counted so the
+// hooks see each link transition at most once per actual state change.
+type Driver struct {
+	rt    vtime.Runtime
+	trace []Event
+	hooks Hooks
+
+	mu         sync.Mutex
+	started    bool
+	stopped    bool
+	startAt    time.Time
+	cutCauses  map[[2]string]int
+	grayActive map[string]bool
+	activeCuts int
+	splitSince time.Time
+	stats      Stats
+}
+
+// NewDriver builds a driver over a precomputed trace (see Trace).
+func NewDriver(rt vtime.Runtime, trace []Event, hooks Hooks) *Driver {
+	return &Driver{
+		rt:         rt,
+		trace:      trace,
+		hooks:      hooks,
+		cutCauses:  make(map[[2]string]int),
+		grayActive: make(map[string]bool),
+	}
+}
+
+// Start spawns the replay actor. Idempotent.
+func (d *Driver) Start() {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	d.rt.Go("faults.driver", d.replay)
+}
+
+// GlobalRuntime is the slice of a sharded scheduler domain
+// (vtime.Domain) the barrier-scheduled replay needs.
+type GlobalRuntime interface {
+	Now() time.Time
+	Elapsed() time.Duration
+	// ScheduleGlobal runs fn at an absolute virtual elapsed time, with
+	// every shard parked at that time.
+	ScheduleGlobal(at time.Duration, fn func())
+}
+
+// StartGlobal replays the trace as domain-global events instead of a
+// replay actor: each transition fires at a window barrier, when every
+// shard is parked at the event's exact virtual time. That makes the
+// hooks' world mutations (cutting simnet links, flipping gray state)
+// race-free against all shard event loops — the barrier is the
+// happens-before edge — and, because fault state then only changes at
+// instants where both engines are parked, keeps the sequential and
+// sharded traces byte-identical. Idempotent.
+func (d *Driver) StartGlobal(g GlobalRuntime) {
+	d.mu.Lock()
+	if d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.startAt = g.Now()
+	base := g.Elapsed()
+	d.mu.Unlock()
+	for _, ev := range d.trace {
+		ev := ev
+		g.ScheduleGlobal(base+ev.At, func() { d.fireGlobal(ev) })
+	}
+}
+
+func (d *Driver) fireGlobal(ev Event) {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	fire := d.applyLocked(ev)
+	d.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+func (d *Driver) replay() {
+	start := d.rt.Now()
+	d.mu.Lock()
+	d.startAt = start
+	d.mu.Unlock()
+	for _, ev := range d.trace {
+		if wait := start.Add(ev.At).Sub(d.rt.Now()); wait > 0 {
+			d.rt.Sleep(wait)
+		}
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			return
+		}
+		fire := d.applyLocked(ev)
+		d.mu.Unlock()
+		if fire != nil {
+			fire()
+		}
+	}
+}
+
+// applyLocked folds one event into the fault view and returns the hook
+// invocation to fire (nil when the event changed no observable state).
+func (d *Driver) applyLocked(ev Event) func() {
+	now := d.rt.Now()
+	switch ev.Kind {
+	case EvPartition:
+		key := [2]string{ev.A, ev.B}
+		if ev.On {
+			d.cutCauses[key]++
+			if d.cutCauses[key] > 1 {
+				return nil // already cut by an overlapping episode
+			}
+			d.stats.CutPairs++
+			d.activeCuts++
+			if d.activeCuts == 1 {
+				d.stats.Partitions++
+				d.splitSince = now
+			}
+			if h := d.hooks.Partition; h != nil {
+				return func() { h(ev.A, ev.B, true) }
+			}
+			return nil
+		}
+		if d.cutCauses[key] == 0 {
+			return nil // spurious heal (trace truncated at horizon)
+		}
+		d.cutCauses[key]--
+		if d.cutCauses[key] > 0 {
+			return nil // still cut for another episode
+		}
+		delete(d.cutCauses, key)
+		d.activeCuts--
+		var healed func(start, end time.Time)
+		var since time.Time
+		if d.activeCuts == 0 {
+			d.stats.PartitionTime += now.Sub(d.splitSince)
+			healed, since = d.hooks.Healed, d.splitSince
+		}
+		part := d.hooks.Partition
+		if part == nil && healed == nil {
+			return nil
+		}
+		return func() {
+			if part != nil {
+				part(ev.A, ev.B, false)
+			}
+			if healed != nil {
+				healed(since, now)
+			}
+		}
+	case EvGray:
+		if ev.On == d.grayActive[ev.Host] {
+			return nil
+		}
+		d.grayActive[ev.Host] = ev.On
+		if ev.On {
+			d.stats.GrayEpisodes++
+		}
+		if h := d.hooks.Gray; h != nil {
+			return func() { h(ev.Host, ev.On) }
+		}
+	}
+	return nil
+}
+
+// Cut reports whether the driver currently considers a site pair cut.
+func (d *Driver) Cut(a, b string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cutCauses[pairOf(a, b)] > 0
+}
+
+// Gray reports whether a host is currently inside a gray episode.
+func (d *Driver) Gray(host string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.grayActive[host]
+}
+
+// Stop halts injection (no further hooks fire) and returns the settled
+// stats: an open partition spell is charged up to now. Idempotent;
+// later calls return the same snapshot.
+func (d *Driver) Stop() Stats {
+	now := d.rt.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.stopped {
+		d.stopped = true
+		if d.activeCuts > 0 {
+			d.stats.PartitionTime += now.Sub(d.splitSince)
+			d.activeCuts = 0
+		}
+		if d.started {
+			d.stats.Observed = now.Sub(d.startAt)
+		}
+	}
+	return d.stats
+}

@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultSpecAccepts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"", Config{LatMult: 1, GraySlow: 1}},
+		{"none", Config{LatMult: 1, GraySlow: 1}},
+		{"  none  ", Config{LatMult: 1, GraySlow: 1}},
+		{"part:mtbf=10m", Config{PartMTBF: 10 * time.Minute, PartMTTR: time.Minute, LatMult: 1, GraySlow: 1}},
+		{"part:mtbf=600,mttr=60,split=1", Config{
+			PartMTBF: 10 * time.Minute, PartMTTR: time.Minute, Split: true, LatMult: 1, GraySlow: 1}},
+		{"link:loss=0.3,mult=2", Config{Loss: 0.3, LatMult: 2, GraySlow: 1}},
+		{"link:mult=4", Config{LatMult: 4, GraySlow: 1}},
+		{"gray:frac=0.25,mtbf=5m,mttr=30s,drop=0.5,slow=3", Config{
+			GrayFrac: 0.25, GrayMTBF: 5 * time.Minute, GrayMTTR: 30 * time.Second,
+			GrayDrop: 0.5, GraySlow: 3, LatMult: 1}},
+		{"gray:frac=0.1,mtbf=10m", Config{
+			GrayFrac: 0.1, GrayMTBF: 10 * time.Minute, GrayMTTR: time.Minute,
+			GrayDrop: 0.5, GraySlow: 1, LatMult: 1}},
+		{"dup:p=0.01,delay=5", Config{
+			DupProb: 0.01, DupDelay: 5 * time.Second, LatMult: 1, GraySlow: 1}},
+		{"dup:p=0.01", Config{
+			DupProb: 0.01, DupDelay: 100 * time.Millisecond, LatMult: 1, GraySlow: 1}},
+		{"part:mtbf=10m;link:loss=0.1;dup:p=0.02", Config{
+			PartMTBF: 10 * time.Minute, PartMTTR: time.Minute,
+			Loss: 0.1, DupProb: 0.02, DupDelay: 100 * time.Millisecond,
+			LatMult: 1, GraySlow: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseFaultSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseFaultSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseFaultSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFaultSpecRejects(t *testing.T) {
+	for _, in := range []string{
+		"chaos:level=11",                // unknown kind
+		":",                             // empty kind
+		"part:mtbf=10m;part:mttr=1m",    // duplicate clause
+		"part:mtbf=10m,mtbf=20m",        // duplicate field
+		"part:mtbf",                     // not key=value
+		"part:mtbf=",                    // empty value
+		"part:split=maybe",              // bad bool
+		"part:split=1",                  // part without mtbf
+		"part:mtbf=-5",                  // negative duration
+		"link:loss=1",                   // loss must stay below 1
+		"link:loss=bad",                 // bad float
+		"link:loss=NaN",                 // NaN
+		"link:mult=0.5",                 // multiplier below 1
+		"link:mult=1e9",                 // multiplier out of range
+		"gray:drop=0.5",                 // gray without frac/mtbf
+		"gray:frac=2,mtbf=10m",          // frac above 1
+		"gray:frac=0.5,mtbf=10m,drop=1", // gray drop must stay below 1
+		"dup:delay=5",                   // dup without p
+		"part:rate=5",                   // unknown field for the kind
+		"link:mtbf=10m",                 // field from another kind
+	} {
+		if got, err := ParseFaultSpec(in); err == nil {
+			t.Fatalf("ParseFaultSpec(%q) accepted as %+v, want error", in, got)
+		}
+	}
+}
+
+func TestFaultSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"none",
+		"part:mtbf=10m,mttr=1m,split=1",
+		"link:loss=0.3,mult=2",
+		"gray:frac=0.1,mtbf=5m,mttr=30s,drop=0.5,slow=3",
+		"dup:p=0.01,delay=5",
+		"part:mtbf=600;link:loss=0.25;gray:frac=0.2,mtbf=300;dup:p=0.05",
+	} {
+		c, err := ParseFaultSpec(in)
+		if err != nil {
+			t.Fatalf("ParseFaultSpec(%q): %v", in, err)
+		}
+		again, err := ParseFaultSpec(c.String())
+		if err != nil {
+			t.Fatalf("%q renders as %q which does not re-parse: %v", in, c.String(), err)
+		}
+		if again != c {
+			t.Fatalf("round trip diverged: %q → %+v → %q → %+v", in, c, c.String(), again)
+		}
+	}
+}
+
+// FuzzParseFaultSpec holds the -faults parser to its contract: never
+// panic on any input, and every accepted spec round-trips through
+// String() to an equal config.
+func FuzzParseFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"part:mtbf=10m,mttr=1m,split=1",
+		"part:mtbf=600,mttr=60",
+		"link:loss=0.3,mult=2",
+		"gray:frac=0.1,mtbf=5m,mttr=30s,drop=0.5,slow=3",
+		"gray:frac=0.1,mtbf=300",
+		"dup:p=0.01,delay=5",
+		"part:mtbf=10m;link:loss=0.1;gray:frac=0.2,mtbf=5m;dup:p=0.02",
+		"part:split=1",
+		"part:mtbf=10m;part:mttr=1m",
+		"link:loss=1",
+		"link:mult=0.5",
+		"link:loss=0x1p-3",
+		"gray:frac=2,mtbf=10m",
+		"dup:delay=5",
+		"chaos:level=11",
+		"part:mtbf",
+		"part:mtbf=,split=maybe",
+		strings.Repeat("part:", 40),
+		strings.Repeat(";", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseFaultSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, verr)
+		}
+		again, err := ParseFaultSpec(c.String())
+		if err != nil {
+			t.Fatalf("accepted spec %q renders as %q which does not re-parse: %v", s, c.String(), err)
+		}
+		if again != c {
+			t.Fatalf("round trip diverged: %q → %+v → %q → %+v", s, c, c.String(), again)
+		}
+	})
+}

@@ -11,6 +11,7 @@ package mpd
 import (
 	"bytes"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -168,6 +169,23 @@ type Shared struct {
 	// retains (its identity and its cache's tables) against a
 	// deployment-wide interner. Behaviour-neutral; exp worlds share one.
 	Intern *overlay.Interner
+	// RPCRetries is the robustness layer's re-attempt budget for
+	// retryable control-plane RPC failures (supernode register/fetch/
+	// alive, launch fan-outs, JobDone retransmits). Zero keeps every
+	// exchange single-shot — the paper's behaviour and the default, so
+	// fault-free worlds replay identically with the layer compiled in.
+	RPCRetries int
+	// RPCBackoff is the base pause before the first retry; attempt k
+	// waits RPCBackoff·2^(k-1) scaled by seeded jitter in [0.5, 1.5)
+	// (default 1s).
+	RPCBackoff time.Duration
+	// BreakerThreshold consecutive failures against one supernode open
+	// a per-member circuit breaker for BreakerCooldown (default 30s):
+	// the daemon skips that member in its failover rotation instead of
+	// burning a full retry budget against a gray member every round.
+	// Zero disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// PeerCacheCap bounds the total peer entries the cache retains
 	// before anything reads it (0 = unbounded); see
 	// overlay.Cache.SetPendingCap. The harness sets it only for compute
@@ -245,6 +263,15 @@ type MPD struct {
 	lc     lifecycle
 	tickFn func() // m.lifecycleTick, bound once so re-arming never allocates a closure
 	stats  Stats
+	// brk holds one circuit breaker per supernode address (lazy; nil
+	// until BreakerThreshold > 0 records an outcome). retrySeq holds
+	// one SplitMix64 jitter stream per retry target, separate from rng
+	// so enabling retries never perturbs the nonce/key draws — and
+	// per-target so membership-plane retries (whose count depends on
+	// the federation width) cannot shift the jitter that job-plane
+	// retries to compute hosts draw.
+	brk      map[string]*transport.Breaker
+	retrySeq map[string]uint64
 }
 
 // lifecycle is the daemon's periodic-work state: one pending timer
@@ -274,6 +301,11 @@ type Stats struct {
 	// (fostered); SNRedirects counts ShardRedirect answers followed.
 	SNFailovers int64
 	SNRedirects int64
+	// RPCRetries counts re-attempts the robustness layer issued (extra
+	// tries beyond each exchange's first); BreakerSkips counts supernode
+	// exchanges skipped because the member's circuit breaker was open.
+	RPCRetries   int64
+	BreakerSkips int64
 }
 
 // localJob is one hosted application on this peer.
@@ -579,6 +611,105 @@ func (m *MPD) supernodes() []string {
 	return append([]string{m.cfg.SupernodeAddr}, m.cfg.SupernodeFallbacks...)
 }
 
+// --- RPC robustness: seeded retries and per-supernode breakers ---
+
+// withRetry runs one RPC exchange under the daemon's retry policy:
+// retryable failures (transport.Retryable — timeouts and unreachable
+// listeners, never "peer gone") back off exponentially with seeded
+// jitter and re-try up to RPCRetries times. With RPCRetries == 0 it is
+// exactly fn() — no draws, no sleeps — so fault-free trajectories are
+// untouched.
+func (m *MPD) withRetry(addr string, fn func() error) error {
+	err := fn()
+	for k := 1; k <= m.cfg.RPCRetries && transport.Retryable(err); k++ {
+		m.rt.Sleep(m.retryDelay(addr, k))
+		m.mu.Lock()
+		m.stats.RPCRetries++
+		m.mu.Unlock()
+		err = fn()
+	}
+	return err
+}
+
+// retryDelay draws the backoff before re-attempt k (1-based) of an
+// exchange with addr: RPCBackoff·2^(k-1) scaled by uniform jitter in
+// [0.5, 1.5). Each target address owns an independent SplitMix64
+// stream seeded from (daemon seed, addr), so how often one target
+// needs retries never moves the jitter another target's retries draw —
+// the property that keeps job-plane trajectories identical whatever
+// the membership tier's shape.
+func (m *MPD) retryDelay(addr string, k int) time.Duration {
+	m.mu.Lock()
+	if m.retrySeq == nil {
+		m.retrySeq = make(map[string]uint64)
+	}
+	st, ok := m.retrySeq[addr]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(addr))
+		st = uint64(m.cfg.Seed) ^ h.Sum64() ^ 0x72747279 // "rtry"
+	}
+	st, u := splitmixStep(st)
+	m.retrySeq[addr] = st
+	m.mu.Unlock()
+	base := m.cfg.RPCBackoff
+	if base <= 0 {
+		base = time.Second
+	}
+	return time.Duration(float64(base<<uint(k-1)) * (0.5 + u))
+}
+
+// splitmixStep advances a SplitMix64 state and returns the new state
+// plus a uniform draw in [0, 1).
+func splitmixStep(x uint64) (uint64, float64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return x, float64(z>>11) / (1 << 53)
+}
+
+// snAllow consults the supernode's circuit breaker; a skipped member
+// is counted so experiments can meter how much probing the breaker
+// saved. Always true when the breaker is disabled.
+func (m *MPD) snAllow(sn string) bool {
+	if m.cfg.BreakerThreshold <= 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.brkLocked(sn).Allow(m.rt.Now()) {
+		return true
+	}
+	m.stats.BreakerSkips++
+	return false
+}
+
+// snRecord feeds one supernode exchange outcome into its breaker.
+func (m *MPD) snRecord(sn string, err error) {
+	if m.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.brkLocked(sn).Record(m.rt.Now(), err)
+	m.mu.Unlock()
+}
+
+func (m *MPD) brkLocked(sn string) *transport.Breaker {
+	if m.brk == nil {
+		m.brk = make(map[string]*transport.Breaker)
+	}
+	b := m.brk[sn]
+	if b == nil {
+		b = &transport.Breaker{Threshold: m.cfg.BreakerThreshold, Cooldown: m.cfg.BreakerCooldown}
+		m.brk[sn] = b
+	}
+	return b
+}
+
 // peerListPool recycles the scratch slices host-list replies decode
 // into: a refresh on a multi-thousand-host world is an O(world) reply,
 // and every daemon refreshes, so per-reply slices used to be a top
@@ -616,9 +747,18 @@ func (m *MPD) registerAndUpdate() error {
 	var lastErr error
 	federated := len(m.cfg.Federation) > 1
 	for i, sn := range m.supernodes() {
+		if !m.snAllow(sn) {
+			continue
+		}
 		forced := federated && i > 0
 		t0 := m.rt.Now()
-		reply, err := overlay.RegisterRaw(m.net, sn, m.cfg.Self, forced, m.cfg.ReserveTimeout)
+		var reply transport.Message
+		err := m.withRetry(sn, func() error {
+			var e error
+			reply, e = overlay.RegisterRaw(m.net, sn, m.cfg.Self, forced, m.cfg.ReserveTimeout)
+			return e
+		})
+		m.snRecord(sn, err)
 		if err == nil && proto.Peek(reply.Payload) == proto.TShardRedirect {
 			var rd proto.ShardRedirect
 			decErr := proto.DecodeInto(reply.Payload, &rd)
@@ -655,7 +795,16 @@ func (m *MPD) registerAndUpdate() error {
 func (m *MPD) fetchAndUpdate() error {
 	var lastErr error
 	for _, sn := range m.supernodes() {
-		reply, err := overlay.FetchRaw(m.net, sn, m.cfg.ReserveTimeout)
+		if !m.snAllow(sn) {
+			continue
+		}
+		var reply transport.Message
+		err := m.withRetry(sn, func() error {
+			var e error
+			reply, e = overlay.FetchRaw(m.net, sn, m.cfg.ReserveTimeout)
+			return e
+		})
+		m.snRecord(sn, err)
 		if err == nil {
 			if err = m.mergeReply(reply); err == nil {
 				return nil
@@ -675,7 +824,16 @@ func (m *MPD) fetchAndUpdate() error {
 // next full re-register tick.
 func (m *MPD) aliveAny() {
 	for _, sn := range m.supernodes() {
-		known, err := overlay.SendAlive(m.net, sn, m.cfg.Self.ID, m.cfg.ReserveTimeout)
+		if !m.snAllow(sn) {
+			continue
+		}
+		var known bool
+		err := m.withRetry(sn, func() error {
+			var e error
+			known, e = overlay.SendAlive(m.net, sn, m.cfg.Self.ID, m.cfg.ReserveTimeout)
+			return e
+		})
+		m.snRecord(sn, err)
 		if err != nil {
 			continue
 		}

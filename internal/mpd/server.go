@@ -100,6 +100,17 @@ func (m *MPD) handlePrepare(p *proto.Prepare) *proto.Ready {
 	nok := func(format string, args ...any) *proto.Ready {
 		return &proto.Ready{Key: p.Key, OK: false, Reason: fmt.Sprintf(format, args...)}
 	}
+	// Idempotency: a duplicate Prepare for a job already prepared here —
+	// a network-duplicated frame, or a submitter retry whose first Ready
+	// was lost — re-acks OK. Checked before key validation, because the
+	// first Prepare consumed the reservation and re-validating would
+	// wrongly fail the retry of a launch that actually succeeded.
+	m.mu.Lock()
+	if m.jobs[p.Key] != nil {
+		m.mu.Unlock()
+		return &proto.Ready{Key: p.Key, OK: true}
+	}
+	m.mu.Unlock()
 	if !m.rs.ValidateKey(p.Key) {
 		return nok("unknown or expired reservation key")
 	}
@@ -272,15 +283,36 @@ func (m *MPD) runJob(job *localJob) {
 	// completion report must still find the job alive, or the submitter
 	// could write off work that was actually delivered.
 	// (Fire-and-forget; the submitter times out if we are dead.)
-	if c, err := m.net.Dial(job.prep.SubmitterMPD); err == nil {
-		c.Send(transport.Message{Payload: proto.MustMarshal(done)})
-		c.Close()
+	payload := proto.MustMarshal(done)
+	sendDone := func() {
+		if c, err := m.net.Dial(job.prep.SubmitterMPD); err == nil {
+			c.Send(transport.Message{Payload: payload})
+			c.Close()
+		}
 	}
+	sendDone()
 
 	m.rs.Release(job.key)
 	m.mu.Lock()
 	delete(m.jobs, job.key)
 	m.mu.Unlock()
+
+	// JobDone is one-way, so under injected loss the single report can
+	// vanish and the submitter writes off a host that delivered. With
+	// retries enabled the report is blindly retransmitted on the same
+	// backoff schedule — no ack frame, no wire change; the submitter
+	// dedups by slot, so extra copies are no-ops.
+	if m.cfg.RPCRetries > 0 {
+		m.rt.Go("mpd.done."+m.cfg.Self.ID, func() {
+			for k := 1; k <= m.cfg.RPCRetries; k++ {
+				m.rt.Sleep(m.retryDelay(job.prep.SubmitterMPD, k))
+				if m.isClosed() {
+					return
+				}
+				sendDone()
+			}
+		})
+	}
 }
 
 // hostsJob reports whether this peer still hosts a live job with the

@@ -474,13 +474,21 @@ func (m *MPD) collectResults(spec JobSpec, jobID string, usedHosts []proto.PeerI
 		}
 	}
 
+	// writtenOff records hosts the detector declared lost, so that only
+	// a report from an actually written-off host retracts a loss — a
+	// merely duplicated JobDone (the host reported twice: network-level
+	// duplication, or a retransmit whose first copy arrived) must not
+	// decrement HostsLost for a write-off that never happened.
+	writtenOff := make(map[string]bool)
+
 	// ingest folds one completion report into the bookkeeping. A report
 	// from a host the detector already wrote off retracts the loss:
 	// delivered work counts, and the report itself proves the peer
 	// alive, so the write-off's cache eviction is reverted too.
 	ingest := func(d *proto.JobDone) {
 		if _, waiting := outstanding[d.HostID]; !waiting {
-			if co.failover.HostsLost > 0 && len(slotsByHost[d.HostID]) > 0 {
+			if writtenOff[d.HostID] {
+				delete(writtenOff, d.HostID)
 				co.failover.HostsLost--
 				if info, ok := hostInfo[d.HostID]; ok {
 					m.cache.Update([]proto.PeerInfo{info})
@@ -517,6 +525,17 @@ func (m *MPD) collectResults(spec JobSpec, jobID string, usedHosts []proto.PeerI
 	// randomization into the virtual timeline.
 	probeRound := func() (rankLost bool) {
 		ids := sortedHostIDs(outstanding)
+		// Capture each replica's incarnation epoch before soliciting
+		// heartbeats: an answer produced by a pre-failover incarnation
+		// (late, duplicated, or raced by a death declaration while the
+		// probes were in flight) then fails the epoch check in
+		// HeartbeatAt instead of resurrecting a written-off replica.
+		epochs := make(map[[2]int]uint64, len(ids))
+		for _, id := range ids {
+			for _, s := range slotsByHost[id] {
+				epochs[[2]int{s.Rank, s.Replica}] = groups[s.Rank].Epoch(s.Replica)
+			}
+		}
 		answers := m.probeHosts(ids, outstanding, jobID)
 		co.failover.Probes += len(ids)
 		// Completion reports that arrived while the probes were in
@@ -537,7 +556,7 @@ func (m *MPD) collectResults(spec JobSpec, jobID string, usedHosts []proto.PeerI
 			switch answers[id] {
 			case probeAlive:
 				for _, s := range slotsByHost[id] {
-					groups[s.Rank].HeartbeatFrom(s.Replica, now)
+					groups[s.Rank].HeartbeatAt(s.Replica, epochs[[2]int{s.Rank, s.Replica}], now)
 				}
 			case probeGone:
 				// The host answers but no longer knows the job: it
@@ -568,6 +587,7 @@ func (m *MPD) collectResults(spec JobSpec, jobID string, usedHosts []proto.PeerI
 				continue
 			}
 			delete(outstanding, id)
+			writtenOff[id] = true
 			co.failover.HostsLost++
 			m.cache.MarkDead(id)
 			for _, s := range slotsByHost[id] {
@@ -709,9 +729,17 @@ func (m *MPD) probeHosts(ids []string, hosts map[string]proto.PeerInfo, jobID st
 }
 
 // fanOutReady sends Prepare to every host and fails if any is not
-// Ready. A host that goes silent here died between the reservation and
-// the launch: it is marked dead in the cache so the re-booking retry a
-// scheduler issues does not select it again.
+// Ready. Error classification (the transport.Retryable audit): a
+// retryable failure — the exchange timed out or the listener was
+// briefly unreachable — is re-attempted under the daemon's retry
+// policy, because under a partition or gray link the host is alive and
+// handlePrepare is idempotent (a duplicate Prepare whose first Ready
+// was lost answers OK again). Only after the budget is exhausted, or
+// on a terminal "peer gone" error (transport.ErrClosed), is the host
+// marked dead in the cache so the re-booking retry a scheduler issues
+// does not select it again — at launch time a host that stays silent
+// through every retry is indistinguishable from a dead one, and the
+// cache entry is re-learned on the next refresh either way.
 func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 	type ans struct {
 		host string
@@ -724,8 +752,13 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 		h := h
 		m.rt.Go("mpd.prepare."+m.cfg.Self.ID, func() {
 			a := ans{host: h.ID}
-			reply, err := transport.RequestReply(m.net, h.MPDAddr,
-				transport.Message{Payload: proto.MustMarshal(prep)}, m.cfg.PrepareTimeout)
+			var reply transport.Message
+			err := m.withRetry(h.MPDAddr, func() error {
+				var e error
+				reply, e = transport.RequestReply(m.net, h.MPDAddr,
+					transport.Message{Payload: proto.MustMarshal(prep)}, m.cfg.PrepareTimeout)
+				return e
+			})
 			if err != nil {
 				a.dead, a.why = true, err.Error()
 			} else {
@@ -741,7 +774,7 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 	}
 	var firstErr error
 	for range hosts {
-		v, err := mb.PopTimeout(2*m.cfg.PrepareTimeout + 15*time.Second)
+		v, err := mb.PopTimeout(2*m.rpcDeadline(m.cfg.PrepareTimeout) + 15*time.Second)
 		if err != nil {
 			return fmt.Errorf("%w: prepare fan-out stalled", ErrLaunchFailed)
 		}
@@ -757,24 +790,46 @@ func (m *MPD) fanOutReady(hosts []proto.PeerInfo, prep *proto.Prepare) error {
 }
 
 // fanOutStart sends Start to every host and waits for the acks.
+// Retryable failures re-send under the daemon's retry policy —
+// handleStart is idempotent (a duplicate Start on a started job just
+// acks), so a lost StartAck cannot double-launch.
 func (m *MPD) fanOutStart(hosts []proto.PeerInfo, key string) error {
 	mb := m.rt.NewMailbox()
 	for _, h := range hosts {
 		h := h
 		m.rt.Go("mpd.start."+m.cfg.Self.ID, func() {
-			_, err := transport.RequestReply(m.net, h.MPDAddr,
-				transport.Message{Payload: proto.MustMarshal(&proto.Start{Key: key})},
-				m.cfg.StartTimeout)
+			err := m.withRetry(h.MPDAddr, func() error {
+				_, e := transport.RequestReply(m.net, h.MPDAddr,
+					transport.Message{Payload: proto.MustMarshal(&proto.Start{Key: key})},
+					m.cfg.StartTimeout)
+				return e
+			})
 			mb.Push(err == nil)
 		})
 	}
 	for range hosts {
-		v, err := mb.PopTimeout(2*m.cfg.StartTimeout + 15*time.Second)
+		v, err := mb.PopTimeout(2*m.rpcDeadline(m.cfg.StartTimeout) + 15*time.Second)
 		if err != nil || !v.(bool) {
 			return fmt.Errorf("%w: start fan-out failed", ErrLaunchFailed)
 		}
 	}
 	return nil
+}
+
+// rpcDeadline bounds one retried exchange for fan-out stall timers:
+// every attempt's timeout plus the largest possible backoff sequence.
+// Identical to the bare timeout when retries are off.
+func (m *MPD) rpcDeadline(timeout time.Duration) time.Duration {
+	r := m.cfg.RPCRetries
+	if r <= 0 {
+		return timeout
+	}
+	base := m.cfg.RPCBackoff
+	if base <= 0 {
+		base = time.Second
+	}
+	maxBackoff := time.Duration(1.5 * float64(base) * float64((uint64(1)<<uint(r))-1))
+	return time.Duration(r+1)*timeout + maxBackoff
 }
 
 // cancelLaunch unwinds one host after a failed launch phase: the RS

@@ -697,6 +697,22 @@ func (s *Supernode) gossipWith(shard int) {
 	s.mu.Unlock()
 }
 
+// KnownVersions returns the freshest version this member knows per
+// federation shard, or nil when standalone. Element-wise equality of
+// every member's vector is the anti-entropy convergence predicate: the
+// healing watcher of the nemesis experiments polls it to timestamp the
+// instant a split federation has re-converged.
+func (s *Supernode) KnownVersions() []uint64 {
+	if !s.cfg.federated() {
+		return nil
+	}
+	v := make([]uint64, len(s.cfg.Federation))
+	s.mu.Lock()
+	s.knownVersionsLocked(v)
+	s.mu.Unlock()
+	return v
+}
+
 // knownVersionsLocked fills v with the freshest version this member
 // knows per shard.
 func (s *Supernode) knownVersionsLocked(v []uint64) {

@@ -10,6 +10,12 @@ type Group struct {
 
 	alive  []bool
 	lastHB []time.Time
+	// epoch counts death declarations per replica — an incarnation
+	// fence. Heartbeat observations solicited before a declaration
+	// carry the old epoch and HeartbeatAt rejects them, so a late or
+	// duplicated answer from a pre-failover incarnation cannot
+	// resurrect a replica the detector already wrote off.
+	epoch []uint64
 }
 
 // NewGroup creates the state machine for a group of r replicas, of which
@@ -43,6 +49,7 @@ func newGroup(r, self int, failTimeout time.Duration, now time.Time) *Group {
 		failTimeout: failTimeout,
 		alive:       make([]bool, r),
 		lastHB:      make([]time.Time, r),
+		epoch:       make([]uint64, r),
 	}
 	for i := range g.alive {
 		g.alive[i] = true
@@ -59,9 +66,34 @@ func (g *Group) Degree() int { return g.r }
 
 // HeartbeatFrom records a heartbeat observation from a replica. A
 // heartbeat resurrects a falsely suspected member (the detector is not
-// perfect; transmission-level dedup keeps that safe).
+// perfect; transmission-level dedup keeps that safe). Callers that
+// solicit heartbeats asynchronously should capture Epoch before the
+// probe and feed the answer through HeartbeatAt instead, so answers
+// from a pre-failover incarnation are fenced out.
 func (g *Group) HeartbeatFrom(idx int, now time.Time) {
 	if idx < 0 || idx >= g.r {
+		return
+	}
+	g.alive[idx] = true
+	g.lastHB[idx] = now
+}
+
+// Epoch returns a replica's current incarnation number: it advances on
+// every death declaration (MarkDead, Suspect).
+func (g *Group) Epoch(idx int) uint64 {
+	if idx < 0 || idx >= g.r {
+		return 0
+	}
+	return g.epoch[idx]
+}
+
+// HeartbeatAt records a heartbeat solicited while the replica was at
+// the given epoch. A stale epoch means the probe predates a death
+// declaration — the answer may come from the failed incarnation (a
+// late or duplicated JobPong), so it is dropped rather than allowed to
+// resurrect the member.
+func (g *Group) HeartbeatAt(idx int, epoch uint64, now time.Time) {
+	if idx < 0 || idx >= g.r || g.epoch[idx] != epoch {
 		return
 	}
 	g.alive[idx] = true
@@ -71,8 +103,9 @@ func (g *Group) HeartbeatFrom(idx int, now time.Time) {
 // MarkDead declares a replica permanently failed (e.g. its host was
 // reported down by the middleware).
 func (g *Group) MarkDead(idx int) {
-	if idx >= 0 && idx < g.r {
+	if idx >= 0 && idx < g.r && g.alive[idx] {
 		g.alive[idx] = false
+		g.epoch[idx]++
 	}
 }
 
@@ -87,6 +120,7 @@ func (g *Group) Suspect(now time.Time) []int {
 		}
 		if g.lastHB[i].Before(cutoff) {
 			g.alive[i] = false
+			g.epoch[i]++
 			suspected = append(suspected, i)
 		}
 	}

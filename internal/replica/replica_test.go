@@ -104,3 +104,45 @@ func TestConstructorValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestEpochFencesStaleHeartbeats(t *testing.T) {
+	g := NewMonitor(2, time.Second, t0)
+	if g.Epoch(1) != 0 {
+		t.Fatalf("fresh epoch = %d", g.Epoch(1))
+	}
+	// A probe launched now carries epoch 0; the replica dies before the
+	// answer lands.
+	probeEpoch := g.Epoch(1)
+	g.MarkDead(1)
+	if g.Epoch(1) != 1 {
+		t.Fatalf("epoch after MarkDead = %d, want 1", g.Epoch(1))
+	}
+	g.HeartbeatAt(1, probeEpoch, t0.Add(time.Second))
+	if g.Alive(1) {
+		t.Fatal("stale-epoch heartbeat resurrected a written-off replica")
+	}
+	// A current-epoch heartbeat (fresh incarnation confirmed alive) does
+	// land.
+	g.HeartbeatAt(1, g.Epoch(1), t0.Add(2*time.Second))
+	if !g.Alive(1) {
+		t.Fatal("current-epoch heartbeat was dropped")
+	}
+}
+
+func TestEpochAdvancesOnSuspect(t *testing.T) {
+	g := NewMonitor(2, time.Second, t0)
+	g.Suspect(t0.Add(5 * time.Second)) // both stale
+	if g.Epoch(0) != 1 || g.Epoch(1) != 1 {
+		t.Fatalf("epochs after Suspect = %d,%d, want 1,1", g.Epoch(0), g.Epoch(1))
+	}
+	// Re-declaring an already-dead member must not advance the epoch
+	// (one death, one fence).
+	g.MarkDead(0)
+	g.Suspect(t0.Add(10 * time.Second))
+	if g.Epoch(0) != 1 {
+		t.Fatalf("epoch re-advanced on an already-dead member: %d", g.Epoch(0))
+	}
+	if g.Epoch(99) != 0 {
+		t.Fatal("out-of-range epoch must read 0")
+	}
+}

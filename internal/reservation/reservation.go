@@ -176,6 +176,13 @@ func (s *Service) handleReserve(r *proto.Reserve) any {
 		return &proto.ReserveNOK{Key: r.Key, Reason: ReasonDenied}
 	}
 	s.expireLocked()
+	// A duplicated Reserve frame (network-level duplication, or a retry
+	// whose first copy was answered) for a key already consumed into a
+	// running application is acknowledged without re-holding it — the
+	// stale copy must not leak a hold that blocks the J slot until TTL.
+	if _, run := s.running[r.Key]; run {
+		return &proto.ReserveOK{Key: r.Key, P: s.cfg.P}
+	}
 	// The J limit counts applications: running ones plus distinct held
 	// reservations. Re-reserving with the same key refreshes the hold.
 	if _, refresh := s.held[r.Key]; !refresh {

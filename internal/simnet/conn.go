@@ -77,6 +77,9 @@ func (nn *nodeNet) Dial(addr string) (transport.Conn, error) {
 	// sequence). See flowKey for why.
 	rt := from.sh.rt
 	rng, _ := from.sh.flowRNG(n.cfg.Seed, flowKey{from: nn.host, to: rhost, port: rport})
+	if fa := n.faults; fa != nil && fa.cut(from.site, to.site) {
+		return dialCut(n, rt, rng, from, to)
+	}
 	// SYN travels one way; the handshake result travels back. The dialer
 	// observes a full round trip before Dial returns, like TCP.
 	synArrival := n.planDelivery(rng, from, to, 64)
@@ -117,6 +120,9 @@ func (nn *nodeNet) dialCross(from, to *netHost, rhost, rport string) (transport.
 	n := nn.n
 	sh := from.sh
 	rng, src := sh.flowRNG(n.cfg.Seed, flowKey{from: nn.host, to: rhost, port: rport})
+	if fa := n.faults; fa != nil && fa.cut(from.site, to.site) {
+		return dialCut(n, sh.rt, rng, from, to)
+	}
 	now := sh.rt.Elapsed()
 	partial := from.nicOut.reserve(now, 64)
 	jit := n.jitter(rng, n.topo.SiteLatency(from.site, to.site))
@@ -130,6 +136,27 @@ func (nn *nodeNet) dialCross(from, to *netHost, rhost, rport string) (transport.
 		kind: xDial, at: now, rank: from.rank, size: 64,
 		partial: partial, jit: jit, state: src.state,
 		from: from, to: to, port: rport, local: local, resultq: resultq,
+	})
+	r, ok := resultq.Pop()
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return r.c, r.err
+}
+
+// dialCut fails a dial across an active partition cut: ErrUnreachable
+// after one noisy round trip, the time an RST (or the dialer's own SYN
+// give-up) would take. Runs entirely on the dialer's shard in both
+// engines — no reservations, no cross traffic — and consumes exactly
+// one jitter draw from the freshly minted flow stream, so the sharded
+// and sequential engines advance identically. The flow stream dies with
+// the failed dial, so its draw count perturbs no other flow.
+func dialCut(n *Net, rt *vtime.Scheduler, rng *rand.Rand, from, to *netHost) (transport.Conn, error) {
+	base := n.topo.SiteLatency(from.site, to.site)
+	rtt := 2*base + n.jitter(rng, base)
+	resultq := vtime.NewQueue[dialResult](rt)
+	rt.Schedule(rtt, func() {
+		resultq.Push(dialResult{err: transport.ErrUnreachable})
 	})
 	r, ok := resultq.Pop()
 	if !ok {
@@ -242,15 +269,15 @@ type connPair struct {
 // The host, pipe and base-latency pointers are resolved once at
 // connection setup, so the per-message path does no map lookups at all.
 type conn struct {
-	n           *Net
-	local       string
-	remote      string
-	lh          *netHost    // local endpoint host
-	rh          *netHost    // remote endpoint host
-	sh          *netShard   // local endpoint's shard state
-	pipe        *serializer // backbone pipe between the two sites
-	base        time.Duration
-	rng         *rand.Rand // the flow's jitter stream (shared with peer
+	n      *Net
+	local  string
+	remote string
+	lh     *netHost    // local endpoint host
+	rh     *netHost    // remote endpoint host
+	sh     *netShard   // local endpoint's shard state
+	pipe   *serializer // backbone pipe between the two sites
+	base   time.Duration
+	rng    *rand.Rand // the flow's jitter stream (shared with peer
 	//                        when same-shard; per-endpoint when cross)
 	src         *flowSource // cross only: this endpoint's stream state
 	inbox       *vtime.Queue[transport.Message]
@@ -304,8 +331,8 @@ type delivery struct {
 	sh    *netShard // owning (receiving) shard's free list
 	peer  *conn
 	msg   transport.Message
-	state uint64 // cross only: sender's flow-stream state to adopt
-	sync  bool   // cross only: apply state on delivery
+	state uint64    // cross only: sender's flow-stream state to adopt
+	sync  bool      // cross only: apply state on delivery
 	next  *delivery // free-list link
 }
 
@@ -370,11 +397,28 @@ func (c *conn) Send(m transport.Message) error {
 		// toward a dead host; the sender learns via higher-level timeout.
 		return nil
 	}
+	fa := n.faults
+	if fa != nil && fa.cut(c.lh.site, c.rh.site) {
+		// A partition swallows the frame before it reserves anything;
+		// the sender learns via higher-level timeout, like rh.down.
+		return nil
+	}
 	arrival := n.plan(c.rng, c.lh, c.rh, c.pipe, c.base, m.Size()+frameOverhead)
+	var dropped, dup bool
+	var dupDelay time.Duration
+	if fa != nil {
+		arrival += fa.slowExtra(c.lh, c.rh, c.base)
+		dropped, dup, dupDelay = fa.frameFate(c.rng, c.lh, c.rh)
+	}
 	if arrival <= c.lastArrival {
 		arrival = c.lastArrival + time.Nanosecond
 	}
 	c.lastArrival = arrival
+	if dropped {
+		// The frame paid its reservations and advanced the FIFO clamp;
+		// only its delivery vanishes (determinism rule 2, faults.go).
+		return nil
+	}
 
 	// Copy the payload — the sender may reuse its buffer immediately —
 	// into a pooled buffer that the receiver's Release recycles.
@@ -388,6 +432,20 @@ func (c *conn) Send(m transport.Message) error {
 	d.peer = c.peer
 	d.msg = transport.Pooled(cp, m.Virtual, &sh.bufPool)
 	sh.rt.ScheduleArg(arrival-sh.rt.Elapsed(), fireDelivery, d)
+	if dup {
+		// The duplicate is its own copy (pooled buffers are released per
+		// delivery) and skips the lastArrival clamp: it lands dupDelay
+		// after the original, unordered against later frames.
+		var cp2 []byte
+		if len(m.Payload) > 0 {
+			cp2 = sh.bufPool.Get(len(m.Payload))
+			copy(cp2, m.Payload)
+		}
+		d2 := sh.getDelivery()
+		d2.peer = c.peer
+		d2.msg = transport.Pooled(cp2, m.Virtual, &sh.bufPool)
+		sh.rt.ScheduleArg(arrival+dupDelay-sh.rt.Elapsed(), fireDelivery, d2)
+	}
 	return nil
 }
 
@@ -401,21 +459,37 @@ func (c *conn) sendCross(m transport.Message) error {
 		return nil
 	}
 	n, sh := c.n, c.sh
+	fa := n.faults
+	if fa != nil && fa.cut(c.lh.site, c.rh.site) {
+		return nil // mirrors the sequential cut check: nothing reserved, nothing drawn
+	}
 	now := sh.rt.Elapsed()
 	size := m.Size() + frameOverhead
 	partial := c.lh.nicOut.reserve(now, size)
 	jit := n.jitter(c.rng, c.base)
+	// Fault draws follow the jitter draw, the same stream order the
+	// sequential path uses, and precede the state capture below so the
+	// receiver adopts the post-draw stream position.
+	var dropped, dup bool
+	var dupDelay time.Duration
+	if fa != nil {
+		jit += fa.slowExtra(c.lh, c.rh, c.base)
+		dropped, dup, dupDelay = fa.frameFate(c.rng, c.lh, c.rh)
+	}
 	// The payload copy comes from the sender shard's pool and is
 	// released into the receiver shard's pool after delivery — capacity
 	// migrates along traffic, each pool still touched by one shard only.
+	// A dropped frame ships no payload: it exists only to replay its
+	// reservations at the merge.
 	var cp []byte
-	if len(m.Payload) > 0 {
+	if !dropped && len(m.Payload) > 0 {
 		cp = sh.bufPool.Get(len(m.Payload))
 		copy(cp, m.Payload)
 	}
 	sh.emit(xmsg{
 		kind: xSend, at: now, rank: c.lh.rank, size: size,
 		partial: partial, jit: jit, state: c.src.state,
+		drop: dropped, dup: dup, dupDelay: dupDelay,
 		c: c, msg: transport.Message{Payload: cp, Virtual: m.Virtual},
 	})
 	return nil

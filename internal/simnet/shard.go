@@ -170,6 +170,15 @@ type xmsg struct {
 	jit     time.Duration // jitter, drawn at emission from the flow stream
 	state   uint64        // flow-stream state after the sender's draws
 
+	// Fault outcomes, drawn at emission (xSend only). A dropped frame
+	// still crosses so the merge replays its reservations and FIFO
+	// clamp; only its delivery is suppressed (determinism rule 2,
+	// faults.go). A duplicated frame schedules a second delivery
+	// dupDelay after the first, outside the FIFO clamp.
+	drop     bool
+	dup      bool
+	dupDelay time.Duration
+
 	c *conn // xSend/xFin: the *sender's* endpoint
 
 	// handshake fields
@@ -339,6 +348,9 @@ func (n *Net) applyCross(x *xmsg) {
 			arrival = c.lastArrival + time.Nanosecond
 		}
 		c.lastArrival = arrival
+		if x.drop {
+			return // reservations and the FIFO clamp stand; delivery vanishes
+		}
 		now := dst.rt.Elapsed()
 		n.horizonCheck("frame", x.at, arrival, now)
 		d := dst.getDelivery()
@@ -347,6 +359,21 @@ func (n *Net) applyCross(x *xmsg) {
 		d.state = x.state
 		d.sync = true
 		dst.rt.ScheduleArg(arrival-now, fireDelivery, d)
+		if x.dup {
+			// The duplicate gets its own pooled copy (per-delivery
+			// Release) on the receiving shard and does not sync the flow
+			// stream — by the time it lands, later frames may already
+			// have advanced the receiver's state past x.state.
+			var cp []byte
+			if len(x.msg.Payload) > 0 {
+				cp = dst.bufPool.Get(len(x.msg.Payload))
+				copy(cp, x.msg.Payload)
+			}
+			d2 := dst.getDelivery()
+			d2.peer = peer
+			d2.msg = transport.Pooled(cp, x.msg.Virtual, &dst.bufPool)
+			dst.rt.ScheduleArg(arrival+x.dupDelay-now, fireDelivery, d2)
+		}
 
 	case xDial:
 		from, to := x.from, x.to

@@ -72,7 +72,8 @@ type Net struct {
 
 	sh       []*netShard // per-shard mutable state; len 1 when unsharded
 	sharded  bool
-	check    bool // panic on lookahead/causality violations (VTIME_CHECK)
+	check    bool        // panic on lookahead/causality violations (VTIME_CHECK)
+	faults   *faultState // nil until a Set* fault API is used; see faults.go
 	hosts    map[string]*netHost
 	pipes    map[sitePair]*serializer
 	nextRank int
