@@ -135,8 +135,17 @@ func main() {
 	skew := flag.Float64("skew", 0, "open: Zipf skew of the tenants' rate shares (0 = equal)")
 	priLevels := flag.Int("prilevels", 1, "open: admission priority levels stratified over the tenants")
 	duration := flag.String("duration", "", "open: arrival horizon (seconds or Go duration, required)")
-	warmup := flag.String("warmup", "0", "open: leading transient excluded from statistics (0 = duration/10, negative = none)")
+	warmup := flag.String("warmup", "auto", "open: leading transient excluded from statistics (auto = duration/10, 0 = none)")
 	maxSubs := flag.Int("maxsubs", 0, "open: cap the submission trace per point (0 = uncapped)")
+	nMin := flag.Int("nmin", 0, "open: minimum processes per submission (0 = workload default)")
+	nMax := flag.Int("nmax", 0, "open: maximum processes per submission (0 = workload default)")
+	durMin := flag.Float64("durmin", 0, "open: minimum job service time (virtual seconds; 0 = workload default)")
+	durMax := flag.Float64("durmax", 0, "open: maximum job service time (virtual seconds; 0 = workload default)")
+	quota := flag.Float64("quota", 0, "open: per-tenant quota accrual rate (slot-seconds per virtual second; 0 disables quotas)")
+	quotaBurst := flag.Float64("quotaburst", 0, "open: quota bucket cap (slot-seconds; 0 = one hour at -quota)")
+	preempt := flag.Bool("preempt", false, "open: let starved in-budget higher-priority jobs evict over-budget lower-priority running jobs")
+	inflight := flag.Int("inflight", 0, "open: scheduler worker pool — max concurrent in-flight jobs per point (0 = default 8; size to arrival-rate × service time or the backlog grows)")
+	deadline := flag.String("deadline", "", "open: comma-separated per-priority-class deadline factors, highest class first (deadline = arrival + factor×service; last entry reused; empty disables SLO tracking)")
 	faultsSpec := flag.String("faults", "", "nemesis: fault-model spec (part:mtbf=10m,split=1;link:loss=0.1,mult=2;gray:frac=0.1,mtbf=5m;dup:p=0.01); -loss/-partdur override its link-loss and partition-duration values as swept axes")
 	lossAxis := flag.String("loss", "", "nemesis: comma-separated cross-site drop-probability axis (e.g. 0,0.1,0.3)")
 	partDur := flag.String("partdur", "", "nemesis: comma-separated mean partition duration axis (seconds or Go durations; 0 = no partitions at that point)")
@@ -439,18 +448,39 @@ func main() {
 			return d
 		}
 		durationD := durFlag("duration", *duration)
-		warmupD := durFlag("warmup", *warmup)
+		// "auto" keeps the duration/10 transient cut; an explicit value —
+		// including 0 — means exactly that value.
+		warmupD := exp.WarmupAuto
+		if *warmup != "auto" {
+			warmupD = durFlag("warmup", *warmup)
+		}
+		var deadlines []float64
+		if *deadline != "" {
+			if deadlines, err = parseFloats(*deadline); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -deadline: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		cfg := exp.OpenConfig{
-			Base:           topo,
-			Strategies:     strategies,
-			Arrival:        spec,
-			Tenants:        *tenants,
-			TenantSkew:     *skew,
-			PriorityLevels: *priLevels,
-			Duration:       durationD,
-			Warmup:         warmupD,
-			R:              *r,
-			MaxSubmissions: *maxSubs,
+			Base:            topo,
+			Strategies:      strategies,
+			Arrival:         spec,
+			Tenants:         *tenants,
+			TenantSkew:      *skew,
+			PriorityLevels:  *priLevels,
+			Duration:        durationD,
+			Warmup:          warmupD,
+			R:               *r,
+			MaxSubmissions:  *maxSubs,
+			Workers:         *inflight,
+			NMin:            *nMin,
+			NMax:            *nMax,
+			DurMin:          *durMin,
+			DurMax:          *durMax,
+			QuotaRate:       *quota,
+			QuotaBurst:      *quotaBurst,
+			Preempt:         *preempt,
+			DeadlineFactors: deadlines,
 		}
 		// A single -mtbf value composes host churn with the open workload.
 		if *mtbf != "" {

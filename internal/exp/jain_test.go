@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestJainSparseTenants property-tests the fairness accumulator against
+// adversarial tenant ids: the accumulator is sized low on purpose, ids
+// arrive sparse and far out of range, and negative ids are the only
+// ones dropped. The index must match a reference computed over exactly
+// the non-negative ids and stay within Jain's (0, 1] range whenever any
+// tenant measured.
+func TestJainSparseTenants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		a := newOpenAccum(2) // deliberately undersized
+		maxID := -1
+		sums := map[int]float64{}
+		counts := map[int]int64{}
+		for _, r := range raw {
+			tenant := int(r%67) - 5 // ids in [-5, 61], mostly out of range
+			slow := 1 + float64(r%13)
+			a.observe(tenant, 2, 0.5, slow, 30, false)
+			if tenant >= 0 {
+				sums[tenant] += slow
+				counts[tenant]++
+				if tenant > maxID {
+					maxID = tenant
+				}
+			}
+		}
+		// Reference Jain over the per-tenant means, folded in the same
+		// ascending-id order as the accumulator's dense slices.
+		var sum, sumSq float64
+		n := 0
+		for id := 0; id <= maxID; id++ {
+			if counts[id] == 0 {
+				continue
+			}
+			mean := sums[id] / float64(counts[id])
+			sum += mean
+			sumSq += mean * mean
+			n++
+		}
+		want := 0.0
+		if n > 0 && sumSq > 0 {
+			want = sum * sum / (float64(n) * sumSq)
+		}
+		got := a.jain()
+		if math.Abs(got-want) > 1e-12 {
+			t.Logf("jain = %g, reference = %g over %d tenants", got, want, n)
+			return false
+		}
+		if n > 0 && (got <= 0 || got > 1+1e-12) {
+			t.Logf("jain = %g outside (0, 1] with %d tenants measured", got, n)
+			return false
+		}
+		return n > 0 || got == 0 // nothing measured -> index must be 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned edge cases the generator may not hit.
+	a := newOpenAccum(1)
+	if a.jain() != 0 {
+		t.Errorf("empty accumulator jain = %g, want 0", a.jain())
+	}
+	a.observe(-3, 2, 0, 2, 30, false) // negative id: dropped
+	if a.jain() != 0 {
+		t.Errorf("negative-id-only jain = %g, want 0", a.jain())
+	}
+	a.observe(40, 2, 0, 2, 30, false) // single live tenant, far out of range
+	if a.jain() != 1 {
+		t.Errorf("single-tenant jain = %g, want exactly 1", a.jain())
+	}
+}

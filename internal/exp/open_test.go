@@ -6,10 +6,12 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"p2pmpi/internal/core"
+	"p2pmpi/internal/grid"
 	"p2pmpi/internal/sched"
 	"p2pmpi/internal/stats"
 	"p2pmpi/internal/workload"
@@ -28,9 +30,16 @@ func openGoldenConfig(t *testing.T) OpenConfig {
 		TenantSkew:     1,
 		PriorityLevels: 2,
 		Duration:       40 * time.Minute,
-		DurMin:         15, DurMax: 120, // short jobs keep the pump cheap
+		// WarmupAuto pins the historical Duration/10 transient cut (an
+		// unset Warmup now means "measure from t=0").
+		Warmup: WarmupAuto,
+		DurMin: 15, DurMax: 120, // short jobs keep the pump cheap
 		NMin: 2, NMax: 8,
 		Workers: 4,
+		// Deadlines are pure measurement — derived from draws the trace
+		// already makes — so pinning SLO attainment and tardiness here
+		// costs nothing in golden churn.
+		DeadlineFactors: []float64{8, 4},
 	}
 }
 
@@ -67,6 +76,52 @@ func TestGoldenOpenTrace(t *testing.T) {
 		}
 	}
 	goldenCompare(t, "golden_open.csv", first)
+}
+
+// TestOpenWarmupSemantics pins the warm-up sentinel contract: only
+// WarmupAuto picks the Duration/10 default. An explicit zero used to be
+// silently rewritten to Duration/10 — the zero value was
+// indistinguishable from "unset" — which made a deliberate
+// measure-from-t=0 sweep impossible to request.
+func TestOpenWarmupSemantics(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		in   time.Duration
+		want time.Duration
+	}{
+		{"auto picks a tenth", WarmupAuto, 6 * time.Minute},
+		{"explicit zero means zero", 0, 0},
+		{"other negatives mean zero", -5 * time.Second, 0},
+		{"explicit value passes through", 90 * time.Second, 90 * time.Second},
+	} {
+		cfg := OpenConfig{
+			Arrival:  workload.ArrivalSpec{Kind: workload.ArrivalPoisson, Rate: 1},
+			Duration: time.Hour,
+			Warmup:   c.in,
+		}
+		if err := cfg.fillDefaults(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if cfg.Warmup != c.want {
+			t.Errorf("%s: warmup = %v, want %v", c.name, cfg.Warmup, c.want)
+		}
+	}
+
+	// End to end: a zero-warm-up point measures every submission.
+	cfg := openGoldenConfig(t)
+	cfg.Strategies = []core.Strategy{core.Spread}
+	cfg.Duration = 10 * time.Minute
+	cfg.Warmup = 0
+	pt, err := RunOpen(DefaultOptions(42), cfg, core.Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.WarmupSeconds != 0 {
+		t.Errorf("point reports warmup %.0fs, want 0", pt.WarmupSeconds)
+	}
+	if pt.Measured != pt.Submitted {
+		t.Errorf("zero warm-up measured %d of %d submissions", pt.Measured, pt.Submitted)
+	}
 }
 
 // TestOpenSketchVsExact holds the streaming path to the acceptance
@@ -167,6 +222,211 @@ func TestOpenChurnShardRace(t *testing.T) {
 	}
 }
 
+// TestGoldenOpenSLO pins the SLO-aware multi-tenant tier end to end:
+// token-bucket quotas throttling the heavy tenant at admission, the
+// preemption primitive checkpoint-killing over-budget running work to
+// make room for in-budget jobs, and deadline attainment/tardiness
+// folding through the t-digests. One committed byte string across
+// worker counts and shard counts — four runs — so quota accrual, victim
+// choice and the kill/release path are all deterministic under
+// parallel execution.
+func TestGoldenOpenSLO(t *testing.T) {
+	cfg := openGoldenConfig(t)
+	cfg.Arrival = workload.ArrivalSpec{
+		Kind: workload.ArrivalWeekly, Peak: 0.1, Trough: 0.025,
+		Period: 70 * time.Minute,
+	}
+	cfg.Duration = 50 * time.Minute
+	cfg.NMin, cfg.NMax = 4, 16
+	cfg.DurMin, cfg.DurMax = 30, 240
+	cfg.Workers = 8 // enough in-flight admission to saturate the 48 procs
+	// Inverted skew: premium low-volume tenants hold the high priority
+	// class while the bulk batch tenant (tenant 2, lowest priority)
+	// carries half the arrival rate — the configuration where quota
+	// enforcement and preemption actually bite, since the over-budget
+	// tenant's running jobs are outranked by in-budget submitters.
+	cfg.TenantSkew = -1
+	cfg.QuotaRate = 8
+	// A small burst (about one mid-size job) makes budget state move on
+	// the test's 50-minute horizon; the default hour of accrual would
+	// keep every bucket positive for the whole run.
+	cfg.QuotaBurst = 300
+	cfg.Preempt = true
+	cfg.DeadlineFactors = []float64{6, 3}
+
+	var first, firstLabel string
+	var firstPts []OpenPoint
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			opts := DefaultOptions(7)
+			opts.Supernodes = 4
+			opts.Shards = shards
+			pts, err := OpenSweep(opts, cfg, workers)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			csv := OpenPointsCSV(pts)
+			label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			if first == "" {
+				first, firstLabel, firstPts = csv, label, pts
+				continue
+			}
+			if csv != first {
+				t.Fatalf("%s diverged from %s:\n--- first ---\n%s--- this run ---\n%s",
+					label, firstLabel, first, csv)
+			}
+		}
+	}
+	// The golden is only worth committing if it actually exercises the
+	// tier: quotas must throttle, preemption must fire, and deadlines
+	// must split into met and missed.
+	var preempted int
+	var throttled, slo bool
+	for _, p := range firstPts {
+		preempted += p.Preemptions
+		throttled = throttled || p.QuotaThrottleRate > 0
+		slo = slo || (p.SLOAttainment > 0 && p.SLOAttainment < 1)
+	}
+	if preempted == 0 {
+		t.Error("no preemptions fired — the golden does not cover the kill path")
+	}
+	if !throttled {
+		t.Error("quota never throttled — the golden does not cover two-class admission")
+	}
+	if !slo {
+		t.Error("SLO attainment degenerate — the golden does not cover deadline metrics")
+	}
+	goldenCompare(t, "golden_slo.csv", first)
+}
+
+// TestOpenPreemptChurnShardRace composes preemption and quotas with
+// host churn on a sharded world under the race detector: kills racing
+// crashes, revivals and the failure detector. Per-job outcomes and the
+// rendered point must match the single-shard run byte for byte — which
+// also pins reservation release as exactly-once, since a double or
+// dropped release would skew capacity and diverge (or stall) one of the
+// runs. RunOpen itself enforces submitted == completed.
+func TestOpenPreemptChurnShardRace(t *testing.T) {
+	t.Setenv("VTIME_CHECK", "1")
+	cfg := openGoldenConfig(t)
+	cfg.Strategies = []core.Strategy{core.Spread}
+	cfg.Arrival = workload.ArrivalSpec{Kind: workload.ArrivalPoisson, Rate: 0.05}
+	cfg.Duration = 40 * time.Minute
+	cfg.NMin, cfg.NMax = 4, 12
+	cfg.DurMin, cfg.DurMax = 30, 240
+	cfg.Workers = 8
+	// Same inverted-skew shape as TestGoldenOpenSLO: the bulk tenant
+	// overdraws its small burst while premium tenants stay in budget
+	// and preempt it.
+	cfg.TenantSkew = -1
+	cfg.QuotaRate = 5
+	cfg.QuotaBurst = 300
+	cfg.Preempt = true
+	// Mild churn: heavy churn makes jobs fail on missing peers before
+	// the ledger ever saturates, and preemption only triggers on
+	// saturation. ~10% of hosts down keeps the world tight but placeable.
+	cfg.MTBF = 20 * time.Minute
+	cfg.MTTR = 2 * time.Minute
+	cfg.Detect = 5 * time.Second
+
+	run := func(shards int) (string, []string, OpenPoint) {
+		c := cfg
+		var lines []string
+		c.observe = func(j *sched.Job, sub workload.Submission) {
+			lines = append(lines, fmt.Sprintf("%d|%d|%d|%s", sub.Seq, sub.Tenant, sub.Priority, jobLine(j)))
+		}
+		opts := DefaultOptions(99)
+		opts.Supernodes = 4
+		opts.Shards = shards
+		pt, err := RunOpen(opts, c, core.Spread)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return OpenPointsCSV([]OpenPoint{pt}), lines, pt
+	}
+
+	seqCSV, seqLines, seqPt := run(1)
+	shCSV, shLines, _ := run(4)
+	if seqPt.Preemptions < 1 {
+		t.Fatalf("no preemptions under churn: the composition is untested")
+	}
+	if seqPt.FailuresInjected < 5 {
+		t.Fatalf("churn too light to mean anything: %d failures", seqPt.FailuresInjected)
+	}
+	if shCSV != seqCSV {
+		t.Fatalf("open point diverged:\n--- seq ---\n%s--- sharded ---\n%s", seqCSV, shCSV)
+	}
+	if len(shLines) != len(seqLines) {
+		t.Fatalf("job count diverged: %d vs %d", len(seqLines), len(shLines))
+	}
+	for i := range seqLines {
+		if shLines[i] != seqLines[i] {
+			t.Fatalf("job %d diverged:\nseq:     %s\nsharded: %s", i, seqLines[i], shLines[i])
+		}
+	}
+}
+
+// weekReplayConfig assembles a Grid'5000-grounded week: the weekly
+// arrival curve (weekday plateau, weekend trough) over a 168h horizon,
+// small heavy-tailed jobs on a 128-host world, deadlines on every
+// priority class.
+func weekReplayConfig(t *testing.T, peak float64, maxSubs int) (Options, OpenConfig) {
+	t.Helper()
+	spec, err := grid.ParseTopologySpec("synth:S=4,H=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OpenConfig{
+		Base:       spec,
+		Strategies: []core.Strategy{core.Spread},
+		Arrival: workload.ArrivalSpec{
+			Kind: workload.ArrivalWeekly, Peak: peak, Trough: peak / 5,
+		},
+		Tenants:        8,
+		TenantSkew:     1,
+		PriorityLevels: 2,
+		Duration:       168 * time.Hour,
+		Warmup:         WarmupAuto,
+		NMin:           1, NMax: 4,
+		DurMin: 10, DurMax: 60,
+		MaxSubmissions:  maxSubs,
+		Workers:         64,
+		DeadlineFactors: []float64{12, 6},
+	}
+	// Default options on purpose: a day-plus horizon must trip RunOpen's
+	// long-horizon liveness diet, or this test burns its wall clock on
+	// 20-second probe rounds — the exact regression the diet guards.
+	return DefaultOptions(42), cfg
+}
+
+// TestOpenWeekReplaySmoke walks the whole 168-hour weekly arrival curve
+// through the streaming replay path — lazy generation, bounded pending
+// state, incremental fold — end to end. The full-scale 10M-submission
+// run lives behind BENCH_OPEN_REPLAY_SUBS and the CI smoke; this keeps
+// the path exercised on every `go test`.
+func TestOpenWeekReplaySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long replay")
+	}
+	opts, cfg := weekReplayConfig(t, 0.01, 2000)
+	pt, err := RunOpen(opts, cfg, core.Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.HorizonSeconds != 604800 {
+		t.Errorf("horizon %.0fs, want a full week", pt.HorizonSeconds)
+	}
+	if pt.Submitted < 1000 {
+		t.Errorf("only %d submissions over a week — arrival curve broken?", pt.Submitted)
+	}
+	if pt.Measured == 0 || pt.Completed+pt.Failed != pt.Measured {
+		t.Errorf("measured %d != completed %d + failed %d", pt.Measured, pt.Completed, pt.Failed)
+	}
+	if pt.SLOAttainment <= 0 {
+		t.Errorf("slo attainment %.4f — deadlines never folded", pt.SLOAttainment)
+	}
+}
+
 // TestOpenAccumFootprint1M drives a million synthetic completions
 // through the open family's accumulation path and holds its retained
 // memory O(1): the t-digest streams keep centroids, not samples, and
@@ -239,6 +499,8 @@ func TestEmitOpenBenchJSON(t *testing.T) {
 		WaitP99Seconds float64 `json:"wait_p99_s"`
 		SlowdownP99    float64 `json:"slowdown_p99"`
 		JainFairness   float64 `json:"jain"`
+		SLOAttainment  float64 `json:"slo_attainment"`
+		TardinessP99   float64 `json:"tardiness_p99_s"`
 	}
 	var entries []entry
 	for _, p := range pts {
@@ -255,12 +517,45 @@ func TestEmitOpenBenchJSON(t *testing.T) {
 			WaitP99Seconds: p.WaitP99Seconds,
 			SlowdownP99:    p.SlowdownP99,
 			JainFairness:   p.JainFairness,
+			SLOAttainment:  p.SLOAttainment,
+			TardinessP99:   p.TardinessP99Seconds,
 		})
 	}
-	blob, err := json.MarshalIndent(map[string]any{
+	payload := map[string]any{
 		"benchmarks":   entries,
 		"wall_seconds": time.Since(start).Seconds(),
-	}, "", "  ")
+	}
+	// BENCH_OPEN_REPLAY_SUBS additionally records the long-horizon
+	// replay trajectory: a week of weekly arrivals capped at that many
+	// submissions, with wall clock and the process's peak RSS, so a
+	// memory regression in the streaming path shows up as the replay
+	// footprint moving commit over commit.
+	if subs := os.Getenv("BENCH_OPEN_REPLAY_SUBS"); subs != "" {
+		n, perr := strconv.Atoi(subs)
+		if perr != nil || n <= 0 {
+			t.Fatalf("BENCH_OPEN_REPLAY_SUBS=%q: %v", subs, perr)
+		}
+		peak := float64(n) / 300_000 // ≈ n submissions over the week
+		if peak < 0.01 {
+			peak = 0.01
+		}
+		ropts, rcfg := weekReplayConfig(t, peak, n)
+		rstart := time.Now()
+		rpt, rerr := RunOpen(ropts, rcfg, core.Spread)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		payload["week_replay"] = map[string]any{
+			"max_submissions": n,
+			"submitted":       rpt.Submitted,
+			"completed":       rpt.Completed,
+			"failed":          rpt.Failed,
+			"slo_attainment":  rpt.SLOAttainment,
+			"wall_seconds":    time.Since(rstart).Seconds(),
+			"peak_rss_bytes":  PeakRSSBytes(),
+		}
+	}
+	blob, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

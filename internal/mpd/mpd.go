@@ -65,6 +65,9 @@ type Env struct {
 	comm    *mpi.Comm
 	algs    mpi.Algorithms
 	joinErr error
+	// kill is armed (non-nil) for preemptable jobs: a KillJob closes it,
+	// waking any SleepPreemptible early.
+	kill vtime.Mailbox
 }
 
 // Comm returns the process's communicator (joined during Prepare).
@@ -73,6 +76,21 @@ func (e *Env) Comm() (*mpi.Comm, error) {
 		return nil, fmt.Errorf("mpd: communicator not initialized")
 	}
 	return e.comm, e.joinErr
+}
+
+// SleepPreemptible sleeps for d like RT.Sleep, but wakes early with
+// ErrPreempted when the job is checkpoint-killed meanwhile (scheduler
+// preemption). For non-preemptable jobs — no kill channel armed — it is
+// exactly RT.Sleep: same timer, same virtual trajectory.
+func (e *Env) SleepPreemptible(d time.Duration) error {
+	if e.kill == nil {
+		e.RT.Sleep(d)
+		return nil
+	}
+	if _, err := e.kill.PopTimeout(d); err == vtime.ErrTimeout {
+		return nil
+	}
+	return ErrPreempted
 }
 
 // Compute advances time as if the process performed the given floating

@@ -75,6 +75,9 @@ func (m *MPD) serveConn(c transport.Conn) {
 			case *proto.Cancel:
 				m.abortUnstarted(r.Key)
 				reply = &proto.CancelAck{Key: r.Key}
+			case *proto.KillJob:
+				m.handleKill(r.Key)
+				reply = &proto.KillAck{Key: r.Key}
 			case *proto.JobDone:
 				m.handleJobDone(r)
 				continue // one-way
@@ -150,6 +153,9 @@ func (m *MPD) handlePrepare(p *proto.Prepare) *proto.Ready {
 			Args: p.Args, RT: m.rt, Net: m.net,
 			Profile: m.cfg.Profile,
 		}
+		if p.Preemptable {
+			env.kill = m.rt.NewMailbox()
+		}
 		env.algs = unpackAlgorithms(p.Algorithms)
 		comm, err := mpi.Join(mpi.Config{
 			Self: slot, Slots: table, N: p.N, R: p.R,
@@ -216,6 +222,33 @@ func (m *MPD) handleStart(s *proto.Start) *proto.StartAck {
 	}
 	m.mu.Unlock()
 	return &proto.StartAck{Key: s.Key}
+}
+
+// handleKill checkpoint-kills this host's slots of a preemptable job.
+// Idempotent by construction: an unknown key — the job already
+// finished, the host crashed, or the frame was duplicated — is a no-op
+// (the caller acks regardless). A prepared-but-unstarted job unwinds
+// exactly like a Cancel; a running one has each local process's kill
+// channel closed, so its SleepPreemptible returns ErrPreempted and the
+// normal runJob completion path reports the failed slots and releases
+// the reservation exactly once.
+func (m *MPD) handleKill(key string) {
+	m.mu.Lock()
+	job := m.jobs[key]
+	started := job != nil && job.started
+	m.mu.Unlock()
+	if job == nil {
+		return
+	}
+	if !started {
+		m.abortUnstarted(key)
+		return
+	}
+	for _, e := range job.envs {
+		if e.kill != nil {
+			e.kill.Close()
+		}
+	}
 }
 
 // runJob executes all local processes, reports JobDone to the submitter

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"p2pmpi/internal/core"
@@ -63,6 +64,17 @@ type JobSpec struct {
 	// FailurePings is how many detect periods a host may stay silent
 	// before its replicas are suspected (default 2).
 	FailurePings int
+	// Preemptable marks the job killable mid-run: hosting MPDs arm a
+	// kill channel per local process, and the submitter exposes a
+	// Preemption handle through OnPreempt. A killed job fails with
+	// ErrPreempted; its reservations return through the normal release
+	// paths (never conflict accounting).
+	Preemptable bool
+	// OnPreempt, when set on a Preemptable spec, receives the job's
+	// preemption handle right after allocation succeeds — the earliest
+	// instant a kill is meaningful. The multi-job scheduler registers
+	// the handle so a starved higher-priority job can evict this one.
+	OnPreempt func(*Preemption)
 }
 
 // FailoverStats summarises the mid-run failure handling of one
@@ -151,7 +163,86 @@ var (
 	// replicas all died — no surviving copy can deliver the rank's
 	// work, so the job is lost (re-book to retry).
 	ErrRanksLost = errors.New("mpd: a rank lost every replica")
+	// ErrPreempted: the job was checkpoint-killed by scheduler
+	// preemption (Preemption.Kill). Terminal, never contention: the
+	// scheduler chose to evict this job, so retrying it automatically
+	// would undo the eviction.
+	ErrPreempted = errors.New("mpd: job preempted")
 )
+
+// Preemption is the submitter-side kill switch of one preemptable
+// in-flight job. Kill is phase-aware and exactly-once: during the
+// launch phases it only marks the job killed — Submit checks the mark
+// at each phase boundary and unwinds through the ordinary cancel path,
+// so no kill frame races an un-acked Prepare or Start — and once the
+// job is running (markRunning) the deferred or direct kill fans
+// KillJob out to every used host exactly once. Hosts that died
+// meanwhile simply time out; their reservations were already failed by
+// the crash path, which is what keeps release exactly-once under
+// preemption × churn.
+type Preemption struct {
+	m     *MPD
+	key   string
+	hosts []proto.PeerInfo
+
+	mu      sync.Mutex
+	killed  bool
+	running bool
+	sent    bool
+}
+
+// Kill requests the job's eviction. Safe from any goroutine; duplicate
+// calls are no-ops.
+func (p *Preemption) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	send := p.running && !p.sent
+	if send {
+		p.sent = true
+	}
+	p.mu.Unlock()
+	if send {
+		p.sendKills()
+	}
+}
+
+// Killed reports whether Kill was called.
+func (p *Preemption) Killed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// markRunning flips the handle into the running phase; a kill that
+// arrived during the launch phases is dispatched now, exactly once.
+func (p *Preemption) markRunning() {
+	p.mu.Lock()
+	p.running = true
+	send := p.killed && !p.sent
+	if send {
+		p.sent = true
+	}
+	p.mu.Unlock()
+	if send {
+		p.sendKills()
+	}
+}
+
+// sendKills fans KillJob out to every used host, fire-and-forget: a
+// dead host times out (its crash already failed the reservation) and
+// handleKill is idempotent, so duplicates and losses are both safe.
+func (p *Preemption) sendKills() {
+	for _, h := range p.hosts {
+		h := h
+		p.m.rt.Go("mpd.kill."+p.m.cfg.Self.ID, func() {
+			if reply, err := transport.RequestReply(p.m.net, h.MPDAddr,
+				transport.Message{Payload: proto.MustMarshal(&proto.KillJob{Key: p.key})},
+				p.m.cfg.ReserveTimeout); err == nil {
+				reply.Release()
+			}
+		})
+	}
+}
 
 // Submit runs the complete §4.2 procedure. It must be called from an
 // actor/goroutine of the daemon's runtime and blocks until the job
@@ -314,6 +405,17 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		}
 	}
 
+	// The preemption handle exists from allocation onward: a kill
+	// during the launch phases only sets the mark (checked at each
+	// phase boundary below); one during the run fans out KillJob.
+	var pre *Preemption
+	if spec.Preemptable {
+		pre = &Preemption{m: m, key: key, hosts: usedHosts}
+		if spec.OnPreempt != nil {
+			spec.OnPreempt(pre)
+		}
+	}
+
 	// Register the completion mailbox before anything can finish.
 	doneMB := m.rt.NewMailbox()
 	m.mu.Lock()
@@ -335,6 +437,7 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		SubmitterMPD: m.cfg.Self.MPDAddr,
 		Deadline:     spec.Timeout,
 		Algorithms:   packAlgorithms(spec.Algorithms),
+		Preemptable:  spec.Preemptable,
 	}
 	if err := m.fanOutReady(usedHosts, prep); err != nil {
 		// Hosts whose Prepare succeeded already consumed their
@@ -345,6 +448,14 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		}
 		return nil, err
 	}
+	if pre != nil && pre.Killed() {
+		// Killed during phase one: nothing started anywhere, so unwind
+		// exactly like a failed Prepare — no kill frames needed.
+		for _, o := range slist {
+			m.cancelLaunch(o.Peer, key)
+		}
+		return nil, ErrPreempted
+	}
 
 	// Phase two: Start everywhere (step 8).
 	if err := m.fanOutStart(usedHosts, key); err != nil {
@@ -354,6 +465,11 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 			m.cancelLaunch(h, key)
 		}
 		return nil, err
+	}
+	if pre != nil {
+		// Running from here on: a kill marked during the launch phases
+		// is dispatched now, later ones go out directly.
+		pre.markRunning()
 	}
 
 	// Collect one JobDone per used host — with spec.FailureDetect set,
@@ -412,6 +528,13 @@ func (m *MPD) Submit(spec JobSpec) (*JobResult, error) {
 		if leader > 0 {
 			out.Failover.Failovers++
 		}
+	}
+	// Preemption outranks the detector's verdict: a killed job's ranks
+	// are "lost" by design, and reporting them as ErrRanksLost would
+	// send the job back through churn's re-book path — undoing the
+	// eviction the scheduler just paid for.
+	if pre != nil && pre.Killed() {
+		return out, fmt.Errorf("%w: job %s", ErrPreempted, jobID)
 	}
 	if spec.FailureDetect > 0 && out.Failover.RanksLost > 0 {
 		return out, fmt.Errorf("%w: %d of %d ranks", ErrRanksLost, out.Failover.RanksLost, spec.N)
@@ -902,7 +1025,12 @@ func Spin(env *Env) error {
 		}
 	}
 	if d > 0 {
-		env.RT.Sleep(d)
+		// Preemptible: a checkpoint-kill mid-spin ends the process with
+		// ErrPreempted instead of burning the rest of the duration. For
+		// non-preemptable jobs this is exactly RT.Sleep.
+		if err := env.SleepPreemptible(d); err != nil {
+			return err
+		}
 	}
 	_, err := fmt.Fprintf(&env.Out, "%s", env.HostID)
 	return err

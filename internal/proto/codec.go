@@ -68,6 +68,7 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		for _, a := range m.Algorithms {
 			e.Int(a)
 		}
+		e.Bool(m.Preemptable)
 	case *Ready:
 		e.U8(uint8(TReady)).String(m.Key).Bool(m.OK).String(m.Reason)
 	case *Start:
@@ -98,6 +99,10 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		}
 	case *ShardRedirect:
 		e.U8(uint8(TShardRedirect)).Int(m.Shard).String(m.Addr)
+	case *KillJob:
+		e.U8(uint8(TKillJob)).String(m.Key)
+	case *KillAck:
+		e.U8(uint8(TKillAck)).String(m.Key)
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", msg)
 	}
@@ -241,6 +246,7 @@ func Unmarshal(b []byte) (Type, any, error) {
 		for i := range m.Algorithms {
 			m.Algorithms[i] = d.Int()
 		}
+		m.Preemptable = d.Bool()
 		msg = m
 	case TReady:
 		msg = &Ready{Key: d.String(), OK: d.Bool(), Reason: d.String()}
@@ -301,6 +307,10 @@ func Unmarshal(b []byte) (Type, any, error) {
 		msg = m
 	case TShardRedirect:
 		msg = &ShardRedirect{Shard: d.Int(), Addr: d.String()}
+	case TKillJob:
+		msg = &KillJob{Key: d.String()}
+	case TKillAck:
+		msg = &KillAck{Key: d.String()}
 	default:
 		return t, nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 	}
@@ -412,6 +422,14 @@ func DecodeInto(b []byte, msg any) error {
 		if want = TJobPong; t == want {
 			m.Nonce = d.U64()
 			m.Known = d.Bool()
+		}
+	case *KillJob:
+		if want = TKillJob; t == want {
+			d.StringInto(&m.Key)
+		}
+	case *KillAck:
+		if want = TKillAck; t == want {
+			d.StringInto(&m.Key)
 		}
 	default:
 		return fmt.Errorf("proto: DecodeInto does not support %T", msg)

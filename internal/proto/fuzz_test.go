@@ -35,7 +35,7 @@ func corpusFrames() [][]byte {
 		&Cancel{Key: "k"}, &CancelAck{Key: "k"},
 		&Prepare{Key: "k", JobID: "j", Program: "hostname", Args: []string{"a"},
 			N: 1, R: 1, Table: []Slot{{Rank: 0, Replica: 0, Global: 0, HostID: pi.ID, Addr: "a:1"}},
-			SubmitterMPD: "f:9000"},
+			SubmitterMPD: "f:9000", Preemptable: true},
 		&Ready{Key: "k", OK: true},
 		&Start{Key: "k"}, &StartAck{Key: "k"},
 		&JobDone{JobID: "j", HostID: pi.ID, Results: []SlotResult{{OK: true, Output: []byte("x")}}},
@@ -46,6 +46,7 @@ func corpusFrames() [][]byte {
 			Peers: []PeerInfo{pi}, Seen: []int64{42},
 		}}},
 		&ShardRedirect{Shard: 3, Addr: "snfed04.s02:8800"},
+		&KillJob{Key: "k"}, &KillAck{Key: "k"},
 	}
 	out := make([][]byte, 0, len(msgs))
 	for _, m := range msgs {
@@ -133,7 +134,7 @@ func FuzzDecodeInto(f *testing.F) {
 			&Ping{}, &Pong{}, &Alive{}, &AliveAck{}, &FetchPeers{},
 			&ReserveOK{}, &ReserveNOK{}, &Cancel{}, &CancelAck{},
 			&Ready{}, &Start{}, &StartAck{}, &JobPing{}, &JobPong{},
-			&ShardRedirect{},
+			&ShardRedirect{}, &KillJob{}, &KillAck{},
 		}
 		for _, target := range targets {
 			if err := DecodeInto(buf, target); err != nil {

@@ -48,6 +48,9 @@ const (
 	TDigest
 	TShardDelta
 	TShardRedirect
+	// Preemption: checkpoint-kill a running preemptable job.
+	TKillJob
+	TKillAck
 )
 
 // String returns the mnemonic of the message type.
@@ -56,7 +59,7 @@ func (t Type) String() string {
 		"aliveack", "fetchpeers", "ping", "pong", "reserve", "reserveok",
 		"reservenok", "cancel", "cancelack", "prepare", "ready", "start",
 		"startack", "jobdone", "jobping", "jobpong",
-		"digest", "sharddelta", "shardredirect"}
+		"digest", "sharddelta", "shardredirect", "killjob", "killack"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -199,6 +202,10 @@ type Prepare struct {
 	// communicators: bcast, reduce, allreduce, allgather, alltoall
 	// selectors in that order (zero = library defaults).
 	Algorithms [5]int
+	// Preemptable marks the job killable mid-run: the hosting MPD arms
+	// a kill channel per local process so a later KillJob can
+	// checkpoint-stop it (scheduler-driven preemption).
+	Preemptable bool
 }
 
 // Ready is the Prepare response.
@@ -290,4 +297,17 @@ type ShardDelta struct {
 type ShardRedirect struct {
 	Shard int
 	Addr  string
+}
+
+// KillJob asks an MPD to checkpoint-kill its local slots of a running
+// preemptable job, identified by the launch key. An unknown key — the
+// job already finished, or the host crashed and rebooted — is
+// acknowledged anyway: the kill is idempotent.
+type KillJob struct {
+	Key string
+}
+
+// KillAck acknowledges a KillJob.
+type KillAck struct {
+	Key string
 }

@@ -49,6 +49,25 @@ type Config struct {
 	// reservation race" outcome — as contention and everything else
 	// (unknown program, launch failure) as final.
 	IsContention func(error) bool
+	// QuotaRate enables per-tenant admission quotas: each tenant earns
+	// QuotaRate slot-seconds of budget per virtual second into a token
+	// bucket capped at QuotaBurst, and every finished job debits
+	// N×R×runtime from its tenant's bucket. While a tenant's balance is
+	// negative its pending jobs queue behind every in-budget tenant's,
+	// regardless of priority. 0 disables quotas entirely (the exact
+	// legacy admission path).
+	QuotaRate float64
+	// QuotaBurst caps a tenant's accumulated budget in slot-seconds
+	// (default 3600×QuotaRate — one hour of accrual).
+	QuotaBurst float64
+	// Preempt arms the preemption primitive: a queued job that cannot
+	// be admitted for lack of slots may checkpoint-kill the weakest
+	// strictly-lower-priority running job — with quotas on, only if the
+	// preemptor's tenant is in budget and the victim's is not. The
+	// victim's reservation returns through the normal release path, its
+	// burned slot-seconds are charged to its tenant, and the job fails
+	// with mpd.ErrPreempted (not counted as contention).
+	Preempt bool
 }
 
 func (c *Config) fillDefaults() {
@@ -70,6 +89,9 @@ func (c *Config) fillDefaults() {
 		c.IsContention = func(err error) bool {
 			return errors.Is(err, mpd.ErrNotEnoughPeers) || errors.Is(err, ErrSaturated)
 		}
+	}
+	if c.QuotaRate > 0 && c.QuotaBurst <= 0 {
+		c.QuotaBurst = 3600 * c.QuotaRate
 	}
 }
 
@@ -101,6 +123,11 @@ type Job struct {
 	// churn experiments multiply it by the job's process count to
 	// charge re-booked slot-hours.
 	Wasted time.Duration
+	// OwnedSlotSec and BorrowedSlotSec split the job's N×R×runtime
+	// slot-second consumption into the part covered by the tenant's
+	// quota balance and the part borrowed beyond it. Both stay zero
+	// with quotas off.
+	OwnedSlotSec, BorrowedSlotSec float64
 	// Enqueued, Started and Finished are runtime timestamps; Started is
 	// the first attempt's begin.
 	Enqueued, Started, Finished time.Time
@@ -111,11 +138,13 @@ func (j *Job) Latency() time.Duration { return j.Finished.Sub(j.Enqueued) }
 
 // Stats aggregates scheduler counters.
 type Stats struct {
-	Enqueued  int
-	Completed int // jobs finished successfully
-	Failed    int // jobs finished with an error
-	Attempts  int // Submit calls plus admission backoffs
-	Conflicts int // attempts lost to slot contention
+	Enqueued    int
+	Completed   int // jobs finished successfully
+	Failed      int // jobs finished with an error
+	Attempts    int // Submit calls plus admission backoffs
+	Conflicts   int // attempts lost to slot contention
+	Throttled   int // admission pops where an over-budget job was bypassed
+	Preemptions int // running jobs killed to make room
 }
 
 // Scheduler drives concurrent job submissions through a bounded worker
@@ -137,6 +166,22 @@ type Scheduler struct {
 	started bool
 	closed  bool
 	live    int // running workers
+
+	buckets map[int]*bucket     // per-tenant quota state (quotas on)
+	running map[int]*runningJob // in-flight preemptable jobs by ID
+}
+
+// bucket is one tenant's token-bucket quota: a slot-second balance
+// accrued lazily at QuotaRate per virtual second, capped at QuotaBurst.
+type bucket struct {
+	balance float64
+	last    time.Time
+}
+
+// runningJob pairs an in-flight job with its live preemption handle.
+type runningJob struct {
+	job *Job
+	pre *mpd.Preemption
 }
 
 // jobHeap orders pending jobs by priority (desc), then enqueue order
@@ -145,13 +190,18 @@ type Scheduler struct {
 // they always did.
 type jobHeap []*Job
 
-func (h jobHeap) Len() int { return len(h) }
-func (h jobHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
+// jobBefore is the admission total order (priority desc, enqueue asc)
+// as a standalone predicate — the heap and the quota-aware scan share
+// it.
+func jobBefore(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
 	}
-	return h[i].ID < h[j].ID
+	return a.ID < b.ID
 }
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return jobBefore(h[i], h[j]) }
 func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*Job)) }
 func (h *jobHeap) Pop() interface{} {
@@ -169,13 +219,15 @@ func (h *jobHeap) Pop() interface{} {
 func New(rt vtime.Runtime, sub Submitter, hosts []core.HostSlot, cfg Config) *Scheduler {
 	cfg.fillDefaults()
 	return &Scheduler{
-		rt:     rt,
-		sub:    sub,
-		ledger: core.NewLedger(hosts, cfg.JPerHost),
-		cfg:    cfg,
-		queue:  rt.NewMailbox(),
-		done:   rt.NewMailbox(),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rt:      rt,
+		sub:     sub,
+		ledger:  core.NewLedger(hosts, cfg.JPerHost),
+		cfg:     cfg,
+		queue:   rt.NewMailbox(),
+		done:    rt.NewMailbox(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		buckets: make(map[int]*bucket),
+		running: make(map[int]*runningJob),
 	}
 }
 
@@ -293,7 +345,7 @@ func (s *Scheduler) worker() {
 		}
 		// One token per pending job, so the heap is never empty here.
 		s.mu.Lock()
-		job := heap.Pop(&s.pending).(*Job)
+		job := s.popLocked()
 		s.mu.Unlock()
 		s.runJob(job)
 		job.Finished = s.rt.Now()
@@ -306,6 +358,127 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 		s.done.Push(job)
 	}
+}
+
+// popLocked takes the next job off the pending heap. With quotas off
+// this is exactly heap.Pop — the legacy schedule. With quotas on, jobs
+// from tenants with a non-negative balance outrank over-budget ones:
+// the worker takes the best in-budget job under the usual
+// priority-then-FIFO order and falls back to the over-budget pool only
+// when no tenant can pay. Bypassing the heap's global best counts one
+// Throttled event. Caller holds s.mu.
+func (s *Scheduler) popLocked() *Job {
+	if s.cfg.QuotaRate <= 0 {
+		return heap.Pop(&s.pending).(*Job)
+	}
+	bestAll, bestIn := -1, -1
+	for i, j := range s.pending {
+		if bestAll < 0 || jobBefore(j, s.pending[bestAll]) {
+			bestAll = i
+		}
+		if s.bucketFor(j.Tenant).balance >= 0 {
+			if bestIn < 0 || jobBefore(j, s.pending[bestIn]) {
+				bestIn = i
+			}
+		}
+	}
+	pick := bestAll
+	if bestIn >= 0 {
+		pick = bestIn
+	}
+	if pick != bestAll {
+		s.stats.Throttled++
+	}
+	return heap.Remove(&s.pending, pick).(*Job)
+}
+
+// bucketFor returns tenant's quota bucket, accrued to now. New tenants
+// start with a full burst. Caller holds s.mu; quotas must be on.
+func (s *Scheduler) bucketFor(tenant int) *bucket {
+	now := s.rt.Now()
+	b, ok := s.buckets[tenant]
+	if !ok {
+		b = &bucket{balance: s.cfg.QuotaBurst, last: now}
+		s.buckets[tenant] = b
+		return b
+	}
+	b.balance += s.cfg.QuotaRate * now.Sub(b.last).Seconds()
+	if b.balance > s.cfg.QuotaBurst {
+		b.balance = s.cfg.QuotaBurst
+	}
+	b.last = now
+	return b
+}
+
+// charge debits a finished attempt's N×R×held slot-seconds from the
+// job's tenant bucket, splitting the cost into owned (covered by the
+// balance on hand) and borrowed (beyond it) on the job handle. No-op
+// with quotas off.
+func (s *Scheduler) charge(job *Job, held time.Duration) {
+	if s.cfg.QuotaRate <= 0 || held <= 0 {
+		return
+	}
+	cost := float64(job.Spec.N*job.Spec.R) * held.Seconds()
+	s.mu.Lock()
+	b := s.bucketFor(job.Tenant)
+	avail := b.balance
+	if avail < 0 {
+		avail = 0
+	}
+	owned := cost
+	if owned > avail {
+		owned = avail
+	}
+	b.balance -= cost
+	job.OwnedSlotSec += owned
+	job.BorrowedSlotSec += cost - owned
+	s.mu.Unlock()
+}
+
+// tryPreempt kills the weakest eligible running job on behalf of a
+// starved pending one: the victim must hold strictly lower priority,
+// and with quotas on the preemptor's tenant must be in budget while the
+// victim's is over. Victims are ordered lowest priority first, then
+// youngest — evict the cheapest, most recently admitted work. The kill
+// reuses the crash/release path, so the reservation returns without
+// conflict accounting; the victim fails with mpd.ErrPreempted and its
+// burned slot-seconds stay charged to its tenant.
+func (s *Scheduler) tryPreempt(job *Job) bool {
+	s.mu.Lock()
+	if s.cfg.QuotaRate > 0 && s.bucketFor(job.Tenant).balance < 0 {
+		s.mu.Unlock()
+		return false // over-budget jobs do not get to evict anyone
+	}
+	var victim *runningJob
+	for _, r := range s.running {
+		if r.job.Priority >= job.Priority {
+			continue
+		}
+		if s.cfg.QuotaRate > 0 && s.bucketFor(r.job.Tenant).balance >= 0 {
+			continue // in-budget work is safe
+		}
+		if victim == nil || preemptBefore(r.job, victim.job) {
+			victim = r
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.running, victim.job.ID) // one kill per victim
+	s.stats.Preemptions++
+	s.mu.Unlock()
+	victim.pre.Kill()
+	return true
+}
+
+// preemptBefore orders preemption victims (total, so victim choice is
+// deterministic whatever order the running set is scanned in).
+func preemptBefore(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.ID > b.ID
 }
 
 // runJob executes one job with admission control against the live
@@ -342,6 +515,11 @@ func (s *Scheduler) runJob(job *Job) {
 		d := s.cfg.Backoff << uint(attempt)
 		d += time.Duration(s.rng.Int63n(int64(d)/2 + 1)) // deterministic jitter
 		s.mu.Unlock()
+		if s.cfg.Preempt && errors.Is(err, ErrSaturated) {
+			// Starved for slots: try to evict a weaker over-budget
+			// running job so the backoff retry finds room.
+			s.tryPreempt(job)
+		}
 		s.rt.Sleep(d)
 	}
 }
@@ -356,17 +534,37 @@ func (s *Scheduler) attempt(job *Job) (*mpd.JobResult, error) {
 		spec.Exclude = append(append([]string(nil), spec.Exclude...), busy...)
 	}
 	var acquired *core.Assignment
+	var heldFrom time.Time
 	userHook := spec.OnAllocated
 	spec.OnAllocated = func(a *core.Assignment) {
 		acquired = a
+		heldFrom = s.rt.Now()
 		s.ledger.Acquire(a)
 		if userHook != nil {
 			userHook(a)
 		}
 	}
+	if s.cfg.Preempt {
+		spec.Preemptable = true
+		userPre := spec.OnPreempt
+		spec.OnPreempt = func(p *mpd.Preemption) {
+			s.mu.Lock()
+			s.running[job.ID] = &runningJob{job: job, pre: p}
+			s.mu.Unlock()
+			if userPre != nil {
+				userPre(p)
+			}
+		}
+	}
 	res, err := s.sub.Submit(spec)
+	if s.cfg.Preempt {
+		s.mu.Lock()
+		delete(s.running, job.ID)
+		s.mu.Unlock()
+	}
 	if acquired != nil {
 		s.ledger.Release(acquired)
+		s.charge(job, s.rt.Now().Sub(heldFrom))
 	}
 	return res, err
 }

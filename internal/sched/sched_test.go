@@ -58,11 +58,30 @@ func (f *fakeCluster) Submit(spec mpd.JobSpec) (*mpd.JobResult, error) {
 		f.maxInFlight = f.inFlight
 	}
 	f.mu.Unlock()
-	f.rt.Sleep(f.dur)
+	preempted := false
+	if spec.Preemptable {
+		// Preemptible run: arm a detached kill handle (Kill on a handle
+		// that never reaches markRunning only sets the mark — no
+		// transport involved) and poll it each virtual second, exactly
+		// the observable contract of mpd's checkpoint-kill.
+		pre := &mpd.Preemption{}
+		if spec.OnPreempt != nil {
+			spec.OnPreempt(pre)
+		}
+		for end := f.rt.Now().Add(f.dur); f.rt.Now().Before(end) && !pre.Killed(); {
+			f.rt.Sleep(time.Second)
+		}
+		preempted = pre.Killed()
+	} else {
+		f.rt.Sleep(f.dur)
+	}
 	f.mu.Lock()
 	f.inFlight--
 	f.mu.Unlock()
 	f.truth.Release(asg)
+	if preempted {
+		return nil, fmt.Errorf("%w: killed by test cluster", mpd.ErrPreempted)
+	}
 	if f.fail != nil {
 		return nil, f.fail
 	}

@@ -25,7 +25,7 @@ type Stats struct {
 // workloads and fault injection compose on one world.
 type Driver struct {
 	rt     vtime.Runtime
-	trace  []Submission
+	next   func() (Submission, bool)
 	submit func(Submission)
 
 	mu      sync.Mutex
@@ -38,7 +38,24 @@ type Driver struct {
 
 // NewDriver builds a driver over a precomputed trace (see Trace).
 func NewDriver(rt vtime.Runtime, trace []Submission, submit func(Submission)) *Driver {
-	return &Driver{rt: rt, trace: trace, submit: submit, done: make(chan struct{})}
+	i := 0
+	return NewStreamDriver(rt, func() (Submission, bool) {
+		if i >= len(trace) {
+			return Submission{}, false
+		}
+		sub := trace[i]
+		i++
+		return sub, true
+	}, submit)
+}
+
+// NewStreamDriver builds a driver over a pull source instead of a
+// materialized trace: next is called once per submission, from the
+// replay actor only, and must return timeline-ordered submissions until
+// it reports false. Pair it with workload.Stream for long-horizon
+// replays whose full trace would not fit in memory.
+func NewStreamDriver(rt vtime.Runtime, next func() (Submission, bool), submit func(Submission)) *Driver {
+	return &Driver{rt: rt, next: next, submit: submit, done: make(chan struct{})}
 }
 
 // Start spawns the replay actor. Idempotent.
@@ -59,18 +76,29 @@ func (d *Driver) replay() {
 	d.mu.Lock()
 	d.startAt = start
 	d.mu.Unlock()
-	for _, sub := range d.trace {
+	for {
+		sub, ok := d.next()
+		if !ok {
+			return
+		}
 		if wait := start.Add(sub.At).Sub(d.rt.Now()); wait > 0 {
 			d.rt.Sleep(wait)
 		}
+		// Stop/submit must be atomic per submission: a Stop that lands
+		// between the stopped check and the hook call would otherwise
+		// count a submission as Submitted and then suppress it — or
+		// deliver it after Stop returned its settled stats. Holding d.mu
+		// across both makes each submission all-or-nothing. The hook
+		// must not block (documented on Driver), so the critical
+		// section stays short.
 		d.mu.Lock()
 		if d.stopped {
 			d.mu.Unlock()
 			return
 		}
 		d.stats.Submitted++
-		d.mu.Unlock()
 		d.submit(sub)
+		d.mu.Unlock()
 	}
 }
 

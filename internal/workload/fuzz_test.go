@@ -16,6 +16,9 @@ func FuzzParseArrivalSpec(f *testing.F) {
 		"diurnal:peak=1e3,trough=0,period=600",
 		"poisson:rate=1,rate=2",
 		"diurnal:peak=,trough=0.2",
+		"weekly:peak=2,trough=0.2",
+		"weekly:peak=25,trough=10,period=336h,maintevery=24h,maintdur=2h",
+		"weekly:peak=1,trough=2",
 		"weibull:shape=2",
 		"poisson:rate=0x1p10",
 		"diurnal:peak=2,trough=0.2,period=-5s",

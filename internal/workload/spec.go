@@ -20,6 +20,13 @@ const (
 	// optionally with periodic maintenance-window blackouts — the shape
 	// of the Grid'5000 "year in the life" platform report.
 	ArrivalDiurnal ArrivalKind = "diurnal"
+	// ArrivalWeekly composes the diurnal day curve with a seven-day
+	// weekday/weekend envelope: working days carry the full diurnal
+	// shape, Saturday and Sunday a flattened fraction of it — the weekly
+	// utilization rhythm of the Grid'5000 "year in the life" report,
+	// which shows weekday submission rates roughly twice the weekend's.
+	// Period covers the whole week (default 168h).
+	ArrivalWeekly ArrivalKind = "weekly"
 )
 
 // ArrivalSpec describes one arrival process. Build it directly or parse
@@ -28,6 +35,7 @@ const (
 //	poisson:rate=0.5
 //	diurnal:peak=2,trough=0.2,period=24h
 //	diurnal:peak=2,trough=0.2,period=24h,maintevery=6h,maintdur=30m
+//	weekly:peak=2,trough=0.2
 //
 // Rates are submissions per virtual second, summed over all tenants.
 type ArrivalSpec struct {
@@ -57,6 +65,16 @@ var dayProfile = [24]float64{
 	0.55, 0.40, 0.30, 0.20, 0.12, 0.08, // 18-24: evening tail
 }
 
+// weekProfile is the fixed weekday/weekend envelope for the weekly kind,
+// one multiplier per day starting Monday. Working days carry the full
+// diurnal curve; the weekend runs at roughly half load with Sunday the
+// quietest — the weekly submission rhythm of the Grid'5000 platform
+// report.
+var weekProfile = [7]float64{
+	1.00, 1.00, 1.00, 1.00, 0.90, // Mon-Fri
+	0.55, 0.45, // Sat, Sun
+}
+
 // withDefaults normalizes a spec (non-destructive).
 func (a ArrivalSpec) withDefaults() ArrivalSpec {
 	if a.Kind == "" {
@@ -64,6 +82,9 @@ func (a ArrivalSpec) withDefaults() ArrivalSpec {
 	}
 	if a.Kind == ArrivalDiurnal && a.Period <= 0 {
 		a.Period = 24 * time.Hour
+	}
+	if a.Kind == ArrivalWeekly && a.Period <= 0 {
+		a.Period = 7 * 24 * time.Hour
 	}
 	return a
 }
@@ -76,15 +97,15 @@ func (a ArrivalSpec) Validate() error {
 		if a.Rate <= 0 {
 			return fmt.Errorf("workload: poisson arrival needs rate > 0, got %g", a.Rate)
 		}
-	case ArrivalDiurnal:
+	case ArrivalDiurnal, ArrivalWeekly:
 		if a.Peak <= 0 {
-			return fmt.Errorf("workload: diurnal arrival needs peak > 0, got %g", a.Peak)
+			return fmt.Errorf("workload: %s arrival needs peak > 0, got %g", a.Kind, a.Peak)
 		}
 		if a.Trough < 0 || a.Trough > a.Peak {
-			return fmt.Errorf("workload: diurnal trough %g outside [0, peak=%g]", a.Trough, a.Peak)
+			return fmt.Errorf("workload: %s trough %g outside [0, peak=%g]", a.Kind, a.Trough, a.Peak)
 		}
 		if a.Period <= 0 {
-			return fmt.Errorf("workload: diurnal period must be positive, got %v", a.Period)
+			return fmt.Errorf("workload: %s period must be positive, got %v", a.Kind, a.Period)
 		}
 		if (a.MaintEvery > 0) != (a.MaintDur > 0) {
 			return fmt.Errorf("workload: maintenance needs both maintevery and maintdur")
@@ -93,7 +114,7 @@ func (a ArrivalSpec) Validate() error {
 			return fmt.Errorf("workload: maintdur %v must be shorter than maintevery %v", a.MaintDur, a.MaintEvery)
 		}
 	default:
-		return fmt.Errorf("workload: unknown arrival kind %q (want poisson or diurnal)", a.Kind)
+		return fmt.Errorf("workload: unknown arrival kind %q (want poisson, diurnal or weekly)", a.Kind)
 	}
 	return nil
 }
@@ -115,18 +136,40 @@ func (a ArrivalSpec) RateAt(t time.Duration) float64 {
 	if a.Kind == ArrivalPoisson {
 		return a.Rate
 	}
+	if t < 0 {
+		// Extend periodically: Go's % keeps the dividend's sign, and a
+		// negative phase would index the day tables out of range.
+		if t %= a.Period; t < 0 {
+			t += a.Period
+		}
+	}
 	if a.MaintEvery > 0 {
 		if phase := t % a.MaintEvery; phase < a.MaintDur {
 			return 0 // maintenance blackout
 		}
 	}
 	phase := float64(t%a.Period) / float64(a.Period) // [0, 1)
+	week := 1.0
+	if a.Kind == ArrivalWeekly {
+		// The period covers seven days: each seventh gets the full
+		// diurnal shape scaled by that day's weekday/weekend weight.
+		dayPos := phase * 7
+		day := int(dayPos)
+		if day > 6 {
+			day = 6
+		}
+		week = weekProfile[day]
+		phase = dayPos - float64(day) // [0, 1) within the day
+	}
 	pos := phase * 24
 	slot := int(pos)
+	if slot > 23 {
+		slot = 23
+	}
 	next := (slot + 1) % 24
 	frac := pos - float64(slot)
 	shape := dayProfile[slot]*(1-frac) + dayProfile[next]*frac
-	return a.Trough + (a.Peak-a.Trough)*shape
+	return a.Trough + (a.Peak-a.Trough)*shape*week
 }
 
 // String renders the spec in the exact syntax ParseArrivalSpec accepts
@@ -135,9 +178,9 @@ func (a ArrivalSpec) String() string {
 	a = a.withDefaults()
 	var b strings.Builder
 	switch a.Kind {
-	case ArrivalDiurnal:
-		fmt.Fprintf(&b, "diurnal:peak=%s,trough=%s,period=%s",
-			formatRate(a.Peak), formatRate(a.Trough), a.Period)
+	case ArrivalDiurnal, ArrivalWeekly:
+		fmt.Fprintf(&b, "%s:peak=%s,trough=%s,period=%s",
+			a.Kind, formatRate(a.Peak), formatRate(a.Trough), a.Period)
 		if a.MaintEvery > 0 {
 			fmt.Fprintf(&b, ",maintevery=%s,maintdur=%s", a.MaintEvery, a.MaintDur)
 		}
@@ -158,11 +201,11 @@ func ParseArrivalSpec(s string) (ArrivalSpec, error) {
 	head, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
 	a.Kind = ArrivalKind(strings.TrimSpace(head))
 	switch a.Kind {
-	case ArrivalPoisson, ArrivalDiurnal:
+	case ArrivalPoisson, ArrivalDiurnal, ArrivalWeekly:
 	case "":
 		return a, fmt.Errorf("workload: empty arrival spec")
 	default:
-		return a, fmt.Errorf("workload: unknown arrival kind %q (want poisson or diurnal)", a.Kind)
+		return a, fmt.Errorf("workload: unknown arrival kind %q (want poisson, diurnal or weekly)", a.Kind)
 	}
 	seen := map[string]bool{}
 	for _, kv := range strings.Split(rest, ",") {
@@ -203,8 +246,8 @@ func ParseArrivalSpec(s string) (ArrivalSpec, error) {
 	if a.Kind == ArrivalPoisson && (a.Peak != 0 || a.Trough != 0 || a.Period != 0 || a.MaintEvery != 0 || a.MaintDur != 0) {
 		return a, fmt.Errorf("workload: poisson arrival takes only rate=")
 	}
-	if a.Kind == ArrivalDiurnal && a.Rate != 0 {
-		return a, fmt.Errorf("workload: diurnal arrival takes peak=/trough=, not rate=")
+	if a.Kind != ArrivalPoisson && a.Rate != 0 {
+		return a, fmt.Errorf("workload: %s arrival takes peak=/trough=, not rate=", a.Kind)
 	}
 	if err := a.Validate(); err != nil {
 		return a, err

@@ -26,6 +26,12 @@ type Submission struct {
 	// Seconds is the service duration (failure-free spin time), drawn
 	// bounded-Pareto.
 	Seconds float64
+	// Deadline is the SLO completion deadline as an offset from trace
+	// start: At + factor×Seconds, where factor comes from the config's
+	// per-priority-class DeadlineFactors. Zero means no deadline
+	// (DeadlineFactors unset). Derived from the existing draws — setting
+	// factors never perturbs the arrival or size streams.
+	Deadline time.Duration
 }
 
 // Config describes an open-system workload. Traces are a pure function
@@ -60,6 +66,12 @@ type Config struct {
 	// duration in seconds (defaults 20, 1800, 1.3).
 	DurMin, DurMax float64
 	DurAlpha       float64
+	// DeadlineFactors gives each priority class an SLO deadline
+	// multiplier: a job of priority p with factor f must finish by
+	// At + f×Seconds. Index 0 is priority 0 (the lowest class); a class
+	// beyond the slice reuses the last entry. Empty disables deadlines
+	// (every Submission.Deadline stays zero).
+	DeadlineFactors []float64
 	// Horizon bounds the arrival timeline (required).
 	Horizon time.Duration
 	// MaxSubmissions caps the trace size after the merge (0 = no cap);
@@ -142,6 +154,22 @@ func TenantPriority(c Config, i int) int {
 	return c.PriorityLevels - 1 - i*c.PriorityLevels/c.Tenants
 }
 
+// deadlineFactor returns the SLO multiplier for priority class pri, or
+// 0 when deadlines are disabled. Classes beyond the configured slice
+// reuse the last factor.
+func deadlineFactor(c Config, pri int) float64 {
+	if len(c.DeadlineFactors) == 0 {
+		return 0
+	}
+	if pri < 0 {
+		pri = 0
+	}
+	if pri >= len(c.DeadlineFactors) {
+		pri = len(c.DeadlineFactors) - 1
+	}
+	return c.DeadlineFactors[pri]
+}
+
 // boundedPareto inverts the bounded-Pareto CDF on [lo, hi] with tail
 // index alpha: the heavy-tailed-but-bounded shape grid workload
 // archives report for both job widths and runtimes.
@@ -190,7 +218,11 @@ func TenantTrace(cfg Config, i int) []Submission {
 			n = c.NMax
 		}
 		secs := boundedPareto(rng.Float64(), c.DurAlpha, c.DurMin, c.DurMax)
-		out = append(out, Submission{At: t, Tenant: i, Priority: pri, N: n, Seconds: secs})
+		sub := Submission{At: t, Tenant: i, Priority: pri, N: n, Seconds: secs}
+		if f := deadlineFactor(c, pri); f > 0 {
+			sub.Deadline = t + time.Duration(f*secs*float64(time.Second))
+		}
+		out = append(out, sub)
 		if c.MaxSubmissions > 0 && len(out) >= c.MaxSubmissions {
 			break
 		}
